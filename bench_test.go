@@ -1,0 +1,301 @@
+package meetpoly
+
+// The benchmark harness: one bench per experiment of EXPERIMENTS.md
+// (tables E1-E8, figures F1-F4) plus the ablations called out in
+// DESIGN.md §8. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Measured quantities are reported via b.ReportMetric so the bench output
+// doubles as a results table.
+
+import (
+	"fmt"
+	"testing"
+
+	"meetpoly/internal/baseline"
+	"meetpoly/internal/core"
+	"meetpoly/internal/costmodel"
+	"meetpoly/internal/esst"
+	"meetpoly/internal/experiments"
+	"meetpoly/internal/graph"
+	"meetpoly/internal/sched"
+	"meetpoly/internal/sgl"
+	"meetpoly/internal/trajectory"
+	"meetpoly/internal/uxs"
+)
+
+func benchEnv(b *testing.B) *trajectory.Env {
+	b.Helper()
+	return trajectory.NewEnv(uxs.NewVerified(uxs.DefaultFamily(6), 1))
+}
+
+// BenchmarkE1CostPiVsN regenerates table E1: Pi(n, 1) across n.
+func BenchmarkE1CostPiVsN(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := costmodel.New(costmodel.PLinear(1))
+			var bits int
+			for i := 0; i < b.N; i++ {
+				bits = m.Pi(n, 1).BitLen()
+			}
+			b.ReportMetric(float64(bits), "log2Pi")
+		})
+	}
+}
+
+// BenchmarkE2CostPiVsLabel regenerates table E2: Pi(4, m) across m.
+func BenchmarkE2CostPiVsLabel(b *testing.B) {
+	for _, m := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			model := costmodel.New(costmodel.PLinear(1))
+			var bits int
+			for i := 0; i < b.N; i++ {
+				bits = model.Pi(4, m).BitLen()
+			}
+			b.ReportMetric(float64(bits), "log2Pi")
+		})
+	}
+}
+
+// BenchmarkE3BaselineCost regenerates table E3's baseline side: the
+// exponential blow-up with label length.
+func BenchmarkE3BaselineCost(b *testing.B) {
+	model := costmodel.New(costmodel.PLinear(1))
+	for _, l := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("len=%d", l), func(b *testing.B) {
+			value := uint64(1)<<uint(l) - 1
+			var bits int
+			for i := 0; i < b.N; i++ {
+				bits = model.BaselineCost(4, value).BitLen()
+			}
+			b.ReportMetric(float64(bits), "log2Cost")
+		})
+	}
+}
+
+// BenchmarkE4Rendezvous regenerates table E4: measured meeting cost per
+// instance and adversary strategy.
+func BenchmarkE4Rendezvous(b *testing.B) {
+	env := benchEnv(b)
+	instances := experiments.DefaultRVInstances()[:6]
+	for _, in := range instances {
+		for _, advName := range []string{"round-robin", "avoider", "random"} {
+			b.Run(in.Name+"/"+advName, func(b *testing.B) {
+				cost := 0
+				for i := 0; i < b.N; i++ {
+					adv := sched.Strategies(2)[advName]()
+					res, err := core.Rendezvous(in.Graph, in.S1, in.S2, in.L1, in.L2,
+						env, adv, 500_000)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Met {
+						cost = res.Meeting.Cost
+					}
+				}
+				b.ReportMetric(float64(cost), "meet-cost")
+			})
+		}
+	}
+}
+
+// BenchmarkE4Baseline measures the exponential baseline on the same
+// instances for the head-to-head of table E3/E4.
+func BenchmarkE4Baseline(b *testing.B) {
+	env := benchEnv(b)
+	for _, in := range experiments.DefaultRVInstances()[:3] {
+		b.Run(in.Name, func(b *testing.B) {
+			cost := 0
+			for i := 0; i < b.N; i++ {
+				res, err := baseline.Rendezvous(in.Graph, in.S1, in.S2, in.L1, in.L2,
+					env, &sched.RoundRobin{}, 500_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Met {
+					cost = res.Meeting.Cost
+				}
+			}
+			b.ReportMetric(float64(cost), "meet-cost")
+		})
+	}
+}
+
+// BenchmarkE5ESST regenerates table E5: exploration cost across graphs.
+func BenchmarkE5ESST(b *testing.B) {
+	cat := uxs.NewVerified(uxs.DefaultFamily(8), 1)
+	for _, in := range experiments.DefaultESSTInstances() {
+		if !cat.Covers(in.Graph) {
+			cat.Extend(in.Graph)
+		}
+		b.Run(in.Name, func(b *testing.B) {
+			cost, phase := 0, 0
+			for i := 0; i < b.N; i++ {
+				res, err := esst.Explore(in.Graph, in.Explorer, in.Tok, cat,
+					&sched.RoundRobin{}, 50_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Done {
+					b.Fatal("ESST did not terminate")
+				}
+				cost, phase = res.Cost, res.Phase
+			}
+			b.ReportMetric(float64(cost), "cost")
+			b.ReportMetric(float64(phase), "phase")
+		})
+	}
+}
+
+// BenchmarkE6Certifier measures the exhaustive lattice adversary itself:
+// grid cells processed per second over growing prefixes.
+func BenchmarkE6Certifier(b *testing.B) {
+	env := benchEnv(b)
+	g := graph.Path(3)
+	for _, prefix := range []int{500, 2000, 8000} {
+		b.Run(fmt.Sprintf("prefix=%d", prefix), func(b *testing.B) {
+			ra := core.Route(g, 0, 1, env, prefix)
+			rb := core.Route(g, 2, 2, env, prefix)
+			b.ResetTimer()
+			forced := false
+			for i := 0; i < b.N; i++ {
+				res, err := sched.Certify(ra, rb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				forced = res.Forced
+			}
+			b.ReportMetric(b2f(forced), "forced")
+			b.ReportMetric(float64(4*prefix*prefix), "cells")
+		})
+	}
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkE7Lemmas measures the inequality sweep of table E7.
+func BenchmarkE7Lemmas(b *testing.B) {
+	m := costmodel.New(costmodel.PLinear(2))
+	for i := 0; i < b.N; i++ {
+		if !costmodel.AllHold(m.CheckLemmas(5, 8)) {
+			b.Fatal("lemma inequality failed")
+		}
+	}
+}
+
+// BenchmarkE8SGL regenerates table E8: full Strong Global Learning runs.
+func BenchmarkE8SGL(b *testing.B) {
+	env := benchEnv(b)
+	for _, in := range experiments.DefaultSGLInstances()[:3] {
+		b.Run(in.Name, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				res, err := sgl.Run(sgl.Config{
+					Graph:    in.Graph,
+					Starts:   in.Starts,
+					Labels:   in.Labels,
+					Env:      env,
+					MaxSteps: 40_000_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllOutput {
+					b.Fatal("SGL incomplete")
+				}
+				total = res.TotalCost
+			}
+			b.ReportMetric(float64(total), "total-cost")
+		})
+	}
+}
+
+// BenchmarkF1to4Figures regenerates the structural figures.
+func BenchmarkF1to4Figures(b *testing.B) {
+	env := benchEnv(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.F1to4(env, 3)
+	}
+	b.ReportMetric(float64(len(out)), "bytes")
+}
+
+// BenchmarkAblationUXSSource compares trajectory-prefix generation under
+// the verified compact catalog versus the cubic pseudorandom one
+// (DESIGN.md §8: UXS source ablation).
+func BenchmarkAblationUXSSource(b *testing.B) {
+	g := graph.Ring(5)
+	for name, cat := range map[string]uxs.Catalog{
+		"verified-random": uxs.NewVerified(uxs.DefaultFamily(5), 1),
+		"verified-greedy": uxs.NewVerifiedGreedy(uxs.DefaultFamily(5), 1),
+		"pseudorandom-k3": uxs.NewFormula(1, 1),
+	} {
+		env := trajectory.NewEnv(cat)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, _ := trajectory.Run(g, 0, env.Y(2), 50_000)
+				_ = tr
+			}
+			b.ReportMetric(float64(env.Catalog().P(5)), "P(5)")
+		})
+	}
+}
+
+// BenchmarkAblationAdversary compares measured meeting cost across
+// adversary strengths on one instance (DESIGN.md §8).
+func BenchmarkAblationAdversary(b *testing.B) {
+	env := benchEnv(b)
+	in := experiments.DefaultRVInstances()[1] // path4
+	for _, name := range []string{"round-robin", "biased", "late-wake", "random", "avoider"} {
+		b.Run(name, func(b *testing.B) {
+			cost := 0
+			for i := 0; i < b.N; i++ {
+				adv := sched.Strategies(2)[name]()
+				res, err := core.Rendezvous(in.Graph, in.S1, in.S2, in.L1, in.L2,
+					env, adv, 500_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Met {
+					cost = res.Meeting.Cost
+				}
+			}
+			b.ReportMetric(float64(cost), "meet-cost")
+		})
+	}
+}
+
+// BenchmarkRunnerThroughput measures raw scheduler half-steps per second
+// (the simulator substrate's capacity).
+func BenchmarkRunnerThroughput(b *testing.B) {
+	g := graph.Ring(6)
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Rendezvous(g, 0, 3, 1, 3, env, &sched.RoundRobin{}, 100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkStepperThroughput measures pure trajectory generation speed
+// without the scheduler.
+func BenchmarkStepperThroughput(b *testing.B) {
+	env := benchEnv(b)
+	g := graph.Ring(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, _ := trajectory.Run(g, 0, core.NewStepper(5, env), 100_000)
+		if tr.Moves() != 100_000 {
+			b.Fatal("short run")
+		}
+	}
+}

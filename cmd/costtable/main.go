@@ -1,0 +1,72 @@
+// Command costtable regenerates the cost-model experiments of
+// EXPERIMENTS.md: E1 (Π vs n), E2 (Π vs label length), E3 and E3x
+// (baseline comparison and crossover) and E7 (lemma inequalities), under
+// a selectable exploration-length polynomial.
+//
+// Usage:
+//
+//	costtable -table all -p "P=k^3"
+//	costtable -table E3 -n 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"meetpoly/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to print: E1|E2|E3|E3x|E7|E9|all")
+	pname := flag.String("p", "P=k (verified compact)", "exploration polynomial (see -list-p)")
+	listP := flag.Bool("list-p", false, "list available P models and exit")
+	n := flag.Int("n", 4, "graph size for E2/E3")
+	flag.Parse()
+
+	models := experiments.PModels()
+	if *listP {
+		names := make([]string, 0, len(models))
+		for k := range models {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Println(k)
+		}
+		return
+	}
+	m, ok := models[*pname]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown P model %q; use -list-p\n", *pname)
+		os.Exit(2)
+	}
+	emit := func(t *experiments.Table) { t.Render(os.Stdout) }
+	want := func(id string) bool { return *table == "all" || *table == id }
+
+	if want("E1") {
+		emit(experiments.E1PiVsN(m, []int{2, 4, 8, 16, 32, 64}, 1))
+	}
+	if want("E2") {
+		emit(experiments.E2PiVsLabelLen(m, *n, []int{1, 2, 4, 8, 16, 32, 64}))
+	}
+	if want("E3") {
+		emit(experiments.E3BaselineVsPi(m, *n, []int{1, 2, 4, 8, 16, 24, 32, 48, 64}))
+	}
+	if want("E3x") {
+		emit(experiments.E3Crossover(m, []int{2, 3, 4, 6, 8, 10}, 1024))
+	}
+	if want("E7") {
+		emit(experiments.E7Lemmas(m, [][2]int{{2, 4}, {3, 6}, {5, 8}, {8, 12}}))
+	}
+	if want("E9") {
+		// Theorem 4.1's bound needs Pi at E(n); only compact P models
+		// keep E(n) in evaluatable range.
+		if e := m.EUpper(8); e.IsInt64() && e.Int64() < 1<<26 {
+			emit(experiments.E9SGLBound(m, []int{2, 3, 4, 6, 8}, 2, 3))
+		} else {
+			fmt.Fprintln(os.Stderr, "E9 skipped: E(n) too large under this P model")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command esstsim runs Procedure ESST (exploration with a
+// semi-stationary token) on a chosen graph, or regenerates table E5.
+//
+// Usage:
+//
+//	esstsim -graph ring -n 7 -explorer 0 -token 3
+//	esstsim -table E5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meetpoly/internal/esst"
+	"meetpoly/internal/experiments"
+	"meetpoly/internal/graph"
+	"meetpoly/internal/sched"
+	"meetpoly/internal/uxs"
+)
+
+func main() {
+	gkind := flag.String("graph", "ring", "path|ring|star|clique|bintree|random")
+	n := flag.Int("n", 6, "graph size")
+	seed := flag.Int64("seed", 1, "seed for random graphs and the catalog")
+	ex := flag.Int("explorer", 0, "explorer start node")
+	tok := flag.Int("token", -1, "token node (-1 = last node)")
+	budget := flag.Int("budget", 50_000_000, "scheduler event budget")
+	table := flag.Bool("table", false, "print table E5 over the default instance suite")
+	famMax := flag.Int("family", 8, "catalog family max size")
+	flag.Parse()
+
+	cat := uxs.NewVerified(uxs.DefaultFamily(*famMax), *seed)
+	if *table {
+		experiments.E5ESST(cat, experiments.DefaultESSTInstances(), *budget).Render(os.Stdout)
+		return
+	}
+
+	var g *graph.Graph
+	switch *gkind {
+	case "path":
+		g = graph.Path(*n)
+	case "ring":
+		g = graph.Ring(*n)
+	case "star":
+		g = graph.Star(*n)
+	case "clique":
+		g = graph.Complete(*n)
+	case "bintree":
+		g = graph.BinaryTree(*n)
+	case "random":
+		g = graph.RandomConnected(*n, 0.3, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown graph kind %q\n", *gkind)
+		os.Exit(2)
+	}
+	if !cat.Covers(g) {
+		cat.Extend(g)
+	}
+	tokNode := *tok
+	if tokNode < 0 {
+		tokNode = g.N() - 1
+	}
+	res, err := esst.Explore(g, *ex, tokNode, cat, &sched.RoundRobin{}, *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph=%s explorer@%d token@%d\n", g, *ex, tokNode)
+	if !res.Done {
+		fmt.Println("procedure did not terminate within the budget")
+		os.Exit(1)
+	}
+	fmt.Printf("terminated in phase %d (Theorem 2.1 bound: 9n+3 = %d)\n", res.Phase, 9*g.N()+3)
+	fmt.Printf("cost: %d traversals (bound for that phase: %d)\n",
+		res.Cost, esst.CostBound(cat, res.Phase))
+	fmt.Printf("derived size bound E(n) = %d (actual n = %d)\n", res.EUpper, g.N())
+	fmt.Printf("all %d edges covered: %v\n", g.M(), res.Covered)
+}

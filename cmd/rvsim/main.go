@@ -1,0 +1,155 @@
+// Command rvsim runs Algorithm RV-asynch-poly on a chosen graph under a
+// chosen adversary, optionally certifying the exact worst case with the
+// exhaustive lattice adversary, and can regenerate the measured tables
+// E4 and E6 of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	rvsim -graph path -n 4 -s1 0 -s2 3 -l1 2 -l2 5 -adv avoider
+//	rvsim -certify 4000 -graph star -n 4
+//	rvsim -table E4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meetpoly/internal/core"
+	"meetpoly/internal/costmodel"
+	"meetpoly/internal/experiments"
+	"meetpoly/internal/graph"
+	"meetpoly/internal/labels"
+	"meetpoly/internal/sched"
+	"meetpoly/internal/trajectory"
+	"meetpoly/internal/uxs"
+)
+
+func buildGraph(kind string, n int, seed int64) (*graph.Graph, error) {
+	switch kind {
+	case "path":
+		return graph.Path(n), nil
+	case "ring":
+		return graph.Ring(n), nil
+	case "ring-shuffled":
+		return graph.ShufflePorts(graph.Ring(n), seed), nil
+	case "star":
+		return graph.Star(n), nil
+	case "clique":
+		return graph.Complete(n), nil
+	case "bintree":
+		return graph.BinaryTree(n), nil
+	case "random":
+		return graph.RandomConnected(n, 0.3, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func main() {
+	gkind := flag.String("graph", "path", "path|ring|ring-shuffled|star|clique|bintree|random")
+	n := flag.Int("n", 4, "graph size")
+	seed := flag.Int64("seed", 1, "seed for random/shuffled graphs and the catalog")
+	s1 := flag.Int("s1", 0, "start node of agent 1")
+	s2 := flag.Int("s2", -1, "start node of agent 2 (-1 = last node)")
+	l1 := flag.Uint64("l1", 2, "label of agent 1")
+	l2 := flag.Uint64("l2", 5, "label of agent 2")
+	advName := flag.String("adv", "round-robin", "round-robin|biased|late-wake|random|avoider")
+	budget := flag.Int("budget", 2_000_000, "adversary event budget")
+	certify := flag.Int("certify", 0, "if > 0, certify the worst case on route prefixes of this length")
+	replay := flag.Bool("replay", false, "with -certify: replay the reconstructed worst-case schedule")
+	table := flag.String("table", "", "regenerate a measured table instead: E4|E4s|E6")
+	famMax := flag.Int("family", 8, "catalog family max size")
+	flag.Parse()
+
+	env := trajectory.NewEnv(uxs.NewVerified(uxs.DefaultFamily(*famMax), *seed))
+
+	if *table != "" {
+		var t *experiments.Table
+		switch *table {
+		case "E4":
+			t = experiments.E4Measured(env, experiments.DefaultRVInstances(), *budget)
+		case "E4s":
+			t = experiments.E4Symmetry(env, *budget)
+		case "E6":
+			t = experiments.E6Certified(env, experiments.DefaultRVInstances(), 4000)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+			os.Exit(2)
+		}
+		t.Render(os.Stdout)
+		return
+	}
+
+	g, err := buildGraph(*gkind, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if v, ok := env.Catalog().(*uxs.Verified); ok && !v.Covers(g) {
+		v.Extend(g)
+	}
+	start2 := *s2
+	if start2 < 0 {
+		start2 = g.N() - 1
+	}
+	la, lb := labels.Label(*l1), labels.Label(*l2)
+
+	if *certify > 0 {
+		res, err := core.CertifyInstance(g, *s1, start2, la, lb, env, *certify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("exhaustive adversary on %d-move prefixes: %v\n", *certify, res)
+		if *replay && res.Forced {
+			ra := core.Route(g, *s1, la, env, *certify)
+			rb := core.Route(g, start2, lb, env, *certify)
+			schedule, _, err := sched.WorstSchedule(ra, rb)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rr, err := core.Rendezvous(g, *s1, start2, la, lb, env,
+				&sched.ScheduleAdversary{Schedule: schedule}, len(schedule)+10)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if rr.Met {
+				fmt.Printf("replayed worst schedule: met at cost %d (certified %d)\n",
+					rr.Meeting.Cost, res.WorstCompleted)
+			} else {
+				fmt.Println("replay inconsistency: no meeting (bug)")
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	mkAdv, ok := sched.Strategies(2)[*advName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown adversary %q\n", *advName)
+		os.Exit(2)
+	}
+	res, err := core.Rendezvous(g, *s1, start2, la, lb, env, mkAdv(), *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph=%s agents: L%d@%d vs L%d@%d adversary=%s\n",
+		g, la, *s1, lb, start2, *advName)
+	fmt.Printf("Theorem 3.1 bound Pi(n, |Lmin|): ~2^%.1f (%d bits)\n",
+		costmodel.ApproxLog2(res.Bound), res.Bound.BitLen())
+	if !res.Met {
+		fmt.Printf("no meeting within %d events (budget << bound; raise -budget)\n", *budget)
+		return
+	}
+	where := fmt.Sprintf("node %d", res.Meeting.Node)
+	if res.Meeting.InEdge {
+		where = fmt.Sprintf("inside edge %v", res.Meeting.Edge)
+	}
+	fmt.Printf("MET at %s after %d completed traversals (step %d)\n",
+		where, res.Meeting.Cost, res.Meeting.Step)
+	fmt.Printf("per-agent traversals: %v\n", res.Summary.Traversals)
+}

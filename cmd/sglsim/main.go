@@ -1,0 +1,113 @@
+// Command sglsim runs Algorithm SGL (Strong Global Learning) for a team
+// of agents and reports all four application outputs, or regenerates
+// table E8.
+//
+// Usage:
+//
+//	sglsim -graph star -n 5 -starts 1,2,3 -labels 4,2,7
+//	sglsim -table E8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"meetpoly/internal/experiments"
+	"meetpoly/internal/graph"
+	"meetpoly/internal/labels"
+	"meetpoly/internal/sgl"
+	"meetpoly/internal/trajectory"
+	"meetpoly/internal/uxs"
+)
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	gkind := flag.String("graph", "star", "path|ring|star|clique|bintree|random")
+	n := flag.Int("n", 5, "graph size")
+	seed := flag.Int64("seed", 1, "seed for random graphs and the catalog")
+	startsFlag := flag.String("starts", "1,2,3", "comma-separated start nodes")
+	labelsFlag := flag.String("labels", "4,2,7", "comma-separated labels")
+	budget := flag.Int("budget", 40_000_000, "scheduler event budget")
+	table := flag.Bool("table", false, "print table E8 over the default instance suite")
+	famMax := flag.Int("family", 6, "catalog family max size")
+	flag.Parse()
+
+	env := trajectory.NewEnv(uxs.NewVerified(uxs.DefaultFamily(*famMax), *seed))
+	if *table {
+		experiments.E8SGL(env, experiments.DefaultSGLInstances(), *budget).Render(os.Stdout)
+		return
+	}
+
+	var g *graph.Graph
+	switch *gkind {
+	case "path":
+		g = graph.Path(*n)
+	case "ring":
+		g = graph.Ring(*n)
+	case "star":
+		g = graph.Star(*n)
+	case "clique":
+		g = graph.Complete(*n)
+	case "bintree":
+		g = graph.BinaryTree(*n)
+	case "random":
+		g = graph.RandomConnected(*n, 0.3, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown graph kind %q\n", *gkind)
+		os.Exit(2)
+	}
+	if v, ok := env.Catalog().(*uxs.Verified); ok && !v.Covers(g) {
+		v.Extend(g)
+	}
+	starts, err := parseInts(*startsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -starts:", err)
+		os.Exit(2)
+	}
+	rawLabels, err := parseInts(*labelsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -labels:", err)
+		os.Exit(2)
+	}
+	labs := make([]labels.Label, len(rawLabels))
+	for i, v := range rawLabels {
+		labs[i] = labels.Label(v)
+	}
+
+	res, err := sgl.Run(sgl.Config{
+		Graph:    g,
+		Starts:   starts,
+		Labels:   labs,
+		Env:      env,
+		MaxSteps: *budget,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph=%s team k=%d total cost=%d all-output=%v\n",
+		g, len(labs), res.TotalCost, res.AllOutput)
+	for _, a := range res.Agents {
+		if !a.HasOutput {
+			fmt.Printf("  L%-4d state=%-9s NO OUTPUT (raise -budget)\n", a.Label, a.State)
+			continue
+		}
+		fmt.Printf("  L%-4d state=%-9s team=%d leader=L%d newname=%d traversals=%d output=%v\n",
+			a.Label, a.State, a.TeamSize, a.Leader, a.NewName, a.Traversals, a.Output)
+	}
+}

@@ -1,0 +1,47 @@
+// Command trajviz renders the structural decompositions of the paper's
+// trajectories — the machine-checkable counterpart of Figures 1-4 — with
+// exact lengths under the selected exploration catalog.
+//
+// Usage:
+//
+//	trajviz                  # Figures 1-4 for k = 3
+//	trajviz -kind Ω -k 2 -depth 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meetpoly/internal/experiments"
+	"meetpoly/internal/trajectory"
+	"meetpoly/internal/uxs"
+)
+
+func main() {
+	kind := flag.String("kind", "", "one of R,X,Q,Y',Y,Z,A',A,B,K,Ω (empty = Figures 1-4)")
+	k := flag.Int("k", 3, "trajectory parameter k")
+	depth := flag.Int("depth", 2, "decomposition depth")
+	maxSib := flag.Int("siblings", 6, "max siblings before eliding")
+	famMax := flag.Int("family", 6, "catalog family max size")
+	seed := flag.Int64("seed", 1, "catalog seed")
+	flag.Parse()
+
+	env := trajectory.NewEnv(uxs.NewVerified(uxs.DefaultFamily(*famMax), *seed))
+	if *kind == "" {
+		fmt.Print(experiments.F1to4(env, *k))
+		return
+	}
+	valid := map[string]trajectory.Kind{
+		"R": trajectory.KindR, "X": trajectory.KindX, "Q": trajectory.KindQ,
+		"Y'": trajectory.KindYPrime, "Y": trajectory.KindY, "Z": trajectory.KindZ,
+		"A'": trajectory.KindAPrime, "A": trajectory.KindA, "B": trajectory.KindB,
+		"K": trajectory.KindK, "Ω": trajectory.KindOmega, "W": trajectory.KindOmega,
+	}
+	tk, ok := valid[*kind]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	env.Describe(tk, *k, *depth, *maxSib).Render(os.Stdout)
+}

@@ -1,0 +1,49 @@
+// Certify demonstrates the exhaustive lattice adversary: instead of
+// testing rendezvous against a handful of schedules, it decides — by
+// dynamic programming over all interleavings of the two agents'
+// half-steps — whether ANY schedule the continuous adversary could choose
+// avoids the meeting within given route prefixes, and reports the exact
+// worst-case meeting cost when it cannot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meetpoly"
+)
+
+func main() {
+	env := meetpoly.NewEnv(6, 1)
+
+	instances := []struct {
+		name   string
+		g      *meetpoly.Graph
+		s1, s2 int
+		l1, l2 meetpoly.Label
+	}{
+		{"path-2", meetpoly.Path(2), 0, 1, 1, 2},
+		{"path-3", meetpoly.Path(3), 0, 2, 1, 2},
+		{"star-4", meetpoly.Star(4), 1, 2, 2, 3},
+		{"ring-4 (oriented)", meetpoly.Ring(4), 0, 2, 1, 3},
+	}
+	const prefix = 4000
+
+	fmt.Printf("exhaustive certification on %d-move route prefixes of RV-asynch-poly\n\n", prefix)
+	for _, in := range instances {
+		meetpoly.EnsureFor(env, in.g)
+		res, err := meetpoly.Certify(in.g, in.s1, in.s2, in.l1, in.l2, env, prefix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Forced {
+			fmt.Printf("%-18s FORCED: every schedule meets; worst case %d completed traversals "+
+				"(longest dodge: %d half-steps)\n", in.name, res.WorstCompleted, res.SafestDepth)
+		} else {
+			fmt.Printf("%-18s escape exists within the prefix (symmetry or short prefix); "+
+				"the Theorem 3.1 guarantee kicks in deeper into the trajectory\n", in.name)
+		}
+	}
+	fmt.Println("\n'FORCED' is a statement about ALL schedules — the verdict an online")
+	fmt.Println("adversary test suite can never give.")
+}

@@ -1,0 +1,36 @@
+// Costcompare regenerates the paper's headline claim as tables: the
+// prior art's rendezvous cost is exponential in the graph size and in
+// the label VALUE (doubly exponential in the label length), while
+// RV-asynch-poly's bound Pi(n, m) is polynomial in both the graph size
+// and the label LENGTH. The crossover table shows where the polynomial's
+// (enormous) constants are amortized.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"meetpoly/internal/costmodel"
+	"meetpoly/internal/experiments"
+)
+
+func main() {
+	// The cost model is parameterized by the exploration polynomial P;
+	// P(k)=k matches the verified compact catalogs used in simulation,
+	// P(k)=k^3 is a Reingold-like stand-in (ablation in DESIGN.md §8).
+	for _, m := range []struct {
+		name  string
+		model *costmodel.Model
+	}{
+		{"P(k) = k (verified compact catalogs)", costmodel.New(costmodel.PLinear(1))},
+		{"P(k) = k^3 (Reingold-like)", costmodel.New(costmodel.PPoly(1, 3))},
+	} {
+		fmt.Printf("### exploration polynomial: %s\n\n", m.name)
+		experiments.E1PiVsN(m.model, []int{2, 4, 8, 16, 32}, 1).Render(os.Stdout)
+		experiments.E3BaselineVsPi(m.model, 4, []int{1, 2, 4, 8, 16, 32, 64}).Render(os.Stdout)
+		experiments.E3Crossover(m.model, []int{2, 4, 8}, 1024).Render(os.Stdout)
+	}
+	fmt.Println("Reading the tables: log2(baseline) doubles with every added label bit;")
+	fmt.Println("log2(Pi) grows by a bounded increment per doubling of n or m — the")
+	fmt.Println("exponential-to-polynomial improvement of the paper's title.")
+}

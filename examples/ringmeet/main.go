@@ -1,0 +1,42 @@
+// Ringmeet demonstrates a structural phenomenon of asynchronous
+// rendezvous this reproduction surfaced: on an ORIENTED ring (port 0 =
+// clockwise everywhere) with rotation-equivalent starts, both agents'
+// early trajectories coincide (every modified label begins 11), their
+// walks are exact rotations of one another, and no schedule produces a
+// meeting until the first differing label bit — which the paper's exact
+// trajectory definitions place ~1e11 traversals out even for n = 4.
+// Shuffling the ports breaks the translation symmetry and the same agents
+// meet within a few hundred traversals.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meetpoly"
+)
+
+func run(name string, g *meetpoly.Graph, env *meetpoly.Env) {
+	meetpoly.EnsureFor(env, g)
+	res, err := meetpoly.Rendezvous(g, 0, 2, 1, 3, env, meetpoly.RoundRobin(), 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Met {
+		fmt.Printf("%-14s met after %d traversals\n", name, res.Meeting.Cost)
+	} else {
+		fmt.Printf("%-14s no meeting within budget (symmetric walks never coincide)\n", name)
+	}
+}
+
+func main() {
+	env := meetpoly.NewEnv(6, 1)
+	fmt.Println("labels 1 and 3, starts 0 and 2, round-robin schedule, budget 200k events")
+	fmt.Println()
+	run("oriented ring", meetpoly.Ring(4), env)
+	run("shuffled ports", meetpoly.ShufflePorts(meetpoly.Ring(4), 4), env)
+	fmt.Println()
+	fmt.Println("The guarantee of Theorem 3.1 is intact in both cases — on the oriented")
+	fmt.Println("ring it is simply enforced by the label-bit machinery, whose pieces the")
+	fmt.Println("exact definitions make astronomically long (see cmd/costtable -table E3).")
+}

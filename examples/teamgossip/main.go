@@ -1,0 +1,47 @@
+// Teamgossip runs Algorithm SGL (§4 of the paper) for a team of three
+// agents that has to gossip: each agent starts with a private value and
+// every agent must end up with all values — plus, for free, the team
+// size, an elected leader and new names 1..k (perfect renaming).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meetpoly"
+	"meetpoly/internal/graph"
+)
+
+func main() {
+	env := meetpoly.NewEnv(6, 1)
+	g := graph.Star(5)
+
+	res, err := meetpoly.SGL(meetpoly.SGLConfig{
+		Graph:    g,
+		Starts:   []int{1, 2, 3},
+		Labels:   []meetpoly.Label{4, 2, 7},
+		Values:   []string{"north", "east", "south"},
+		Env:      env,
+		MaxSteps: 40_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("team of %d agents on %s, total cost %d traversals\n",
+		len(res.Agents), g, res.TotalCost)
+	for _, a := range res.Agents {
+		fmt.Printf("\nagent L%d (final state: %s)\n", a.Label, a.State)
+		fmt.Printf("  team size : %d\n", a.TeamSize)
+		fmt.Printf("  leader    : L%d\n", a.Leader)
+		fmt.Printf("  new name  : %d\n", a.NewName)
+		fmt.Printf("  gossip    : ")
+		for _, l := range a.Output {
+			fmt.Printf("L%d=%q ", l, a.Values[l])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nEvery agent holds the complete value set and KNOWS it is complete —")
+	fmt.Println("that awareness (Strong Global Learning) is what Theorem 4.1 adds over")
+	fmt.Println("mere eventual dissemination.")
+}

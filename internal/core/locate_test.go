@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"meetpoly/internal/graph"
+	"meetpoly/internal/labels"
+	"meetpoly/internal/trajectory"
+	"meetpoly/internal/uxs"
+)
+
+// unitEnv gives P(k) = 1, making every component short enough to verify
+// Locate against real executions.
+func unitEnv() *trajectory.Env {
+	return trajectory.NewEnv(unitCatalog{})
+}
+
+type unitCatalog struct{}
+
+func (unitCatalog) Seq(int) uxs.Sequence { return uxs.Sequence{0} }
+func (unitCatalog) P(int) int            { return 1 }
+
+func TestLocateFirstMove(t *testing.T) {
+	env := unitEnv()
+	loc := Locate(labels.Label(1), env, big.NewInt(0))
+	// M(1) = 1101: bit 1 is 1, so the schedule opens with atom 1 of
+	// B(2) in piece 1.
+	if loc.Component.Kind != CompAtomB || loc.Component.K != 1 ||
+		loc.Component.I != 1 || loc.AtomIndex != 0 || loc.Offset.Sign() != 0 {
+		t.Errorf("Locate(0) = %+v", loc)
+	}
+	if !strings.Contains(loc.String(), "piece 1") {
+		t.Errorf("String() = %q", loc.String())
+	}
+}
+
+func TestLocateComponentBoundaries(t *testing.T) {
+	env := unitEnv()
+	l := labels.Label(1)
+	// The first atom's length: index LenB(2) must be atom 2's move 0.
+	lenB2 := env.LenB(2)
+	loc := Locate(l, env, lenB2)
+	if loc.Component.Kind != CompAtomB || loc.AtomIndex != 1 || loc.Offset.Sign() != 0 {
+		t.Errorf("Locate(|B(2)|) = %+v", loc)
+	}
+	// After both atoms comes the fence Ω(1) (piece 1 has one segment).
+	both := new(big.Int).Lsh(lenB2, 1)
+	loc = Locate(l, env, both)
+	if loc.Component.Kind != CompOmega || loc.Component.K != 1 {
+		t.Errorf("Locate(2|B(2)|) = %+v", loc)
+	}
+	if !strings.Contains(loc.String(), "fence") {
+		t.Errorf("String() = %q", loc.String())
+	}
+}
+
+func TestLocateMatchesSchedule(t *testing.T) {
+	env := unitEnv()
+	l := labels.Label(2) // M(2) = 110001
+	// Walk the flattened schedule through piece 3 computing prefix sums
+	// and verify Locate agrees at each component start.
+	prefix := new(big.Int)
+	for _, c := range Schedule(l, 3) {
+		clen := componentLen(env, c)
+		reps := 1
+		if c.Kind == CompAtomA || c.Kind == CompAtomB {
+			reps = 1 // Schedule already lists atoms individually
+		}
+		for r := 0; r < reps; r++ {
+			loc := Locate(l, env, prefix)
+			if loc.Component.Kind != c.Kind || loc.Component.K != c.K ||
+				loc.Component.Arg != c.Arg {
+				t.Fatalf("prefix %v: Locate = %+v, want %+v", prefix, loc.Component, c)
+			}
+			if loc.Offset.Sign() != 0 {
+				t.Fatalf("prefix %v: offset %v at component start", prefix, loc.Offset)
+			}
+			prefix.Add(prefix, clen)
+		}
+	}
+}
+
+func TestHorizonLenMatchesExecution(t *testing.T) {
+	env := unitEnv()
+	l := labels.Label(3)
+	want := HorizonLen(l, env, 1)
+	if !want.IsInt64() || want.Int64() > 20_000_000 {
+		t.Fatalf("horizon %v too large for execution test", want)
+	}
+	g := testRing(t)
+	tr, _ := trajectory.Run(g, 0, NewStepper(l, env), int(want.Int64()))
+	if int64(tr.Moves()) != want.Int64() {
+		t.Errorf("executed %d moves within horizon, want %v", tr.Moves(), want)
+	}
+	// The very next move belongs to piece 2's first atom.
+	loc := Locate(l, env, want)
+	if loc.Component.K != 2 || loc.Component.I != 1 ||
+		(loc.Component.Kind != CompAtomB && loc.Component.Kind != CompAtomA) ||
+		loc.Offset.Sign() != 0 {
+		t.Errorf("post-horizon location = %+v", loc)
+	}
+}
+
+func TestPieceLenComposition(t *testing.T) {
+	env := unitEnv()
+	l := labels.Label(5) // M(5) = 11001101? 5=101 -> 11 00 11 01, s=8
+	// Piece 2: bits 1,2 = 1,1: two B(4)^2 segments and one border K(2).
+	want := new(big.Int).Lsh(env.LenB(4), 2) // 4 atoms of B(4)
+	want.Add(want, env.LenK(2))
+	if got := PieceLen(l, env, 2); got.Cmp(want) != 0 {
+		t.Errorf("PieceLen(piece 2) = %v, want %v", got, want)
+	}
+}
+
+func TestLocateNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Locate(labels.Label(1), unitEnv(), big.NewInt(-1))
+}
+
+func testRing(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.Ring(4)
+}

@@ -1,0 +1,160 @@
+package costmodel
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Ineq is one verified counting inequality from the synchronization
+// lemmas (Lemmas 3.2-3.6) or the case analysis of Theorem 3.1. LHS must
+// strictly exceed RHS for the paper's argument to go through.
+type Ineq struct {
+	Name     string
+	N, L     int // graph size and modified-label length l
+	LHS, RHS *big.Int
+	Holds    bool
+}
+
+func ineq(name string, n, l int, lhs, rhs *big.Int) Ineq {
+	return Ineq{Name: name, N: n, L: l, LHS: lhs, RHS: rhs, Holds: lhs.Cmp(rhs) > 0}
+}
+
+// CheckLemmas evaluates, for graph size n and modified-label length l,
+// the counting inequalities that the proofs of Lemmas 3.2-3.6 and
+// Theorem 3.1 rest on. Each inequality compares a supply of integral
+// trajectories performed by one agent against a demand of edge traversals
+// available to the other; the lemma holds when supply exceeds demand.
+func (m *Model) CheckLemmas(n, l int) []Ineq {
+	if n < 2 || l < 4 {
+		panic("costmodel: CheckLemmas needs n >= 2 and l >= 4")
+	}
+	var out []Ineq
+	nl := n + l
+	g := 2 * nl // the index 2(n+l) used throughout Lemma 3.3-3.6
+	nn := g + 1 // 2(n+l)+1
+
+	// Lemma 3.2: integral X(n+l) copies in Ω(n+l) versus the first
+	// piece: (2(n+l)-1)|K(n+l)| > 2(|A(4)| + |B(2)|).
+	lhs := new(big.Int).Mul(big.NewInt(int64(2*nl-1)), m.KStar(nl))
+	rhs := new(big.Int).Add(m.AStar(4), m.BStar(2))
+	rhs.Lsh(rhs, 1)
+	out = append(out, ineq("L3.2: Ω(n+l) copies vs T(1)", n, l, lhs, rhs))
+
+	// Lemma 3.3 (piece bound): for every k <= 2(n+l),
+	// (k-1)K*_k + 2k(A*_4k + B*_2k) < (2k-1)K*_k, i.e. the fence
+	// Ω(2(n+l)) out-supplies any piece T(k). Verify the worst k.
+	worst := struct {
+		k    int
+		diff *big.Int
+	}{0, nil}
+	for k := 1; k <= g; k++ {
+		piece := new(big.Int).Mul(big.NewInt(int64(k-1)), m.KStar(k))
+		seg := new(big.Int).Add(m.AStar(4*k), m.BStar(2*k))
+		seg.Mul(seg, big.NewInt(int64(2*k)))
+		piece.Add(piece, seg)
+		fence := new(big.Int).Mul(big.NewInt(int64(2*k-1)), m.KStar(k))
+		diff := new(big.Int).Sub(fence, piece)
+		if worst.diff == nil || diff.Cmp(worst.diff) < 0 {
+			worst.k, worst.diff = k, diff
+		}
+	}
+	lhsP := new(big.Int).Mul(big.NewInt(int64(2*worst.k-1)), m.KStar(worst.k))
+	rhsP := new(big.Int).Sub(lhsP, worst.diff)
+	out = append(out, ineq(fmt.Sprintf("L3.3: (2k-1)K*_k vs piece T(k), worst k=%d", worst.k), n, l, lhsP, rhsP))
+
+	// Lemma 3.3 (fence supply): copies of X(2(n+l)) in Ω(2(n+l)) exceed
+	// the traversals of any piece T(k), k <= 2(n+l). The fence holds
+	// (2g-1)K*_g integral copies; a piece costs at most
+	// (k-1)K*_k + 2k(A*_{4k} + B*_{2k}).
+	lhsF := new(big.Int).Mul(big.NewInt(int64(2*g-1)), m.KStar(g))
+	rhsWorst := new(big.Int)
+	for k := 1; k <= g; k++ {
+		pc := new(big.Int).Mul(big.NewInt(int64(k-1)), m.KStar(k))
+		seg := new(big.Int).Add(m.AStar(4*k), m.BStar(2*k))
+		seg.Mul(seg, big.NewInt(int64(2*k)))
+		pc.Add(pc, seg)
+		if pc.Cmp(rhsWorst) > 0 {
+			rhsWorst.Set(pc)
+		}
+	}
+	out = append(out, ineq("L3.3: Ω(2(n+l)) X-copies vs any T(k)", n, l, lhsF, rhsWorst))
+
+	// Lemma 3.4: copies of X(2(n+l)) in Ω(2(n+l)) — at least
+	// 2(|A(8·2(n+l))| + |B(4·2(n+l))|) — exceed the last atom M of any
+	// piece j <= 2(n+l): |M| < |B(2j)| + |A(4j)|.
+	lhsM := new(big.Int).Add(m.AStar(8*g), m.BStar(4*g))
+	lhsM.Lsh(lhsM, 1)
+	rhsM := new(big.Int).Add(m.BStar(2*g), m.AStar(4*g))
+	out = append(out, ineq("L3.4: Ω(2(n+l)) X-copies vs last atom M", n, l, lhsM, rhsM))
+
+	// Lemma 3.6 Case 1: the border K(2(n+l)+1) contains
+	// 2(|B(4(2(n+l)+1))| + |A(8(2(n+l)+1))|) integral X's, versus a
+	// segment S_mu(j+1) of 2(|B(2(j+1))| + |A(4(j+1))|) traversals with
+	// j+1 <= 2(n+l)+1.
+	lhs1 := new(big.Int).Add(m.BStar(4*nn), m.AStar(8*nn))
+	lhs1.Lsh(lhs1, 1)
+	rhs1 := new(big.Int).Add(m.BStar(2*nn), m.AStar(4*nn))
+	rhs1.Lsh(rhs1, 1)
+	out = append(out, ineq("L3.6 case 1: K(2(n+l)+1) X-copies vs S_mu(j+1)", n, l, lhs1, rhs1))
+
+	// Lemma 3.6 Case 2: border K(j+1), j >= n+l+1, contains
+	// 2(|A(8(j+1))| + |B(4(j+1))|) >= 2(|A(8(n+l+2))| + |B(4(n+l+2))|)
+	// integral X's, versus S_mu(2(n+l)+1) with fewer than
+	// 2(|A(8(n+l)+4)| + |B(4(n+l)+2)|) traversals.
+	lhs2 := new(big.Int).Add(m.AStar(8*(nl+2)), m.BStar(4*(nl+2)))
+	lhs2.Lsh(lhs2, 1)
+	rhs2 := new(big.Int).Add(m.AStar(8*nl+4), m.BStar(4*nl+2))
+	rhs2.Lsh(rhs2, 1)
+	out = append(out, ineq("L3.6 case 2: K(j+1) X-copies vs S_mu(2(n+l)+1)", n, l, lhs2, rhs2))
+
+	// Theorem 3.1, bit = 1, subcase "a finishes B(2(j+1)) first":
+	// B(2(j+1)) contains 2|A(8j+8)| >= 2|A(8(n+l+1)+8)| integral
+	// Y(2(j+1)) copies versus |S_lambda(2(n+l)+1)| = 2|A(8(n+l)+4)|.
+	lhsT1 := new(big.Int).Lsh(m.AStar(8*(nl+1)+8), 1)
+	rhsT1 := new(big.Int).Lsh(m.AStar(8*nl+4), 1)
+	out = append(out, ineq("T3.1 bit1: B(2(j+1)) Y-copies vs S_lambda(2(n+l)+1)", n, l, lhsT1, rhsT1))
+
+	// Theorem 3.1, bit = 0, subcase "b finishes B(2(2(n+l)+1)) first":
+	// B(2(2(n+l)+1)) contains 2|A(16(n+l)+8)| integral Y copies versus
+	// |S_lambda(j+1)| = 2|A(4(j+1))| <= 2|A(8(n+l)+4)|.
+	lhsT0 := new(big.Int).Lsh(m.AStar(16*nl+8), 1)
+	rhsT0 := new(big.Int).Lsh(m.AStar(8*nl+4), 1)
+	out = append(out, ineq("T3.1 bit0: B(2(2(n+l)+1)) Y-copies vs S_lambda(j+1)", n, l, lhsT0, rhsT0))
+
+	return out
+}
+
+// AllHold reports whether every inequality in the slice holds.
+func AllHold(iqs []Ineq) bool {
+	for _, iq := range iqs {
+		if !iq.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// Monotone verifies that the starred quantities are non-decreasing in k
+// over 1..kMax — the property the proofs use when replacing an index j by
+// a bound. It returns the first violation description, or "".
+func (m *Model) Monotone(kMax int) string {
+	funcs := []struct {
+		name string
+		f    func(int) *big.Int
+	}{
+		{"P", m.P}, {"X*", m.XStar}, {"Q*", m.QStar}, {"Y*", m.YStar},
+		{"Z*", m.ZStar}, {"A*", m.AStar}, {"B*", m.BStar}, {"K*", m.KStar},
+		{"Ω*", m.OmegaStar},
+	}
+	for _, fn := range funcs {
+		prev := fn.f(1)
+		for k := 2; k <= kMax; k++ {
+			cur := fn.f(k)
+			if cur.Cmp(prev) < 0 {
+				return fmt.Sprintf("%s decreases at k=%d", fn.name, k)
+			}
+			prev = cur
+		}
+	}
+	return ""
+}

@@ -1,0 +1,77 @@
+package costmodel
+
+import "math/big"
+
+// ESSTCostBound returns the cost bound for Procedure ESST terminating at
+// the given phase, mirroring the paper's estimate from the proof of
+// Theorem 2.1 ("3P(2j) + P(2j)·P(j) per phase"), but with this
+// implementation's exact walking pattern: per phase j the agent walks the
+// trunc at most 3 times plus one probe-and-backtrack of length 2P(j) at
+// each of the P(2j)+1 trunc nodes:
+//
+//	sum_{j=3,6,...,phase} [ 4 P(2j) + (P(2j)+1) * 2 P(j) ].
+func (m *Model) ESSTCostBound(phase int) *big.Int {
+	total := new(big.Int)
+	for j := 3; j <= phase; j += 3 {
+		p2j := m.p(2 * j)
+		pj := m.p(j)
+		term := new(big.Int).Lsh(p2j, 2) // 4 P(2j)
+		probes := new(big.Int).Add(p2j, one)
+		probes.Mul(probes, new(big.Int).Lsh(pj, 1))
+		term.Add(term, probes)
+		total.Add(total, term)
+	}
+	return total
+}
+
+// TESST returns T(ESST(n)): the worst-case cost of an ESST execution in
+// a graph of size at most n — the bound at the guaranteed terminating
+// phase 9n+3 (Theorem 2.1).
+func (m *Model) TESST(n int) *big.Int {
+	return m.ESSTCostBound(9*n + 3)
+}
+
+// EUpper returns the size bound E(n) an explorer derives from ESST: the
+// procedure's cost plus one (cost >= #edges >= n-1, so cost+1 >= n).
+func (m *Model) EUpper(n int) *big.Int {
+	return new(big.Int).Add(m.TESST(n), one)
+}
+
+// SGLAgentCostBound returns the per-agent cost bound of Algorithm SGL
+// from the proof of Theorem 4.1 (Claim 1): with m the length of the
+// smallest participating label,
+//
+//	Pi(n, m) + 2 T(ESST(n)) + 1 + Pi(E(n), m) + 2 P(E(n))
+//
+// covering the traveller phase, ESST and its backtrack, the resumed
+// RV-asynch-poly execution to the Pi(E(n), ·) horizon, and the final
+// sweep(s). The dominating term is Pi evaluated at the polynomial size
+// bound E(n), so the result is polynomial in n and m — but, E(n) being a
+// polynomial of n rather than n itself, with a substantially larger
+// degree than plain rendezvous (a fact the paper leaves implicit and the
+// E9 table makes visible).
+func (m *Model) SGLAgentCostBound(n, mLen int) *big.Int {
+	e := m.EUpper(n)
+	// Pi's graph-size argument is an int; E(n) can be astronomically
+	// large under cubic P models. Clamp with care: if E(n) does not fit,
+	// the bound itself is "beyond big" — represent it by evaluating Pi at
+	// the largest representable horizon and flagging via panic instead of
+	// silently lying.
+	if !e.IsInt64() || e.Int64() > 1<<26 {
+		panic("costmodel: E(n) too large to evaluate Pi(E(n), m); use a compact P model")
+	}
+	total := m.Pi(n, mLen)
+	total = new(big.Int).Set(total)
+	total.Add(total, new(big.Int).Lsh(m.TESST(n), 1))
+	total.Add(total, one)
+	total.Add(total, m.Pi(int(e.Int64()), mLen))
+	total.Add(total, new(big.Int).Lsh(m.p(int(e.Int64())), 1))
+	return total
+}
+
+// SGLTotalCostBound returns Theorem 4.1's team-wide bound: k agents each
+// within SGLAgentCostBound.
+func (m *Model) SGLTotalCostBound(n, mLen, k int) *big.Int {
+	per := m.SGLAgentCostBound(n, mLen)
+	return new(big.Int).Mul(per, big.NewInt(int64(k)))
+}

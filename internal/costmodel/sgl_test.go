@@ -1,0 +1,96 @@
+package costmodel
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestESSTCostBoundByHand(t *testing.T) {
+	m := New(PPoly(1, 0)) // P(k) = 1
+	// Per phase: 4*1 + (1+1)*2*1 = 8. Phases 3,6,9 -> 24.
+	if got := m.ESSTCostBound(9); got.Int64() != 24 {
+		t.Errorf("ESSTCostBound(9) = %v, want 24", got)
+	}
+	if got := m.ESSTCostBound(2); got.Sign() != 0 {
+		t.Errorf("ESSTCostBound(2) = %v, want 0", got)
+	}
+}
+
+func TestTESSTMonotone(t *testing.T) {
+	m := New(PLinear(2))
+	prev := big.NewInt(-1)
+	for n := 2; n <= 12; n++ {
+		cur := m.TESST(n)
+		if cur.Cmp(prev) <= 0 {
+			t.Fatalf("TESST not increasing at n=%d", n)
+		}
+		prev = cur
+	}
+}
+
+func TestEUpperDominatesN(t *testing.T) {
+	// E(n) must be a valid size upper bound: E(n) >= n.
+	m := New(PLinear(1))
+	for n := 2; n <= 10; n++ {
+		if m.EUpper(n).Cmp(big.NewInt(int64(n))) < 0 {
+			t.Errorf("EUpper(%d) = %v < n", n, m.EUpper(n))
+		}
+	}
+}
+
+func TestSGLAgentCostBoundComposition(t *testing.T) {
+	m := New(PLinear(1))
+	n, mLen := 3, 2
+	got := m.SGLAgentCostBound(n, mLen)
+	// Must strictly dominate each constituent.
+	for name, part := range map[string]*big.Int{
+		"Pi(n,m)":    m.Pi(n, mLen),
+		"2*T(ESST)":  new(big.Int).Lsh(m.TESST(n), 1),
+		"Pi(E(n),m)": m.Pi(int(m.EUpper(n).Int64()), mLen),
+	} {
+		if got.Cmp(part) <= 0 {
+			t.Errorf("SGL bound %v does not dominate %s = %v", got, name, part)
+		}
+	}
+}
+
+func TestSGLTotalScalesWithK(t *testing.T) {
+	m := New(PLinear(1))
+	per := m.SGLAgentCostBound(2, 1)
+	team := m.SGLTotalCostBound(2, 1, 5)
+	want := new(big.Int).Mul(per, big.NewInt(5))
+	if team.Cmp(want) != 0 {
+		t.Errorf("team bound %v, want %v", team, want)
+	}
+}
+
+func TestSGLBoundPanicsOnHugeE(t *testing.T) {
+	m := New(PPoly(1, 3)) // cubic P makes E(n) astronomically large
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unevaluatable Pi(E(n), m)")
+		}
+	}()
+	m.SGLAgentCostBound(50, 4)
+}
+
+func TestBaselineLog2MatchesExact(t *testing.T) {
+	m := New(PLinear(1))
+	for _, l := range []uint64{1, 3, 10, 100} {
+		exact := ApproxLog2(m.BaselineCost(3, l))
+		fast := m.BaselineLog2(3, l)
+		if diff := exact - fast; diff > 0.01 || diff < -0.01 {
+			t.Errorf("label %d: exact log2 %.4f vs fast %.4f", l, exact, fast)
+		}
+	}
+}
+
+func TestBaselineCostCapPanics(t *testing.T) {
+	m := New(PLinear(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for gigantic label value")
+		}
+	}()
+	m.BaselineCost(3, 1<<30)
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"meetpoly/internal/costmodel"
+	"meetpoly/internal/trajectory"
+	"meetpoly/internal/uxs"
+)
+
+func testEnv(t testing.TB) *trajectory.Env {
+	t.Helper()
+	return trajectory.NewEnv(uxs.NewVerified(uxs.DefaultFamily(6), 1))
+}
+
+func render(t *testing.T, tab *Table) string {
+	t.Helper()
+	var sb strings.Builder
+	tab.Render(&sb)
+	return sb.String()
+}
+
+func TestE1E2Shapes(t *testing.T) {
+	m := costmodel.New(costmodel.PLinear(1))
+	e1 := E1PiVsN(m, []int{4, 8, 16, 32}, 1)
+	if len(e1.Rows) != 4 {
+		t.Fatalf("E1 rows = %d", len(e1.Rows))
+	}
+	out := render(t, e1)
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "delta-per-doubling") {
+		t.Errorf("E1 render missing headers:\n%s", out)
+	}
+	e2 := E2PiVsLabelLen(m, 4, []int{1, 2, 4, 8})
+	if len(e2.Rows) != 4 {
+		t.Fatalf("E2 rows = %d", len(e2.Rows))
+	}
+}
+
+func TestE3WinnerFlips(t *testing.T) {
+	m := costmodel.New(costmodel.PLinear(1))
+	e3 := E3BaselineVsPi(m, 4, []int{1, 2, 4, 8, 16, 32})
+	sawBaseline, sawPoly := false, false
+	for _, r := range e3.Rows {
+		switch r[len(r)-1] {
+		case "baseline":
+			sawBaseline = true
+		case "RV-asynch-poly":
+			sawPoly = true
+			if sawBaseline && r[0] == e3.Rows[0][0] {
+				t.Error("winner order inconsistent")
+			}
+		}
+	}
+	if !sawPoly {
+		t.Error("RV-asynch-poly never wins in E3; the headline result is missing")
+	}
+	// The crossover table must find a finite crossover for every n.
+	e3x := E3Crossover(m, []int{2, 4, 8}, 512)
+	for _, r := range e3x.Rows {
+		if strings.Contains(r[1], "none") {
+			t.Errorf("no crossover found for n=%s within 512 bits", r[0])
+		}
+	}
+	_ = sawBaseline
+}
+
+func TestE7AllHold(t *testing.T) {
+	m := costmodel.New(costmodel.PLinear(2))
+	tab := E7Lemmas(m, [][2]int{{2, 4}, {5, 8}})
+	if len(tab.Rows) == 0 {
+		t.Fatal("no inequality rows")
+	}
+	for _, r := range tab.Rows {
+		if r[len(r)-1] != "true" {
+			t.Errorf("inequality %q fails", r[0])
+		}
+	}
+}
+
+func TestE4AndE6Measured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured tables are slow")
+	}
+	env := testEnv(t)
+	instances := DefaultRVInstances()[:4]
+	e4 := E4Measured(env, instances, 300_000)
+	met := 0
+	for _, r := range e4.Rows {
+		if r[4] == "yes" {
+			met++
+		}
+	}
+	if met == 0 {
+		t.Error("no instance met under any strategy in E4")
+	}
+	e6 := E6Certified(env, instances[:2], 3000)
+	forced := 0
+	for _, r := range e6.Rows {
+		if r[1] == "yes" {
+			forced++
+		}
+	}
+	if forced == 0 {
+		t.Error("no instance certified forced in E6")
+	}
+}
+
+func TestE4SymmetryTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured tables are slow")
+	}
+	env := testEnv(t)
+	tab := E4Symmetry(env, 100_000)
+	var orientedMet, shuffledMet bool
+	for _, r := range tab.Rows {
+		if r[1] == "oriented" && r[3] == "yes" {
+			orientedMet = true
+		}
+		if r[1] == "shuffled" && r[3] == "yes" {
+			shuffledMet = true
+		}
+	}
+	if orientedMet {
+		t.Error("oriented ring met within budget; symmetry analysis invalid")
+	}
+	if !shuffledMet {
+		t.Error("shuffled ring never met; port shuffling should break the symmetry")
+	}
+}
+
+func TestE5Table(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured tables are slow")
+	}
+	cat := uxs.NewVerified(uxs.DefaultFamily(8), 1)
+	tab := E5ESST(cat, DefaultESSTInstances(), 50_000_000)
+	for _, r := range tab.Rows {
+		if strings.HasPrefix(r[3], "error") || r[3] == "no-term" {
+			t.Errorf("instance %s: %s", r[0], r[3])
+		}
+		if len(r) > 8 && r[8] != "true" {
+			t.Errorf("instance %s: coverage %s", r[0], r[8])
+		}
+	}
+}
+
+func TestE8Table(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured tables are slow")
+	}
+	env := testEnv(t)
+	tab := E8SGL(env, DefaultSGLInstances()[:3], 40_000_000)
+	for _, r := range tab.Rows {
+		if r[3] != "yes" {
+			t.Errorf("instance %s: all-output = %s", r[0], r[3])
+		}
+	}
+}
+
+func TestF1to4Renders(t *testing.T) {
+	env := testEnv(t)
+	out := F1to4(env, 3)
+	for _, want := range []string{"Figure 1", "Figure 2", "Figure 3", "Figure 4",
+		"Q(3,v)", "Y'(3,v)", "Z(3,v)", "A'(3,v)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figures output missing %q", want)
+		}
+	}
+}
+
+func TestE10CoverageRamp(t *testing.T) {
+	verified := testEnv(t)
+	cubic := trajectory.NewEnv(uxs.NewFormula(1, 1))
+	graphs := verified.Catalog().(*uxs.Verified).Family()[:4]
+	tab := E10CoverageRamp(graphs, verified, cubic)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[2] == "-1" {
+			t.Errorf("%s: verified catalog never reached integrality", r[0])
+		}
+	}
+}
+
+func TestE9SGLBoundTable(t *testing.T) {
+	m := costmodel.New(costmodel.PLinear(1))
+	tab := E9SGLBound(m, []int{2, 3}, 2, 3)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestPModelsAblation(t *testing.T) {
+	for name, m := range PModels() {
+		pi := PiExact(m, 3, 1)
+		if pi.Sign() <= 0 {
+			t.Errorf("%s: non-positive Pi", name)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ring returns the cycle on n >= 3 nodes with oriented ports: at every
+// node, port 0 leads clockwise (towards (i+1) mod n) and port 1
+// counterclockwise. This is the "oriented ring" of the paper's footnote
+// on single-agent impossibility; ShufflePorts yields unoriented variants.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("graph: Ring needs n >= 3")
+	}
+	adj := make([][]half, n)
+	for i := 0; i < n; i++ {
+		cw := (i + 1) % n
+		ccw := (i - 1 + n) % n
+		// The clockwise neighbour sees this edge via its port 1; the
+		// counterclockwise neighbour via its port 0.
+		adj[i] = []half{{to: cw, toPort: 1}, {to: ccw, toPort: 0}}
+	}
+	return &Graph{name: fmt.Sprintf("ring-%d", n), adj: adj, m: n}
+}
+
+// Path returns the path graph on n >= 2 nodes: 0 - 1 - ... - n-1.
+func Path(n int) *Graph {
+	if n < 2 {
+		panic("graph: Path needs n >= 2")
+	}
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Graph(fmt.Sprintf("path-%d", n))
+}
+
+// Complete returns the clique K_n for n >= 2.
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic("graph: Complete needs n >= 2")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Graph(fmt.Sprintf("clique-%d", n))
+}
+
+// Star returns the star K_{1,n-1}: node 0 is the centre.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("graph: Star needs n >= 2")
+	}
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Graph(fmt.Sprintf("star-%d", n))
+}
+
+// Grid returns the w x h grid graph (w, h >= 1, w*h >= 2).
+func Grid(w, h int) *Graph {
+	if w < 1 || h < 1 || w*h < 2 {
+		panic("graph: Grid needs w,h >= 1 and w*h >= 2")
+	}
+	b := NewBuilder(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return b.Graph(fmt.Sprintf("grid-%dx%d", w, h))
+}
+
+// Torus returns the w x h torus (both >= 3 so the graph stays simple).
+func Torus(w, h int) *Graph {
+	if w < 3 || h < 3 {
+		panic("graph: Torus needs w,h >= 3")
+	}
+	b := NewBuilder(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.AddEdge(id(x, y), id((x+1)%w, y))
+			b.AddEdge(id(x, y), id(x, (y+1)%h))
+		}
+	}
+	return b.Graph(fmt.Sprintf("torus-%dx%d", w, h))
+}
+
+// Hypercube returns the d-dimensional hypercube, d >= 1.
+func Hypercube(d int) *Graph {
+	if d < 1 || d > 20 {
+		panic("graph: Hypercube needs 1 <= d <= 20")
+	}
+	n := 1 << d
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << bit)
+			if v < u {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.Graph(fmt.Sprintf("hypercube-%d", d))
+}
+
+// CompleteBipartite returns K_{a,b} with a,b >= 1 and a+b >= 2.
+func CompleteBipartite(a, bn int) *Graph {
+	if a < 1 || bn < 1 {
+		panic("graph: CompleteBipartite needs a,b >= 1")
+	}
+	b := NewBuilder(a + bn)
+	for i := 0; i < a; i++ {
+		for j := 0; j < bn; j++ {
+			b.AddEdge(i, a+j)
+		}
+	}
+	return b.Graph(fmt.Sprintf("kbipartite-%dx%d", a, bn))
+}
+
+// BinaryTree returns the complete binary tree with n >= 2 nodes numbered in
+// heap order (children of i are 2i+1 and 2i+2).
+func BinaryTree(n int) *Graph {
+	if n < 2 {
+		panic("graph: BinaryTree needs n >= 2")
+	}
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge((i-1)/2, i)
+	}
+	return b.Graph(fmt.Sprintf("bintree-%d", n))
+}
+
+// Lollipop returns a clique of size cliqueN with a path of tailN extra
+// nodes attached to clique node 0. cliqueN >= 2, tailN >= 1.
+func Lollipop(cliqueN, tailN int) *Graph {
+	if cliqueN < 2 || tailN < 1 {
+		panic("graph: Lollipop needs cliqueN >= 2 and tailN >= 1")
+	}
+	b := NewBuilder(cliqueN + tailN)
+	for i := 0; i < cliqueN; i++ {
+		for j := i + 1; j < cliqueN; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	prev := 0
+	for t := 0; t < tailN; t++ {
+		b.AddEdge(prev, cliqueN+t)
+		prev = cliqueN + t
+	}
+	return b.Graph(fmt.Sprintf("lollipop-%d+%d", cliqueN, tailN))
+}
+
+// Petersen returns the Petersen graph (n=10, 3-regular).
+func Petersen() *Graph {
+	b := NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)     // outer pentagon
+		b.AddEdge(i, 5+i)         // spokes
+		b.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+	}
+	return b.Graph("petersen")
+}
+
+// RandomTree returns a uniformly random labelled tree on n >= 2 nodes,
+// generated from a random Prüfer-like attachment with the given seed.
+func RandomTree(n int, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: RandomTree needs n >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(rng.Intn(i), i)
+	}
+	return b.Graph(fmt.Sprintf("rtree-%d-%d", n, seed))
+}
+
+// RandomConnected returns a connected Erdős–Rényi-style graph: a random
+// spanning tree plus each remaining pair independently with probability p.
+func RandomConnected(n int, p float64, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: RandomConnected needs n >= 2")
+	}
+	if p < 0 || p > 1 {
+		panic("graph: RandomConnected needs 0 <= p <= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	perm := rng.Perm(n)
+	inTree := make(map[[2]int]bool)
+	for i := 1; i < n; i++ {
+		u, v := perm[rng.Intn(i)], perm[i]
+		b.AddEdge(u, v)
+		if u > v {
+			u, v = v, u
+		}
+		inTree[[2]int{u, v}] = true
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !inTree[[2]int{u, v}] && rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Graph(fmt.Sprintf("rand-%d-%.2f-%d", n, p, seed))
+}
+
+// ShufflePorts returns a copy of g in which every node's port numbers have
+// been independently permuted with the given seed. The underlying graph is
+// identical; only the local labelling changes. This models the adversary's
+// freedom to choose port numbers.
+func ShufflePorts(g *Graph, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	// newPort[v][oldPort] = new port of that half-edge at v.
+	newPort := make([][]int, n)
+	for v := 0; v < n; v++ {
+		newPort[v] = rng.Perm(g.Degree(v))
+	}
+	adj := make([][]half, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make([]half, g.Degree(v))
+		for p, h := range g.adj[v] {
+			adj[v][newPort[v][p]] = half{to: h.to, toPort: newPort[h.to][h.toPort]}
+		}
+	}
+	return &Graph{name: g.name + fmt.Sprintf("-shuf%d", seed), adj: adj, m: g.m}
+}
+
+// Single returns the one-node graph. No rendezvous task is defined on it,
+// but exploration procedures must handle it.
+func Single() *Graph {
+	return NewBuilder(1).Graph("single")
+}

@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildersValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"ring-3", Ring(3), 3, 3},
+		{"ring-8", Ring(8), 8, 8},
+		{"path-2", Path(2), 2, 1},
+		{"path-7", Path(7), 7, 6},
+		{"clique-2", Complete(2), 2, 1},
+		{"clique-5", Complete(5), 5, 10},
+		{"star-6", Star(6), 6, 5},
+		{"grid-3x4", Grid(3, 4), 12, 17},
+		{"grid-1x2", Grid(1, 2), 2, 1},
+		{"torus-3x3", Torus(3, 3), 9, 18},
+		{"hypercube-3", Hypercube(3), 8, 12},
+		{"kbip-2x3", CompleteBipartite(2, 3), 5, 6},
+		{"bintree-7", BinaryTree(7), 7, 6},
+		{"lollipop-4+3", Lollipop(4, 3), 7, 9},
+		{"petersen", Petersen(), 10, 15},
+		{"rtree-9", RandomTree(9, 1), 9, 8},
+		{"rand-10", RandomConnected(10, 0.3, 7), 10, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.g.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got := tc.g.N(); got != tc.n {
+				t.Errorf("N() = %d, want %d", got, tc.n)
+			}
+			if tc.m >= 0 {
+				if got := tc.g.M(); got != tc.m {
+					t.Errorf("M() = %d, want %d", got, tc.m)
+				}
+			}
+		})
+	}
+}
+
+func TestSuccRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{Ring(6), Complete(5), Grid(3, 3), Petersen(), RandomConnected(12, 0.25, 3)} {
+		for v := 0; v < g.N(); v++ {
+			for p := 0; p < g.Degree(v); p++ {
+				u, q := g.Succ(v, p)
+				back, backPort := g.Succ(u, q)
+				if back != v || backPort != p {
+					t.Fatalf("%s: Succ(%d,%d) -> (%d,%d) does not round-trip", g, v, p, u, q)
+				}
+			}
+		}
+	}
+}
+
+func TestDegreeSums(t *testing.T) {
+	for _, g := range []*Graph{Ring(5), Star(7), Hypercube(4), Lollipop(3, 2)} {
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		if sum != 2*g.M() {
+			t.Errorf("%s: degree sum %d != 2m = %d", g, sum, 2*g.M())
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Ring(6), 3},
+		{Ring(7), 3},
+		{Path(5), 4},
+		{Complete(8), 1},
+		{Star(5), 2},
+		{Hypercube(4), 4},
+		{Petersen(), 2},
+		{Grid(3, 3), 4},
+	}
+	for _, tc := range cases {
+		if got := tc.g.Diameter(); got != tc.want {
+			t.Errorf("%s: Diameter = %d, want %d", tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(5)
+	d := g.BFSDistances(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestEdgesListing(t *testing.T) {
+	g := Ring(4)
+	es := g.Edges()
+	if len(es) != 4 {
+		t.Fatalf("got %d edges, want 4", len(es))
+	}
+	for _, e := range es {
+		if e.U >= e.V {
+			t.Errorf("edge %+v not canonical", e)
+		}
+		to, q := g.Succ(e.U, e.PortU)
+		if to != e.V || q != e.PortV {
+			t.Errorf("edge %+v ports inconsistent", e)
+		}
+	}
+}
+
+func TestEdgeID(t *testing.T) {
+	g := Path(3)
+	a := g.EdgeID(0, 0)
+	u, q := g.Succ(0, 0)
+	if u != 1 {
+		t.Fatalf("unexpected topology")
+	}
+	bid := g.EdgeID(1, q)
+	if a != bid {
+		t.Errorf("EdgeID differs by direction: %v vs %v", a, bid)
+	}
+}
+
+func TestShufflePortsPreservesStructure(t *testing.T) {
+	for _, base := range []*Graph{Ring(8), Grid(3, 3), Petersen()} {
+		for seed := int64(0); seed < 5; seed++ {
+			s := ShufflePorts(base, seed)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s shuffled: %v", base, err)
+			}
+			if s.N() != base.N() || s.M() != base.M() {
+				t.Fatalf("%s shuffled: size changed", base)
+			}
+			// Same neighbour sets at every node.
+			for v := 0; v < base.N(); v++ {
+				want := make(map[int]bool)
+				for p := 0; p < base.Degree(v); p++ {
+					u, _ := base.Succ(v, p)
+					want[u] = true
+				}
+				for p := 0; p < s.Degree(v); p++ {
+					u, _ := s.Succ(v, p)
+					if !want[u] {
+						t.Fatalf("%s shuffled: node %d gained neighbour %d", base, v, u)
+					}
+				}
+			}
+			if s.Diameter() != base.Diameter() {
+				t.Fatalf("%s shuffled: diameter changed", base)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadGraphs(t *testing.T) {
+	// Disconnected: two isolated edges.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Graph("disconnected")
+	if err := g.Validate(); err == nil {
+		t.Error("disconnected graph passed Validate")
+	}
+	if g.Connected() {
+		t.Error("Connected() true for disconnected graph")
+	}
+	// Empty graph.
+	if (&Graph{}).Connected() {
+		t.Error("empty graph reported connected")
+	}
+	if err := (&Graph{}).Validate(); err == nil {
+		t.Error("empty graph passed Validate")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("self-loop", func() { b := NewBuilder(2); b.AddEdge(1, 1) })
+	mustPanic("dup", func() { b := NewBuilder(2); b.AddEdge(0, 1); b.AddEdge(1, 0) })
+	mustPanic("range", func() { b := NewBuilder(2); b.AddEdge(0, 5) })
+	mustPanic("ring-2", func() { Ring(2) })
+	mustPanic("path-1", func() { Path(1) })
+	mustPanic("torus-2", func() { Torus(2, 3) })
+}
+
+func TestRandomConnectedProperty(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint8, seed int64) bool {
+		n := 2 + int(nRaw)%20
+		p := float64(pRaw%100) / 100
+		g := RandomConnected(n, p, seed)
+		return g.Validate() == nil && g.N() == n && g.M() >= n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTreeProperty(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := 2 + int(nRaw)%30
+		g := RandomTree(n, seed)
+		return g.Validate() == nil && g.M() == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDOTAndString(t *testing.T) {
+	g := Path(3)
+	dot := g.DOT()
+	if !strings.Contains(dot, "0 -- 1") || !strings.Contains(dot, "graph G") {
+		t.Errorf("DOT output malformed:\n%s", dot)
+	}
+	if s := g.String(); !strings.Contains(s, "path-3") {
+		t.Errorf("String() = %q", s)
+	}
+	if Single().N() != 1 {
+		t.Error("Single() size")
+	}
+}

@@ -1,0 +1,90 @@
+// Package labels implements the label transformation of Algorithm
+// RV-asynch-poly (§3.1 of the paper): if x = (c1 ... cr) is the binary
+// representation of an agent's label L, its modified label is
+//
+//	M(x) = (c1 c1 c2 c2 ... cr cr 0 1).
+//
+// The transformation guarantees that for distinct labels x != y, M(x) is
+// never a prefix of M(y) (and M(x) != M(y)); the rendezvous algorithm
+// breaks symmetry at the first position where the two modified labels
+// differ.
+package labels
+
+import "fmt"
+
+// Label is an agent label: a strictly positive integer.
+type Label uint64
+
+// Bits returns the binary representation of L, most significant bit
+// first. It panics on the zero label, which the model excludes.
+func (l Label) Bits() []byte {
+	if l == 0 {
+		panic("labels: label must be a positive integer")
+	}
+	n := l.Len()
+	bits := make([]byte, n)
+	for i := 0; i < n; i++ {
+		bits[i] = byte((l >> (n - 1 - i)) & 1)
+	}
+	return bits
+}
+
+// Len returns |L|, the length of the binary representation of L.
+// The paper defines |x| = ceil(log x) with the convention |1| = 1.
+func (l Label) Len() int {
+	if l == 0 {
+		panic("labels: label must be a positive integer")
+	}
+	n := 0
+	for x := l; x > 0; x >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Modified returns M(x): each bit doubled, then the terminator 01.
+func (l Label) Modified() []byte {
+	bits := l.Bits()
+	out := make([]byte, 0, 2*len(bits)+2)
+	for _, b := range bits {
+		out = append(out, b, b)
+	}
+	return append(out, 0, 1)
+}
+
+// ModifiedLen returns len(M(x)) = 2|L| + 2 without materializing it.
+func (l Label) ModifiedLen() int { return 2*l.Len() + 2 }
+
+// String renders the label and its modified form for diagnostics.
+func (l Label) String() string {
+	return fmt.Sprintf("L%d", uint64(l))
+}
+
+// IsPrefix reports whether a is a prefix of b.
+func IsPrefix(a, b []byte) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstDiff returns the first index at which a and b differ. If one is a
+// prefix of the other it returns the shorter length. For modified labels
+// of distinct agents this index always falls strictly inside both slices.
+func FirstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

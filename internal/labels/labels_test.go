@@ -1,0 +1,136 @@
+package labels
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBits(t *testing.T) {
+	cases := []struct {
+		l    Label
+		want []byte
+	}{
+		{1, []byte{1}},
+		{2, []byte{1, 0}},
+		{5, []byte{1, 0, 1}},
+		{10, []byte{1, 0, 1, 0}},
+		{255, []byte{1, 1, 1, 1, 1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		got := tc.l.Bits()
+		if len(got) != len(tc.want) {
+			t.Errorf("%v.Bits() = %v, want %v", tc.l, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%v.Bits() = %v, want %v", tc.l, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	cases := map[Label]int{1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 1023: 10, 1024: 11}
+	for l, want := range cases {
+		if got := l.Len(); got != want {
+			t.Errorf("Len(%d) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestModified(t *testing.T) {
+	// L=5 -> 101 -> 11 00 11 01
+	got := Label(5).Modified()
+	want := []byte{1, 1, 0, 0, 1, 1, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Modified(5) = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Modified(5) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestModifiedLen(t *testing.T) {
+	for _, l := range []Label{1, 2, 3, 17, 12345} {
+		if got, want := l.ModifiedLen(), len(l.Modified()); got != want {
+			t.Errorf("ModifiedLen(%d) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestZeroLabelPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Bits": func() { Label(0).Bits() },
+		"Len":  func() { Label(0).Len() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(0): expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestPrefixFreeProperty is the core requirement from §3.1: for any
+// distinct x, y the sequence M(x) is never a prefix of M(y).
+func TestPrefixFreeProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := Label(a%100000 + 1)
+		y := Label(b%100000 + 1)
+		if x == y {
+			return true
+		}
+		mx, my := x.Modified(), y.Modified()
+		return !IsPrefix(mx, my) && !IsPrefix(my, mx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRawBinaryNotPrefixFree documents why the transformation is
+// load-bearing: raw binary labels are not prefix-free (1 is a prefix of
+// 10), so symmetry breaking by first differing bit would fail.
+func TestRawBinaryNotPrefixFree(t *testing.T) {
+	if !IsPrefix(Label(1).Bits(), Label(2).Bits()) {
+		t.Error("expected 1 to be a bit-prefix of 2; the M(x) transform exists to fix this")
+	}
+}
+
+func TestFirstDiffInsideBothModifiedLabels(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x := Label(a) + 1
+		y := Label(b) + 1
+		if x == y {
+			return true
+		}
+		mx, my := x.Modified(), y.Modified()
+		d := FirstDiff(mx, my)
+		// Strictly inside both: the paper needs an index lambda with
+		// 1 < lambda <= l where the bits differ.
+		return d < len(mx) && d < len(my) && mx[d] != my[d] && d >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFirstDiffIdentical(t *testing.T) {
+	m := Label(9).Modified()
+	if got := FirstDiff(m, m); got != len(m) {
+		t.Errorf("FirstDiff(m, m) = %d, want %d", got, len(m))
+	}
+}
+
+func TestString(t *testing.T) {
+	if Label(42).String() != "L42" {
+		t.Errorf("String() = %q", Label(42).String())
+	}
+}

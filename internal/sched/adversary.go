@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RoundRobin wakes every agent immediately and then advances agents in
+// cyclic index order, skipping those that cannot act. It is the
+// synchronous-like baseline schedule.
+type RoundRobin struct {
+	next int
+}
+
+// Next implements Adversary.
+func (rr *RoundRobin) Next(v *View) (Event, bool) {
+	for i := range v.Agents {
+		if v.CanWake(i) {
+			return Event{Kind: EventWake, Agent: i}, true
+		}
+	}
+	n := len(v.Agents)
+	for off := 0; off < n; off++ {
+		i := (rr.next + off) % n
+		if v.CanAdvance(i) {
+			rr.next = i + 1
+			return Event{Kind: EventAdvance, Agent: i}, true
+		}
+	}
+	return Event{}, false
+}
+
+// Biased advances agent i Weights[i] half-steps per cycle, modelling
+// persistently different agent speeds (e.g. 10:1). Zero-weight agents are
+// frozen until everyone else is stuck, keeping the schedule valid.
+type Biased struct {
+	Weights []int
+
+	cur  int
+	left int
+}
+
+// Next implements Adversary.
+func (b *Biased) Next(v *View) (Event, bool) {
+	if len(b.Weights) != len(v.Agents) {
+		panic(fmt.Sprintf("sched: Biased has %d weights for %d agents", len(b.Weights), len(v.Agents)))
+	}
+	for i := range v.Agents {
+		if v.CanWake(i) {
+			return Event{Kind: EventWake, Agent: i}, true
+		}
+	}
+	n := len(v.Agents)
+	for tries := 0; tries < 2*n+1; tries++ {
+		if b.left > 0 && v.CanAdvance(b.cur) {
+			b.left--
+			return Event{Kind: EventAdvance, Agent: b.cur}, true
+		}
+		b.cur = (b.cur + 1) % n
+		b.left = b.Weights[b.cur]
+	}
+	// All weighted agents stuck; advance anyone actionable (including
+	// zero-weight agents) to preserve progress.
+	for i := range v.Agents {
+		if v.CanAdvance(i) {
+			return Event{Kind: EventAdvance, Agent: i}, true
+		}
+	}
+	return Event{}, false
+}
+
+// LateWake keeps every agent except Primary dormant for Hold events,
+// modelling the adversary's freedom to start agents at different times,
+// then falls back to round-robin. Dormant agents are still woken earlier
+// if a travelling agent visits their start node (the runner enforces the
+// model's wake-on-visit rule independently of the adversary).
+type LateWake struct {
+	Primary int
+	Hold    int
+
+	rr RoundRobin
+}
+
+// Next implements Adversary.
+func (l *LateWake) Next(v *View) (Event, bool) {
+	if v.Steps < l.Hold {
+		if v.CanWake(l.Primary) {
+			return Event{Kind: EventWake, Agent: l.Primary}, true
+		}
+		if v.CanAdvance(l.Primary) {
+			return Event{Kind: EventAdvance, Agent: l.Primary}, true
+		}
+		// Primary stuck (halted or mid-meeting): fall through to RR so
+		// the run keeps progressing.
+	}
+	return l.rr.Next(v)
+}
+
+// Random issues uniformly random valid events from a seeded source:
+// chaotic but reproducible speed variation.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random adversary with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Adversary.
+func (r *Random) Next(v *View) (Event, bool) {
+	var candidates []Event
+	for i := range v.Agents {
+		if v.CanWake(i) {
+			candidates = append(candidates, Event{Kind: EventWake, Agent: i})
+		}
+		if v.CanAdvance(i) {
+			candidates = append(candidates, Event{Kind: EventAdvance, Agent: i})
+		}
+	}
+	if len(candidates) == 0 {
+		return Event{}, false
+	}
+	return candidates[r.rng.Intn(len(candidates))], true
+}
+
+// Avoider is the meeting-dodging adversary: it wakes everyone (a mobile
+// agent dodges better than a sitting one) and then advances, by rotating
+// preference, only agents whose next half-step creates no contact. When
+// every possible advance creates contact the meeting is locally
+// unavoidable and the avoider concedes the least-bad event. This is the
+// strongest online strategy; the lattice certifier (Certify) bounds what
+// any strategy, online or not, could achieve for two agents.
+type Avoider struct {
+	next int
+}
+
+// Next implements Adversary.
+func (a *Avoider) Next(v *View) (Event, bool) {
+	for i := range v.Agents {
+		if v.CanWake(i) {
+			return Event{Kind: EventWake, Agent: i}, true
+		}
+	}
+	n := len(v.Agents)
+	// First pass: a contact-free advance.
+	for off := 0; off < n; off++ {
+		i := (a.next + off) % n
+		if v.CanAdvance(i) && !v.AdvanceCreatesContact(i) {
+			a.next = i + 1
+			return Event{Kind: EventAdvance, Agent: i}, true
+		}
+	}
+	// Forced: concede with any valid advance.
+	for off := 0; off < n; off++ {
+		i := (a.next + off) % n
+		if v.CanAdvance(i) {
+			a.next = i + 1
+			return Event{Kind: EventAdvance, Agent: i}, true
+		}
+	}
+	return Event{}, false
+}
+
+// Strategies returns the named adversary suite used across experiments.
+// Weights follow the agent count k.
+func Strategies(k int) map[string]func() Adversary {
+	ws := make([]int, k)
+	for i := range ws {
+		ws[i] = 1 + 4*i // 1:5:9:... speed skew
+	}
+	return map[string]func() Adversary{
+		"round-robin": func() Adversary { return &RoundRobin{} },
+		"biased":      func() Adversary { return &Biased{Weights: ws} },
+		"late-wake":   func() Adversary { return &LateWake{Primary: 0, Hold: 200} },
+		"random":      func() Adversary { return NewRandom(42) },
+		"avoider":     func() Adversary { return &Avoider{} },
+	}
+}

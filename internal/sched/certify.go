@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Certify is the exhaustive two-agent adversary: a dynamic program that
+// decides whether ANY schedule — any interleaving of half-steps,
+// including arbitrarily delayed wake-ups — lets two agents follow the
+// given route prefixes without a forced meeting.
+//
+// Until their first meeting two rendezvous agents are non-interacting, so
+// their routes are fixed node sequences computable offline; the adversary
+// game then becomes reachability on the (half-steps of A) x (half-steps
+// of B) lattice. Cell (p, q) encodes A having made p half-steps (even:
+// at node p/2 of its route; odd: inside edge (p-1)/2 -> (p+1)/2) and
+// symmetrically for B. A cell is blocked — a meeting is forced there —
+// exactly under the model's two meeting predicates: same node (both
+// even), or same edge in opposite directions (both odd). The adversary
+// may move right or up; diagonal (truly simultaneous) transitions add no
+// dodging power because a simultaneous pair of events either contains no
+// meeting in some serialization or meets in both (DESIGN.md §2.2).
+//
+// Certify therefore returns the exact worst case over ALL walks the
+// continuous adversary could choose for these route prefixes.
+func Certify(routeA, routeB []int) (CertResult, error) {
+	if len(routeA) == 0 || len(routeB) == 0 {
+		return CertResult{}, errors.New("sched: Certify needs non-empty routes")
+	}
+	if routeA[0] == routeB[0] {
+		return CertResult{}, errors.New("sched: agents must start at different nodes")
+	}
+	pb := 2 * (len(routeA) - 1) // max half-steps of A
+	qb := 2 * (len(routeB) - 1)
+	if pb == 0 && qb == 0 {
+		// Neither agent ever moves and they start apart: trivial escape.
+		return CertResult{Forced: false}, nil
+	}
+
+	blocked := func(p, q int) bool {
+		if p%2 == 0 && q%2 == 0 {
+			return routeA[p/2] == routeB[q/2]
+		}
+		if p%2 == 1 && q%2 == 1 {
+			i, j := (p-1)/2, (q-1)/2
+			return routeA[i] == routeB[j+1] && routeA[i+1] == routeB[j]
+		}
+		return false
+	}
+
+	words := (pb + 1 + 63) / 64
+	prev := make([]uint64, words)
+	cur := make([]uint64, words)
+	get := func(row []uint64, p int) bool { return row[p/64]>>(uint(p)%64)&1 == 1 }
+	set := func(row []uint64, p int) { row[p/64] |= 1 << (uint(p) % 64) }
+
+	res := CertResult{Forced: true}
+	note := func(p, q int) {
+		// A blocked cell adjacent to a reachable one: the adversary can
+		// steer the execution here and the meeting then happens with
+		// these progress counts.
+		completed := p/2 + q/2
+		committed := (p+1)/2 + (q+1)/2
+		if completed > res.WorstCompleted {
+			res.WorstCompleted = completed
+		}
+		if committed > res.WorstCommitted {
+			res.WorstCommitted = committed
+		}
+	}
+
+	for q := 0; q <= qb; q++ {
+		for i := range cur {
+			cur[i] = 0
+		}
+		for p := 0; p <= pb; p++ {
+			reachableFrom := false
+			if p == 0 && q == 0 {
+				reachableFrom = true
+			}
+			if p > 0 && get(cur, p-1) {
+				reachableFrom = true
+			}
+			if q > 0 && get(prev, p) {
+				reachableFrom = true
+			}
+			if !reachableFrom {
+				continue
+			}
+			if blocked(p, q) {
+				note(p, q)
+				continue
+			}
+			set(cur, p)
+			if depth := p + q; depth > res.SafestDepth {
+				res.SafestDepth = depth
+			}
+			if p == pb || q == qb {
+				// The adversary can reach the budget frontier unmet:
+				// no meeting is forced within these prefixes.
+				res.Forced = false
+				res.EscapeP, res.EscapeQ = p, q
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return res, nil
+}
+
+// CertResult is the verdict of the exhaustive adversary.
+type CertResult struct {
+	// Forced is true when every schedule meets strictly inside the
+	// explored route prefixes.
+	Forced bool
+	// EscapeP/EscapeQ witness a frontier cell the adversary can reach
+	// unmet (valid when !Forced).
+	EscapeP, EscapeQ int
+	// WorstCompleted is the maximum, over all schedules, of the total
+	// completed edge traversals when the forced meeting happens.
+	WorstCompleted int
+	// WorstCommitted additionally counts traversals in progress at the
+	// meeting (the agents finish them, per the model).
+	WorstCommitted int
+	// SafestDepth is the largest p+q over meeting-free reachable cells:
+	// how long the best schedule survives, in half-steps.
+	SafestDepth int
+}
+
+// String renders the verdict compactly.
+func (c CertResult) String() string {
+	if c.Forced {
+		return fmt.Sprintf("forced{worst completed=%d committed=%d depth=%d}",
+			c.WorstCompleted, c.WorstCommitted, c.SafestDepth)
+	}
+	return fmt.Sprintf("escape{p=%d q=%d depth=%d}", c.EscapeP, c.EscapeQ, c.SafestDepth)
+}
+
+// CyclicResult is the verdict of CertifyCyclic.
+type CyclicResult struct {
+	// Forced is true when agent A cannot complete its route, under any
+	// schedule, without meeting the cycling agent B.
+	Forced bool
+	// MaxAHalfSteps is the largest progress (in half-steps) A reaches
+	// unmet over all schedules; when Forced, the meeting happens before A
+	// completes MaxAHalfSteps/2 + 1 edge traversals.
+	MaxAHalfSteps int
+}
+
+// CertifyCyclic decides the asymmetric game behind Lemma 3.1: agent B
+// repeats the closed walk cycleB forever (first and last node equal)
+// while agent A follows routeA once. It returns whether every schedule
+// forces a meeting before A completes its route. B's unbounded repetition
+// is handled exactly by folding B's progress modulo its period, so no
+// route-prefix frontier exists for the adversary to hide behind.
+func CertifyCyclic(routeA, cycleB []int) (CyclicResult, error) {
+	if len(routeA) < 2 {
+		return CyclicResult{}, errors.New("sched: CertifyCyclic needs A to move")
+	}
+	if len(cycleB) < 2 || cycleB[0] != cycleB[len(cycleB)-1] {
+		return CyclicResult{}, errors.New("sched: cycleB must be a closed walk")
+	}
+	if routeA[0] == cycleB[0] {
+		return CyclicResult{}, errors.New("sched: agents must start at different nodes")
+	}
+	pb := 2 * (len(routeA) - 1)
+	period := 2 * (len(cycleB) - 1) // half-steps per lap of B
+
+	blocked := func(p, q int) bool {
+		if p%2 == 0 && q%2 == 0 {
+			return routeA[p/2] == cycleB[q/2]
+		}
+		if p%2 == 1 && q%2 == 1 {
+			i, j := (p-1)/2, (q-1)/2
+			return routeA[i] == cycleB[j+1] && routeA[i+1] == cycleB[j]
+		}
+		return false
+	}
+
+	// closure saturates a column under B's moves q -> (q+1) mod period.
+	closure := func(p int, col []bool) {
+		for lap := 0; lap < 2; lap++ {
+			changed := false
+			for q := 0; q < period; q++ {
+				if col[q] && !col[(q+1)%period] && !blocked(p, (q+1)%period) {
+					col[(q+1)%period] = true
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	col := make([]bool, period)
+	if blocked(0, 0) {
+		return CyclicResult{Forced: true}, nil
+	}
+	col[0] = true
+	closure(0, col)
+	res := CyclicResult{Forced: true}
+	for p := 1; p <= pb; p++ {
+		next := make([]bool, period)
+		any := false
+		for q := 0; q < period; q++ {
+			if col[q] && !blocked(p, q) {
+				next[q] = true
+				any = true
+			}
+		}
+		if !any {
+			res.MaxAHalfSteps = p - 1
+			return res, nil
+		}
+		closure(p, next)
+		col = next
+	}
+	return CyclicResult{Forced: false, MaxAHalfSteps: pb}, nil
+}

@@ -1,0 +1,605 @@
+// Package sched simulates the paper's asynchronous adversary. Agents
+// choose routes; the adversary controls the walk along them. The
+// continuous model is discretized into half-steps without losing
+// adversarial power (DESIGN.md §2.2): an agent is either at a node or
+// strictly inside an edge, the adversary repeatedly picks one agent and
+// advances it half a step (leave node / arrive at far node) or wakes a
+// dormant agent, and a meeting is forced exactly when
+//
+//   - two agents are simultaneously at the same node, or
+//   - two agents are simultaneously inside the same edge travelling in
+//     opposite directions (continuous walks must cross).
+//
+// Agent programs run in goroutines, but exactly one goroutine is runnable
+// at any time: the runner and the active agent hand control back and
+// forth over unbuffered channels, so executions are fully deterministic
+// given the adversary.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"meetpoly/internal/graph"
+)
+
+// Observation is everything the model lets an agent see upon arriving at
+// a node: its degree and the entry port. Entry is -1 at the agent's
+// starting node. Node identities are deliberately absent.
+type Observation struct {
+	Degree int
+	Entry  int
+}
+
+// Peer is the information another agent shares during a meeting.
+type Peer struct {
+	ID      int
+	Payload any
+}
+
+// Encounter describes one meeting from one participant's point of view.
+type Encounter struct {
+	Step   int    // scheduler step at which the meeting happened
+	InEdge bool   // true for a crossing meeting inside an edge
+	Peers  []Peer // the other participants' published payloads
+}
+
+// Agent is a participant in a simulation.
+//
+// Run is the agent's program. It executes in its own goroutine and moves
+// by calling Proc.Move; returning from Run halts the agent forever (it
+// remains physically present and meetable). OnMeet and Publish are always
+// invoked while the agent's goroutine is suspended, so they may touch the
+// same state as Run without synchronization.
+type Agent interface {
+	Run(p *Proc)
+	// Publish returns the payload shared with peers at a meeting.
+	Publish() any
+	// OnMeet delivers a meeting. It runs before the agent resumes; state
+	// it mutates is visible to Run immediately afterwards.
+	OnMeet(e Encounter)
+}
+
+// ErrStopped is the panic value used to unwind agent goroutines when the
+// runner shuts down; Proc.Move never returns after it.
+var ErrStopped = errors.New("sched: runner stopped")
+
+// Proc is the handle through which an agent program moves.
+type Proc struct {
+	r  *Runner
+	id int
+
+	cur  Observation
+	act  chan action
+	obs  chan Observation
+	done chan struct{}
+}
+
+type action struct {
+	halt bool
+	port int
+}
+
+// Obs returns the current observation (the node the agent occupies).
+func (p *Proc) Obs() Observation { return p.cur }
+
+// Move requests a traversal through the given port and blocks until the
+// adversary has carried the agent to the other endpoint. It returns the
+// arrival observation. If the runner shuts down first, Move panics with
+// ErrStopped, which the agent wrapper recovers; program code after Move
+// simply never runs.
+func (p *Proc) Move(port int) Observation {
+	select {
+	case p.act <- action{port: port}:
+	case <-p.done:
+		panic(ErrStopped)
+	}
+	select {
+	case o := <-p.obs:
+		p.cur = o
+		return o
+	case <-p.done:
+		panic(ErrStopped)
+	}
+}
+
+// Status of an agent in the simulation.
+type Status uint8
+
+// Agent lifecycle states.
+const (
+	StatusDormant Status = iota + 1
+	StatusActive
+	StatusHalted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusDormant:
+		return "dormant"
+	case StatusActive:
+		return "active"
+	case StatusHalted:
+		return "halted"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// PosKind distinguishes node occupancy from edge interiors.
+type PosKind uint8
+
+// Position kinds.
+const (
+	AtNode PosKind = iota + 1
+	InEdge
+)
+
+// Position is an agent's physical location.
+type Position struct {
+	Kind PosKind
+	Node int // occupied node when AtNode
+	From int // tail node when InEdge
+	To   int // head node when InEdge
+}
+
+// agentState is the runner's bookkeeping for one agent.
+type agentState struct {
+	agent  Agent
+	proc   *Proc
+	status Status
+	pos    Position
+
+	pendingPort int  // committed exit port when hasPending
+	hasPending  bool // an un-executed Move request exists
+	traversals  int  // completed edge traversals
+}
+
+// EventKind enumerates adversary moves.
+type EventKind uint8
+
+// Adversary event kinds.
+const (
+	EventWake EventKind = iota + 1
+	EventAdvance
+)
+
+// Event is one adversary decision.
+type Event struct {
+	Kind  EventKind
+	Agent int
+}
+
+// Meeting is a recorded meeting for the execution log.
+type Meeting struct {
+	Step         int
+	Participants []int
+	InEdge       bool
+	Node         int    // meeting node when !InEdge
+	Edge         [2]int // canonical edge when InEdge
+	// Cost is the total completed edge traversals (all agents) when the
+	// meeting fired; Committed additionally counts traversals in
+	// progress, which the model obliges agents to finish.
+	Cost      int
+	Committed int
+}
+
+// Config describes a simulation.
+type Config struct {
+	Graph  *graph.Graph
+	Starts []int   // starting node per agent (distinct)
+	Agents []Agent // same length as Starts
+	// InitiallyAwake lists agents woken before the first adversary event.
+	// The paper's adversary wakes at least one agent; Run enforces that
+	// either this list is non-empty or the adversary issues a wake event
+	// before any advance.
+	InitiallyAwake []int
+	// StopWhen, if non-nil, ends the run after any event for which it
+	// returns true. Typical: stop at first meeting.
+	StopWhen func(r *Runner) bool
+	// MaxSteps bounds the number of adversary events (safety net).
+	MaxSteps int
+}
+
+// Runner executes a simulation.
+type Runner struct {
+	g      *graph.Graph
+	agents []*agentState
+	adv    Adversary
+
+	steps    int
+	meetings []Meeting
+	contacts map[[2]int]bool // symmetric pair contact set, i < j
+
+	stopWhen    func(r *Runner) bool
+	maxSteps    int
+	initialWake []int
+
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Adversary chooses the schedule. Next returns ok=false to end the run
+// (e.g. nothing left to do).
+type Adversary interface {
+	Next(v *View) (Event, bool)
+}
+
+// NewRunner validates the configuration and prepares a runner. Call Run
+// to execute and Close to release agent goroutines.
+func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("sched: nil graph")
+	}
+	if len(cfg.Agents) == 0 || len(cfg.Agents) != len(cfg.Starts) {
+		return nil, fmt.Errorf("sched: %d agents vs %d starts", len(cfg.Agents), len(cfg.Starts))
+	}
+	seen := make(map[int]bool)
+	for _, s := range cfg.Starts {
+		if s < 0 || s >= cfg.Graph.N() {
+			return nil, fmt.Errorf("sched: start node %d out of range", s)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("sched: duplicate start node %d", s)
+		}
+		seen[s] = true
+	}
+	if cfg.MaxSteps <= 0 {
+		return nil, errors.New("sched: MaxSteps must be positive")
+	}
+	r := &Runner{
+		g:        cfg.Graph,
+		adv:      adv,
+		stopWhen: cfg.StopWhen,
+		maxSteps: cfg.MaxSteps,
+		contacts: make(map[[2]int]bool),
+		done:     make(chan struct{}),
+	}
+	for i, a := range cfg.Agents {
+		st := &agentState{
+			agent:  a,
+			status: StatusDormant,
+			pos:    Position{Kind: AtNode, Node: cfg.Starts[i]},
+		}
+		st.proc = &Proc{
+			r: r, id: i,
+			act:  make(chan action),
+			obs:  make(chan Observation),
+			done: r.done,
+		}
+		r.agents = append(r.agents, st)
+	}
+	for _, i := range cfg.InitiallyAwake {
+		if i < 0 || i >= len(r.agents) {
+			return nil, fmt.Errorf("sched: InitiallyAwake index %d out of range", i)
+		}
+	}
+	r.initialWake = append(r.initialWake, cfg.InitiallyAwake...)
+	return r, nil
+}
+
+// Run executes the simulation until the adversary rests, StopWhen fires,
+// MaxSteps is reached, or no agent can act. It returns the execution
+// summary. Run may be called once.
+func (r *Runner) Run() Summary {
+	for _, i := range r.initialWake {
+		r.wake(i)
+		r.detectMeetings()
+	}
+	for r.steps < r.maxSteps {
+		if r.stopWhen != nil && r.stopWhen(r) {
+			break
+		}
+		if !r.anyActionable() {
+			break
+		}
+		v := r.view()
+		ev, ok := r.adv.Next(v)
+		if !ok {
+			break
+		}
+		if !r.apply(ev) {
+			// Invalid event from the adversary is a programming error in
+			// the strategy; fail loudly.
+			panic(fmt.Sprintf("sched: adversary issued invalid event %+v", ev))
+		}
+		r.steps++
+		r.detectMeetings()
+	}
+	return r.summary()
+}
+
+// Close unblocks and joins all agent goroutines. Safe to call many times.
+func (r *Runner) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	close(r.done)
+	r.wg.Wait()
+}
+
+// anyActionable reports whether some agent is dormant or has a pending move.
+func (r *Runner) anyActionable() bool {
+	for _, st := range r.agents {
+		if st.status == StatusDormant || (st.status == StatusActive && st.hasPending) {
+			return true
+		}
+	}
+	return false
+}
+
+// wake launches a dormant agent's program and records its first decision.
+func (r *Runner) wake(i int) {
+	st := r.agents[i]
+	if st.status != StatusDormant {
+		return
+	}
+	st.status = StatusActive
+	st.proc.cur = Observation{Degree: r.g.Degree(st.pos.Node), Entry: -1}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer func() {
+			if rec := recover(); rec != nil && rec != ErrStopped { //nolint:errorlint // sentinel identity
+				panic(rec)
+			}
+		}()
+		st.agent.Run(st.proc)
+		select {
+		case st.proc.act <- action{halt: true}:
+		case <-r.done:
+		}
+	}()
+	r.receiveDecision(st)
+}
+
+// receiveDecision blocks until the agent commits its next action.
+func (r *Runner) receiveDecision(st *agentState) {
+	a := <-st.proc.act
+	if a.halt {
+		st.status = StatusHalted
+		st.hasPending = false
+		return
+	}
+	deg := r.g.Degree(st.pos.Node)
+	if a.port < 0 || a.port >= deg {
+		panic(fmt.Sprintf("sched: agent chose invalid port %d at degree-%d node", a.port, deg))
+	}
+	st.pendingPort = a.port
+	st.hasPending = true
+}
+
+// apply executes an adversary event; false means the event was invalid.
+func (r *Runner) apply(ev Event) bool {
+	if ev.Agent < 0 || ev.Agent >= len(r.agents) {
+		return false
+	}
+	st := r.agents[ev.Agent]
+	switch ev.Kind {
+	case EventWake:
+		if st.status != StatusDormant {
+			return false
+		}
+		r.wake(ev.Agent)
+		return true
+	case EventAdvance:
+		if st.status != StatusActive || !st.hasPending {
+			return false
+		}
+		if st.pos.Kind == AtNode {
+			// Half-step 1: leave the node.
+			from := st.pos.Node
+			to, _ := r.g.Succ(from, st.pendingPort)
+			st.pos = Position{Kind: InEdge, From: from, To: to}
+			return true
+		}
+		// Half-step 2: arrive.
+		from, to := st.pos.From, st.pos.To
+		_, entry := arrivalEntry(r.g, from, to, st.pendingPort)
+		st.pos = Position{Kind: AtNode, Node: to}
+		st.traversals++
+		st.hasPending = false
+		// Meetings caused by the arrival must be delivered before the
+		// agent decides its next action.
+		r.detectMeetings()
+		obs := Observation{Degree: r.g.Degree(to), Entry: entry}
+		st.proc.obs <- obs
+		r.receiveDecision(st)
+		return true
+	default:
+		return false
+	}
+}
+
+// arrivalEntry resolves the entry port at to for the traversal that left
+// from by port.
+func arrivalEntry(g *graph.Graph, from, to, port int) (int, int) {
+	t, entry := g.Succ(from, port)
+	if t != to {
+		panic("sched: inconsistent traversal")
+	}
+	return t, entry
+}
+
+// detectMeetings fires encounters for every co-located group that gained
+// a new contact pair since the last check, and wakes dormant
+// participants.
+func (r *Runner) detectMeetings() {
+	// Current contact pairs.
+	current := make(map[[2]int]bool)
+	type group struct {
+		members []int
+		inEdge  bool
+		node    int
+		edge    [2]int
+	}
+	groups := make(map[string]*group)
+
+	// Node groups.
+	byNode := make(map[int][]int)
+	for i, st := range r.agents {
+		if st.pos.Kind == AtNode {
+			byNode[st.pos.Node] = append(byNode[st.pos.Node], i)
+		}
+	}
+	for node, members := range byNode {
+		if len(members) < 2 {
+			continue
+		}
+		key := fmt.Sprintf("n%d", node)
+		groups[key] = &group{members: members, node: node}
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				current[pairKey(members[x], members[y])] = true
+			}
+		}
+	}
+	// Crossing groups: same edge, opposite directions.
+	for i := 0; i < len(r.agents); i++ {
+		si := r.agents[i]
+		if si.pos.Kind != InEdge {
+			continue
+		}
+		for j := i + 1; j < len(r.agents); j++ {
+			sj := r.agents[j]
+			if sj.pos.Kind != InEdge {
+				continue
+			}
+			if si.pos.From == sj.pos.To && si.pos.To == sj.pos.From {
+				e := canonEdge(si.pos.From, si.pos.To)
+				key := fmt.Sprintf("e%d-%d", e[0], e[1])
+				gr, ok := groups[key]
+				if !ok {
+					gr = &group{inEdge: true, edge: e}
+					groups[key] = gr
+				}
+				gr.members = appendUnique(gr.members, i)
+				gr.members = appendUnique(gr.members, j)
+				current[pairKey(i, j)] = true
+			}
+		}
+	}
+
+	// Which groups contain a newly-in-contact pair?
+	for _, gr := range groups {
+		isNew := false
+		for x := 0; x < len(gr.members); x++ {
+			for y := x + 1; y < len(gr.members); y++ {
+				k := pairKey(gr.members[x], gr.members[y])
+				if current[k] && !r.contacts[k] {
+					isNew = true
+				}
+			}
+		}
+		if !isNew {
+			continue
+		}
+		r.fireMeeting(gr.members, gr.inEdge, gr.node, gr.edge)
+	}
+	r.contacts = current
+}
+
+// fireMeeting publishes payloads, delivers OnMeet to every participant
+// and wakes dormant ones.
+func (r *Runner) fireMeeting(members []int, inEdge bool, node int, edge [2]int) {
+	payloads := make([]Peer, len(members))
+	for idx, id := range members {
+		payloads[idx] = Peer{ID: id, Payload: r.agents[id].agent.Publish()}
+	}
+	for idx, id := range members {
+		peers := make([]Peer, 0, len(members)-1)
+		for j, p := range payloads {
+			if j != idx {
+				peers = append(peers, p)
+			}
+		}
+		r.agents[id].agent.OnMeet(Encounter{Step: r.steps, InEdge: inEdge, Peers: peers})
+	}
+	committed := 0
+	for _, st := range r.agents {
+		if st.pos.Kind == InEdge {
+			committed++
+		}
+	}
+	r.meetings = append(r.meetings, Meeting{
+		Step: r.steps, Participants: append([]int(nil), members...),
+		InEdge: inEdge, Node: node, Edge: edge,
+		Cost: r.TotalCost(), Committed: r.TotalCost() + committed,
+	})
+	// A dormant agent is woken by an agent visiting its start node.
+	for _, id := range members {
+		if r.agents[id].status == StatusDormant {
+			r.wake(id)
+		}
+	}
+}
+
+func pairKey(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+func canonEdge(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Meetings returns the meetings recorded so far.
+func (r *Runner) Meetings() []Meeting { return r.meetings }
+
+// Steps returns the number of adversary events executed.
+func (r *Runner) Steps() int { return r.steps }
+
+// Traversals returns the completed edge traversals of agent i.
+func (r *Runner) Traversals(i int) int { return r.agents[i].traversals }
+
+// TotalCost returns the summed completed traversals of all agents — the
+// paper's cost measure.
+func (r *Runner) TotalCost() int {
+	t := 0
+	for _, st := range r.agents {
+		t += st.traversals
+	}
+	return t
+}
+
+// Summary is the result of a run.
+type Summary struct {
+	Steps        int
+	Meetings     []Meeting
+	Traversals   []int
+	TotalCost    int
+	FirstMeeting *Meeting // nil if none
+}
+
+func (r *Runner) summary() Summary {
+	s := Summary{
+		Steps:     r.steps,
+		Meetings:  append([]Meeting(nil), r.meetings...),
+		TotalCost: r.TotalCost(),
+	}
+	for _, st := range r.agents {
+		s.Traversals = append(s.Traversals, st.traversals)
+	}
+	if len(r.meetings) > 0 {
+		m := r.meetings[0]
+		s.FirstMeeting = &m
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package sched
+
+import "meetpoly/internal/graph"
+
+// AgentView is the adversary's omniscient snapshot of one agent. The
+// adversary, unlike agents, sees everything — that is exactly what makes
+// it an adversary.
+type AgentView struct {
+	Status      Status
+	Pos         Position
+	HasPending  bool
+	PendingPort int
+	Traversals  int
+}
+
+// View is the adversary's snapshot of the execution.
+type View struct {
+	Steps  int
+	Agents []AgentView
+
+	g *graph.Graph
+}
+
+func (r *Runner) view() *View {
+	v := &View{Steps: r.steps, g: r.g}
+	for _, st := range r.agents {
+		v.Agents = append(v.Agents, AgentView{
+			Status:      st.status,
+			Pos:         st.pos,
+			HasPending:  st.hasPending,
+			PendingPort: st.pendingPort,
+			Traversals:  st.traversals,
+		})
+	}
+	return v
+}
+
+// Graph exposes the topology to adversary strategies.
+func (v *View) Graph() *graph.Graph { return v.g }
+
+// CanWake reports whether agent i is dormant.
+func (v *View) CanWake(i int) bool {
+	return i >= 0 && i < len(v.Agents) && v.Agents[i].Status == StatusDormant
+}
+
+// CanAdvance reports whether agent i has a committed move to advance.
+func (v *View) CanAdvance(i int) bool {
+	return i >= 0 && i < len(v.Agents) &&
+		v.Agents[i].Status == StatusActive && v.Agents[i].HasPending
+}
+
+// AdvanceCreatesContact predicts whether advancing agent i one half-step
+// would put it in contact with some other agent: entering an edge that an
+// opposite-direction agent currently occupies, or arriving at a node that
+// any agent currently occupies. This is the one-step lookahead avoider
+// strategies use.
+func (v *View) AdvanceCreatesContact(i int) bool {
+	if !v.CanAdvance(i) {
+		return false
+	}
+	a := v.Agents[i]
+	if a.Pos.Kind == AtNode {
+		from := a.Pos.Node
+		to, _ := v.g.Succ(from, a.PendingPort)
+		for j, b := range v.Agents {
+			if j == i {
+				continue
+			}
+			if b.Pos.Kind == InEdge && b.Pos.From == to && b.Pos.To == from {
+				return true
+			}
+		}
+		return false
+	}
+	dest := a.Pos.To
+	for j, b := range v.Agents {
+		if j == i {
+			continue
+		}
+		if b.Pos.Kind == AtNode && b.Pos.Node == dest {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package sched
+
+import "meetpoly/internal/trajectory"
+
+// Walker adapts a trajectory.Stepper to a sched.Agent: the standard shape
+// of a rendezvous agent, which follows a predetermined (label-dependent)
+// trajectory until it meets someone. Decisions depend only on the agent's
+// own observations, exactly as the model demands.
+type Walker struct {
+	// Stepper supplies the route. The Walker halts when it is exhausted.
+	Stepper trajectory.Stepper
+	// StopAtMeeting halts the walker at the next node decision after a
+	// meeting (rendezvous semantics: the task is over).
+	StopAtMeeting bool
+	// Payload is shared with peers at meetings.
+	Payload any
+
+	metCount int
+}
+
+var _ Agent = (*Walker)(nil)
+
+// Run implements Agent.
+func (w *Walker) Run(p *Proc) {
+	obs := p.Obs()
+	entry := 0 // fresh-start convention for the trajectory
+	for {
+		if w.StopAtMeeting && w.metCount > 0 {
+			return
+		}
+		port, ok := w.Stepper.Next(obs.Degree, entry)
+		if !ok {
+			return
+		}
+		obs = p.Move(port)
+		entry = obs.Entry
+	}
+}
+
+// Publish implements Agent.
+func (w *Walker) Publish() any { return w.Payload }
+
+// OnMeet implements Agent.
+func (w *Walker) OnMeet(Encounter) { w.metCount++ }
+
+// Met reports whether the walker has met anyone.
+func (w *Walker) Met() bool { return w.metCount > 0 }
+
+// MeetCount returns the number of meetings delivered to this walker.
+func (w *Walker) MeetCount() int { return w.metCount }

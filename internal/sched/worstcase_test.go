@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"meetpoly/internal/graph"
+	"meetpoly/internal/trajectory"
+)
+
+func TestWorstScheduleRealizesCertifiedCost(t *testing.T) {
+	// For random forced instances, replaying the reconstructed schedule
+	// through the runner must reproduce the certified worst-case meeting
+	// cost EXACTLY — the certifier's number is executable, not abstract.
+	rng := rand.New(rand.NewSource(23))
+	realized := 0
+	for trial := 0; trial < 200 && realized < 25; trial++ {
+		g := graph.RandomConnected(2+rng.Intn(4), 0.5, int64(3000+trial))
+		steps := 3 + rng.Intn(8)
+		mkPorts := func() []int {
+			ports := make([]int, steps)
+			for i := range ports {
+				ports[i] = rng.Intn(8)
+			}
+			return ports
+		}
+		pa, pb := mkPorts(), mkPorts()
+		sa := rng.Intn(g.N())
+		sb := (sa + 1 + rng.Intn(g.N()-1)) % g.N()
+		ta, _ := trajectory.Run(g, sa, script(pa...), steps+1)
+		tb, _ := trajectory.Run(g, sb, script(pb...), steps+1)
+		routeA := append([]int{sa}, ta.Nodes...)
+		routeB := append([]int{sb}, tb.Nodes...)
+
+		schedule, res, err := WorstSchedule(routeA, routeB)
+		if err != nil {
+			continue // not forced; nothing to realize
+		}
+		realized++
+		a := &Walker{Stepper: script(pa...)}
+		b := &Walker{Stepper: script(pb...)}
+		r := mustRunner(t, Config{
+			Graph: g, Starts: []int{sa, sb}, Agents: []Agent{a, b},
+			InitiallyAwake: []int{0, 1}, MaxSteps: len(schedule) + 10,
+		}, &ScheduleAdversary{Schedule: schedule})
+		sum := r.Run()
+		if sum.FirstMeeting == nil {
+			t.Fatalf("trial %d: worst schedule produced no meeting\nA=%v\nB=%v\nsched=%v",
+				trial, routeA, routeB, schedule)
+		}
+		if sum.FirstMeeting.Cost != res.WorstCompleted {
+			t.Fatalf("trial %d: replayed cost %d != certified worst %d\nA=%v\nB=%v",
+				trial, sum.FirstMeeting.Cost, res.WorstCompleted, routeA, routeB)
+		}
+	}
+	if realized < 5 {
+		t.Skipf("only %d forced instances sampled", realized)
+	}
+}
+
+func TestWorstScheduleOnTwoPath(t *testing.T) {
+	// The worked example: worst completed cost 1, realized by advancing
+	// one agent a full edge while the other waits.
+	routeA := []int{0, 1, 0, 1}
+	routeB := []int{1, 0, 1, 0}
+	schedule, res, err := WorstSchedule(routeA, routeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstCompleted != 1 {
+		t.Fatalf("certified worst %d, want 1", res.WorstCompleted)
+	}
+	if len(schedule) < 2 {
+		t.Fatalf("schedule too short: %v", schedule)
+	}
+}
+
+func TestWorstScheduleErrorsOnEscape(t *testing.T) {
+	// Co-rotation on a ring: no forced meeting, so no worst case.
+	n := 6
+	mk := func(start, steps int) []int {
+		r := make([]int, steps+1)
+		for i := range r {
+			r[i] = (start + i) % n
+		}
+		return r
+	}
+	if _, _, err := WorstSchedule(mk(0, 30), mk(3, 30)); err == nil {
+		t.Error("expected error for escapable instance")
+	}
+}
+
+func TestScheduleAdversaryExhaustion(t *testing.T) {
+	g := graph.Path(3)
+	a := &Walker{Stepper: script(0, 1)}
+	b := &Walker{Stepper: script()}
+	r := mustRunner(t, Config{
+		Graph: g, Starts: []int{0, 2}, Agents: []Agent{a, b},
+		InitiallyAwake: []int{0, 1}, MaxSteps: 100,
+	}, &ScheduleAdversary{Schedule: []int{0, 0}}) // one full edge for A only
+	sum := r.Run()
+	if sum.Traversals[0] != 1 {
+		t.Errorf("A made %d traversals, schedule allows exactly 1", sum.Traversals[0])
+	}
+}

@@ -1,0 +1,109 @@
+package sgl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"meetpoly/internal/graph"
+	"meetpoly/internal/labels"
+	"meetpoly/internal/sched"
+)
+
+// TestSGLRandomTeamsProperty: random 2-3 agent teams on random trees.
+// Soundness asserted unconditionally: any produced output is exactly the
+// full label set (no premature or wrong outputs, whatever the budget);
+// most runs must complete.
+func TestSGLRandomTeamsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	env := testEnv(t)
+	complete, total := 0, 0
+	f := func(seed int64, kRaw uint8, labRaw [3]uint16) bool {
+		n := 5 + int(uint64(seed)%2)
+		g := graph.RandomTree(n, seed)
+		k := 2 + int(kRaw)%2
+		// Distinct labels and starts.
+		labSet := make(map[labels.Label]bool)
+		var labs []labels.Label
+		for i := 0; i < k; i++ {
+			l := labels.Label(labRaw[i]%300 + 1)
+			for labSet[l] {
+				l++
+			}
+			labSet[l] = true
+			labs = append(labs, l)
+		}
+		starts := make([]int, 0, k)
+		used := make(map[int]bool)
+		for i := 0; len(starts) < k; i++ {
+			s := (int(seed>>uint(i%16)) + i*3) % n
+			if s < 0 {
+				s = -s
+			}
+			if !used[s] {
+				used[s] = true
+				starts = append(starts, s)
+			}
+		}
+		res, err := Run(Config{
+			Graph:    g,
+			Starts:   starts,
+			Labels:   labs,
+			Env:      env,
+			MaxSteps: 10_000_000,
+		})
+		if err != nil {
+			return false
+		}
+		total++
+		want := wantSet(labs)
+		for _, a := range res.Agents {
+			if a.Failure != "" {
+				return false
+			}
+			if !a.HasOutput {
+				continue
+			}
+			if len(a.Output) != len(want) {
+				return false
+			}
+			for i := range want {
+				if a.Output[i] != want[i] {
+					return false
+				}
+			}
+		}
+		if res.AllOutput {
+			complete++
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	if total > 0 && complete*2 < total {
+		t.Errorf("only %d/%d SGL runs completed; typical-case regression", complete, total)
+	}
+}
+
+// TestSGLBiasedAdversary: a heavily skewed schedule still completes —
+// asynchrony cannot break Strong Global Learning, only slow it down.
+func TestSGLBiasedAdversary(t *testing.T) {
+	env := testEnv(t)
+	labs := []labels.Label{5, 2, 8}
+	res, err := Run(Config{
+		Graph:     graph.Star(5),
+		Starts:    []int{0, 2, 4},
+		Labels:    labs,
+		Env:       env,
+		Adversary: &sched.Biased{Weights: []int{1, 6, 11}},
+		MaxSteps:  60_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, "biased", res, labs)
+}

@@ -1,0 +1,209 @@
+package trajectory
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+)
+
+// Kind identifies a trajectory family from Definitions 3.1-3.8.
+type Kind string
+
+// The trajectory kinds of §3.1.
+const (
+	KindR      Kind = "R"
+	KindX      Kind = "X"
+	KindQ      Kind = "Q"
+	KindYPrime Kind = "Y'"
+	KindY      Kind = "Y"
+	KindZ      Kind = "Z"
+	KindAPrime Kind = "A'"
+	KindA      Kind = "A"
+	KindB      Kind = "B"
+	KindK      Kind = "K"
+	KindOmega  Kind = "Ω"
+)
+
+// Desc is a node of a trajectory's structural decomposition: the
+// machine-checkable counterpart of the paper's Figures 1-4.
+type Desc struct {
+	Label    string   // e.g. "Q(3,v)"
+	Len      *big.Int // exact number of edge traversals
+	Children []*Desc  // immediate constituents, possibly elided
+	Repeat   *big.Int // non-nil when the structure is child^Repeat
+	Elided   int      // number of children omitted from Children
+}
+
+// Describe returns the structural decomposition of the given trajectory
+// down to the stated depth. Sibling lists longer than maxSiblings are
+// elided in the middle, which matches how the paper's figures abbreviate
+// with "...".
+func (e *Env) Describe(kind Kind, k, depth, maxSiblings int) *Desc {
+	if maxSiblings < 2 {
+		maxSiblings = 2
+	}
+	return e.describe(kind, k, depth, maxSiblings)
+}
+
+func (e *Env) describe(kind Kind, k, depth, maxSib int) *Desc {
+	d := &Desc{Label: fmt.Sprintf("%s(%d,v)", kind, k)}
+	switch kind {
+	case KindR:
+		d.Len = e.P(k)
+	case KindX:
+		d.Len = e.LenX(k)
+		if depth > 0 {
+			d.Children = []*Desc{
+				e.describe(KindR, k, depth-1, maxSib),
+				{Label: fmt.Sprintf("R̄(%d,v)", k), Len: e.P(k)},
+			}
+		}
+	case KindQ: // Figure 1
+		d.Len = e.LenQ(k)
+		if depth > 0 {
+			d.Children, d.Elided = elide(k, maxSib, func(i int) *Desc {
+				return e.describe(KindX, i+1, depth-1, maxSib)
+			})
+		}
+	case KindYPrime: // Figure 2
+		d.Len = e.LenYPrime(k)
+		if depth > 0 {
+			s := e.cat.P(k) + 1 // trunk nodes v1..vs
+			d.Children, d.Elided = elide(s, maxSib, func(i int) *Desc {
+				q := e.describe(KindQ, k, depth-1, maxSib)
+				q.Label = fmt.Sprintf("Q(%d,v%d)", k, i+1)
+				return q
+			})
+		}
+	case KindY:
+		d.Len = e.LenY(k)
+		if depth > 0 {
+			d.Children = []*Desc{
+				e.describe(KindYPrime, k, depth-1, maxSib),
+				{Label: fmt.Sprintf("Y̅'(%d,v)", k), Len: e.LenYPrime(k)},
+			}
+		}
+	case KindZ: // Figure 3
+		d.Len = e.LenZ(k)
+		if depth > 0 {
+			d.Children, d.Elided = elide(k, maxSib, func(i int) *Desc {
+				return e.describe(KindY, i+1, depth-1, maxSib)
+			})
+		}
+	case KindAPrime: // Figure 4
+		d.Len = e.LenAPrime(k)
+		if depth > 0 {
+			s := e.cat.P(k) + 1
+			d.Children, d.Elided = elide(s, maxSib, func(i int) *Desc {
+				z := e.describe(KindZ, k, depth-1, maxSib)
+				z.Label = fmt.Sprintf("Z(%d,v%d)", k, i+1)
+				return z
+			})
+		}
+	case KindA:
+		d.Len = e.LenA(k)
+		if depth > 0 {
+			d.Children = []*Desc{
+				e.describe(KindAPrime, k, depth-1, maxSib),
+				{Label: fmt.Sprintf("A̅'(%d,v)", k), Len: e.LenAPrime(k)},
+			}
+		}
+	case KindB:
+		d.Len = e.LenB(k)
+		d.Repeat = new(big.Int).Lsh(e.LenA(4*k), 1)
+		if depth > 0 {
+			d.Children = []*Desc{e.describe(KindY, k, depth-1, maxSib)}
+		}
+	case KindK:
+		d.Len = e.LenK(k)
+		r := new(big.Int).Add(e.LenB(4*k), e.LenA(8*k))
+		d.Repeat = r.Lsh(r, 1)
+		if depth > 0 {
+			d.Children = []*Desc{e.describe(KindX, k, depth-1, maxSib)}
+		}
+	case KindOmega:
+		d.Len = e.LenOmega(k)
+		d.Repeat = new(big.Int).Mul(big.NewInt(int64(2*k-1)), e.LenK(k))
+		if depth > 0 {
+			d.Children = []*Desc{e.describe(KindX, k, depth-1, maxSib)}
+		}
+	default:
+		panic("trajectory: unknown kind " + string(kind))
+	}
+	return d
+}
+
+// elide builds up to maxSib descriptions of n siblings, keeping a prefix
+// and the final one, and reports how many were omitted.
+func elide(n, maxSib int, mk func(i int) *Desc) (kids []*Desc, elided int) {
+	if n <= maxSib {
+		for i := 0; i < n; i++ {
+			kids = append(kids, mk(i))
+		}
+		return kids, 0
+	}
+	for i := 0; i < maxSib-1; i++ {
+		kids = append(kids, mk(i))
+	}
+	kids = append(kids, mk(n-1))
+	return kids, n - maxSib
+}
+
+// Render writes the decomposition as an indented tree.
+func (d *Desc) Render(w io.Writer) {
+	d.render(w, 0)
+}
+
+func (d *Desc) render(w io.Writer, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch {
+	case d.Repeat != nil:
+		fmt.Fprintf(w, "%s%s  len=%v  = (child)^%v\n", indent, d.Label, d.Len, d.Repeat)
+	case d.Len != nil:
+		fmt.Fprintf(w, "%s%s  len=%v\n", indent, d.Label, d.Len)
+	default:
+		fmt.Fprintf(w, "%s%s\n", indent, d.Label)
+	}
+	for i, c := range d.Children {
+		if d.Elided > 0 && i == len(d.Children)-1 {
+			fmt.Fprintf(w, "%s  ... (%d more)\n", indent, d.Elided)
+		}
+		c.render(w, depth+1)
+	}
+}
+
+// TotalChildrenLen sums child lengths, accounting for elision and
+// repetition; used by tests to confirm the figures' decompositions are
+// length-consistent with the definitions.
+func (e *Env) TotalChildrenLen(d *Desc, kind Kind, k int) *big.Int {
+	total := new(big.Int)
+	if d.Repeat != nil {
+		// Repetition structures: child length * repeat count.
+		if len(d.Children) == 1 && d.Children[0].Len != nil {
+			return total.Mul(d.Children[0].Len, d.Repeat)
+		}
+		return nil
+	}
+	switch kind {
+	case KindQ:
+		for i := 1; i <= k; i++ {
+			total.Add(total, e.LenX(i))
+		}
+	case KindZ:
+		for i := 1; i <= k; i++ {
+			total.Add(total, e.LenY(i))
+		}
+	case KindYPrime:
+		s := int64(e.cat.P(k) + 1)
+		total.Mul(big.NewInt(s), e.LenQ(k))
+		total.Add(total, e.P(k))
+	case KindAPrime:
+		s := int64(e.cat.P(k) + 1)
+		total.Mul(big.NewInt(s), e.LenZ(k))
+		total.Add(total, e.P(k))
+	default:
+		return nil
+	}
+	return total
+}

@@ -1,0 +1,176 @@
+package trajectory
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"meetpoly/internal/graph"
+	"meetpoly/internal/uxs"
+)
+
+// randomScript is a stepper from arbitrary bytes: each byte one move.
+type randomScript struct {
+	ports []byte
+	i     int
+}
+
+func (s *randomScript) Next(deg, entry int) (int, bool) {
+	if s.i >= len(s.ports) {
+		return 0, false
+	}
+	p := int(s.ports[s.i]) % deg
+	s.i++
+	return p, true
+}
+
+// TestMirrorInverseProperty: Mirror of ANY stepper returns to the start
+// node and doubles the move count, on arbitrary graphs.
+func TestMirrorInverseProperty(t *testing.T) {
+	f := func(ports []byte, seed int64, startRaw uint8) bool {
+		if len(ports) > 64 {
+			ports = ports[:64]
+		}
+		g := graph.RandomConnected(2+int(uint64(seed)%7), 0.4, seed)
+		start := int(startRaw) % g.N()
+		base, _ := Run(g, start, &randomScript{ports: ports}, 1000)
+		tr, done := Run(g, start, Mirror(&randomScript{ports: ports}), 1000)
+		if !done {
+			return false
+		}
+		if tr.Moves() != 2*base.Moves() {
+			return false
+		}
+		return tr.Moves() == 0 || tr.At(tr.Moves()) == start
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMirrorOfMirrorProperty: mirroring twice still returns home and
+// quadruples the length — the composition the paper's X-in-Y-in-A
+// nesting relies on.
+func TestMirrorOfMirrorProperty(t *testing.T) {
+	f := func(ports []byte, seed int64) bool {
+		if len(ports) > 32 {
+			ports = ports[:32]
+		}
+		g := graph.RandomConnected(3+int(uint64(seed)%5), 0.5, seed)
+		base, _ := Run(g, 0, &randomScript{ports: ports}, 1000)
+		tr, done := Run(g, 0, Mirror(Mirror(&randomScript{ports: ports})), 1000)
+		return done && tr.Moves() == 4*base.Moves() &&
+			(tr.Moves() == 0 || tr.At(tr.Moves()) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChainSplitProperty: running Concat(a, b) equals running a then b
+// from a's endpoint, for closed sub-trajectories.
+func TestChainSplitProperty(t *testing.T) {
+	env := NewEnv(uxs.NewVerified(uxs.DefaultFamily(5), 1))
+	f := func(k1Raw, k2Raw uint8, startRaw uint8) bool {
+		k1 := 1 + int(k1Raw)%3
+		k2 := 1 + int(k2Raw)%3
+		g := graph.Ring(5)
+		start := int(startRaw) % g.N()
+		joint, dj := Run(g, start, Concat(env.X(k1), env.X(k2)), 100000)
+		first, d1 := Run(g, start, env.X(k1), 100000)
+		second, d2 := Run(g, start, env.X(k2), 100000) // X is closed: same anchor
+		if !dj || !d1 || !d2 {
+			return false
+		}
+		if joint.Moves() != first.Moves()+second.Moves() {
+			return false
+		}
+		for i, n := range first.Nodes {
+			if joint.Nodes[i] != n {
+				return false
+			}
+		}
+		for i, n := range second.Nodes {
+			if joint.Nodes[first.Moves()+i] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRepeatAdditivityProperty: |Repeat(s, a+b)| = |Repeat(s, a)| +
+// |Repeat(s, b)| for closed trajectories.
+func TestRepeatAdditivityProperty(t *testing.T) {
+	env := NewEnv(uxs.NewVerified(uxs.DefaultFamily(4), 1))
+	g := graph.Ring(4)
+	f := func(aRaw, bRaw uint8) bool {
+		a := int64(aRaw % 5)
+		b := int64(bRaw % 5)
+		mk := func() Stepper { return env.X(2) }
+		ra, _ := Run(g, 0, Repeat(mk, big.NewInt(a)), 1_000_000)
+		rb, _ := Run(g, 0, Repeat(mk, big.NewInt(b)), 1_000_000)
+		rab, _ := Run(g, 0, Repeat(mk, big.NewInt(a+b)), 1_000_000)
+		return rab.Moves() == ra.Moves()+rb.Moves()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLengthsGraphIndependentProperty: exact lengths never depend on the
+// graph — the P1 property lifted through the whole algebra.
+func TestLengthsGraphIndependentProperty(t *testing.T) {
+	env := NewEnv(uxs.NewVerified(uxs.DefaultFamily(5), 1))
+	graphs := []*graph.Graph{
+		graph.Ring(5), graph.Path(5), graph.Star(5), graph.Complete(4),
+	}
+	for k := 1; k <= 2; k++ {
+		want := env.LenY(k)
+		if !want.IsInt64() {
+			t.Fatal("unexpectedly large")
+		}
+		for _, g := range graphs {
+			for start := 0; start < g.N(); start++ {
+				tr, done := Run(g, start, env.Y(k), int(want.Int64())+1)
+				if !done || int64(tr.Moves()) != want.Int64() {
+					t.Fatalf("Y(%d) on %s from %d: %d moves, want %v",
+						k, g, start, tr.Moves(), want)
+				}
+			}
+		}
+	}
+}
+
+// TestInterleaveTrunkIntegrity: the trunk steps of Interleave reproduce
+// R(k, v)'s node sequence exactly, regardless of the excursions.
+func TestInterleaveTrunkIntegrity(t *testing.T) {
+	env := NewEnv(uxs.NewVerified(uxs.DefaultFamily(5), 1))
+	g := graph.Petersen()
+	k := 2
+	rTrace, _ := Run(g, 0, env.R(k), 10000)
+	// Excursion: a closed X(1) loop at every trunk node.
+	iv, done := Run(g, 0, Interleave(env.R(k), func() Stepper { return env.X(1) }), 100000)
+	if !done {
+		t.Fatal("interleave did not finish")
+	}
+	// Reconstruct trunk nodes: every (|X(1)|+1)-th position after each
+	// excursion. X(1) has length 2: pattern per trunk step: 2 excursion
+	// moves + 1 trunk move.
+	lenX1 := int(env.LenX(1).Int64())
+	var trunkNodes []int
+	pos := 0
+	for i := 0; i < rTrace.Moves(); i++ {
+		pos += lenX1 // excursion returns to the same node
+		pos++        // the trunk step
+		trunkNodes = append(trunkNodes, iv.At(pos))
+	}
+	for i, n := range trunkNodes {
+		if rTrace.Nodes[i] != n {
+			t.Fatalf("trunk diverges at step %d: %d vs %d", i, n, rTrace.Nodes[i])
+		}
+	}
+}

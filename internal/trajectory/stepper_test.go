@@ -1,0 +1,328 @@
+package trajectory
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"meetpoly/internal/graph"
+	"meetpoly/internal/uxs"
+)
+
+// constCatalog has P(k) = 1 for every k (sequence [0]). It satisfies the
+// Catalog contract formally (fixed length, monotone P) without any
+// integrality guarantee, and makes even B, K and Ω short enough to
+// execute fully, so the exact-length recurrences can be validated by
+// running the real steppers to completion.
+type constCatalog struct{ offset int }
+
+func (c constCatalog) Seq(int) uxs.Sequence { return uxs.Sequence{c.offset} }
+func (c constCatalog) P(int) int            { return 1 }
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	return NewEnv(uxs.NewVerified(uxs.DefaultFamily(6), 1))
+}
+
+func mustRun(t *testing.T, g *graph.Graph, start int, s Stepper, limit int) *Trace {
+	t.Helper()
+	tr, done := Run(g, start, s, limit)
+	if !done {
+		t.Fatalf("trajectory did not complete within %d moves (got %d)", limit, tr.Moves())
+	}
+	return tr
+}
+
+func TestExactLengthsByExecution(t *testing.T) {
+	// Run every trajectory to completion under the tiny catalog and
+	// compare the observed number of moves against the symbolic lengths.
+	env := NewEnv(constCatalog{})
+	g := graph.Ring(5)
+	cases := []struct {
+		name string
+		mk   func(k int) Stepper
+		ln   func(k int) *big.Int
+		kMax int
+	}{
+		{"R", func(k int) Stepper { return env.R(k) }, func(k int) *big.Int { return env.P(k) }, 4},
+		{"X", env.X, env.LenX, 4},
+		{"Q", env.Q, env.LenQ, 4},
+		{"Y'", env.YPrime, env.LenYPrime, 4},
+		{"Y", env.Y, env.LenY, 4},
+		{"Z", env.Z, env.LenZ, 4},
+		{"A'", env.APrime, env.LenAPrime, 3},
+		{"A", env.A, env.LenA, 3},
+		{"B", env.B, env.LenB, 1},
+		{"K", env.K, env.LenK, 1},
+	}
+	for _, tc := range cases {
+		for k := 1; k <= tc.kMax; k++ {
+			want := tc.ln(k)
+			if !want.IsInt64() || want.Int64() > 5_000_000 {
+				t.Fatalf("%s(%d): length %v too large for execution test", tc.name, k, want)
+			}
+			tr := mustRun(t, g, 0, tc.mk(k), int(want.Int64())+10)
+			if int64(tr.Moves()) != want.Int64() {
+				t.Errorf("%s(%d): executed %d moves, symbolic length %v", tc.name, k, tr.Moves(), want)
+			}
+		}
+	}
+}
+
+func TestOmegaLengthByExecution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Ω(1) takes a few million steps")
+	}
+	env := NewEnv(constCatalog{})
+	g := graph.Ring(4)
+	want := env.LenOmega(1)
+	if !want.IsInt64() || want.Int64() > 20_000_000 {
+		t.Fatalf("Ω(1) length %v unexpectedly large", want)
+	}
+	tr := mustRun(t, g, 0, env.Omega(1), int(want.Int64())+10)
+	if int64(tr.Moves()) != want.Int64() {
+		t.Errorf("Ω(1): executed %d moves, symbolic %v", tr.Moves(), want)
+	}
+}
+
+func TestVerifiedCatalogLengths(t *testing.T) {
+	// Same consistency check under the real verified catalog for the
+	// trajectories small enough to run.
+	env := testEnv(t)
+	g := graph.Ring(6)
+	for k := 1; k <= 3; k++ {
+		for _, tc := range []struct {
+			name string
+			mk   func(k int) Stepper
+			ln   func(k int) *big.Int
+		}{
+			{"X", env.X, env.LenX},
+			{"Q", env.Q, env.LenQ},
+			{"Y", env.Y, env.LenY},
+			{"Z", env.Z, env.LenZ},
+		} {
+			want := tc.ln(k).Int64()
+			tr := mustRun(t, g, 2, tc.mk(k), int(want)+10)
+			if int64(tr.Moves()) != want {
+				t.Errorf("%s(%d): executed %d, symbolic %d", tc.name, k, tr.Moves(), want)
+			}
+		}
+	}
+}
+
+func TestMirrorReturnsToStart(t *testing.T) {
+	env := testEnv(t)
+	for _, g := range []*graph.Graph{graph.Ring(5), graph.Path(6), graph.Complete(4), graph.Star(5)} {
+		for start := 0; start < g.N(); start++ {
+			for k := 1; k <= 3; k++ {
+				for name, s := range map[string]Stepper{
+					"X": env.X(k), "Y": env.Y(k), "Q": env.Q(k), "Z": env.Z(k),
+				} {
+					tr := mustRun(t, g, start, s, 1_000_000)
+					if tr.Moves() > 0 && tr.At(tr.Moves()) != start {
+						t.Fatalf("%s(%d) on %s from %d: ended at %d, want %d",
+							name, k, g, start, tr.At(tr.Moves()), start)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAReturnsToStart(t *testing.T) {
+	env := testEnv(t)
+	g := graph.Ring(4)
+	tr := mustRun(t, g, 1, env.A(2), 5_000_000)
+	if tr.At(tr.Moves()) != 1 {
+		t.Fatalf("A(2) ended at %d, want 1", tr.At(tr.Moves()))
+	}
+}
+
+func TestQEqualsConcatOfX(t *testing.T) {
+	env := testEnv(t)
+	g := graph.Petersen()
+	k := 3
+	qTrace := mustRun(t, g, 0, env.Q(k), 100_000)
+	var concat []int
+	for i := 1; i <= k; i++ {
+		xt := mustRun(t, g, 0, env.X(i), 100_000)
+		concat = append(concat, xt.Nodes...)
+	}
+	if len(qTrace.Nodes) != len(concat) {
+		t.Fatalf("Q(%d) length %d != concat length %d", k, len(qTrace.Nodes), len(concat))
+	}
+	for i := range concat {
+		if qTrace.Nodes[i] != concat[i] {
+			t.Fatalf("Q(%d) diverges from X-concat at move %d", k, i)
+		}
+	}
+}
+
+func TestXIntegralForLargeK(t *testing.T) {
+	// For k >= n, X(k, v) contains the integral trajectory R(k, v), so
+	// the whole graph's edge set must be covered.
+	env := testEnv(t)
+	for _, g := range []*graph.Graph{graph.Ring(5), graph.Path(4), graph.Complete(5), graph.Star(6)} {
+		for start := 0; start < g.N(); start++ {
+			tr := mustRun(t, g, start, env.X(g.N()), 1_000_000)
+			if !tr.CoversAllEdges(g) {
+				t.Errorf("X(%d) on %s from %d does not cover all edges", g.N(), g, start)
+			}
+		}
+	}
+}
+
+func TestYPrimeEndsAtTrunkEnd(t *testing.T) {
+	// Y'(k, v) must end where R(k, v) ends, with all excursions closed.
+	env := testEnv(t)
+	g := graph.Ring(6)
+	k := 2
+	rTrace := mustRun(t, g, 3, env.R(k), 10_000)
+	ypTrace := mustRun(t, g, 3, env.YPrime(k), 100_000)
+	if got, want := ypTrace.At(ypTrace.Moves()), rTrace.At(rTrace.Moves()); got != want {
+		t.Errorf("Y'(%d) ends at %d, R(%d) ends at %d", k, got, k, want)
+	}
+}
+
+func TestRepeatSemantics(t *testing.T) {
+	env := testEnv(t)
+	g := graph.Ring(4)
+	single := mustRun(t, g, 0, env.X(2), 10_000)
+	tripled := mustRun(t, g, 0, Repeat(func() Stepper { return env.X(2) }, big.NewInt(3)), 10_000)
+	if tripled.Moves() != 3*single.Moves() {
+		t.Errorf("Repeat x3: %d moves, want %d", tripled.Moves(), 3*single.Moves())
+	}
+	for i := 0; i < tripled.Moves(); i++ {
+		if tripled.Nodes[i] != single.Nodes[i%single.Moves()] {
+			t.Fatalf("Repeat x3 diverges at move %d", i)
+		}
+	}
+	empty := mustRun(t, g, 0, Repeat(func() Stepper { return env.X(2) }, big.NewInt(0)), 10)
+	if empty.Moves() != 0 {
+		t.Errorf("Repeat x0 made %d moves", empty.Moves())
+	}
+}
+
+func TestRepeatNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Repeat(-1): expected panic")
+		}
+	}()
+	Repeat(func() Stepper { return NewUXS(nil) }, big.NewInt(-1))
+}
+
+func TestDeterminism(t *testing.T) {
+	env := testEnv(t)
+	g := graph.RandomConnected(6, 0.4, 11)
+	a := mustRun(t, g, 2, env.Y(2), 1_000_000)
+	b := mustRun(t, g, 2, env.Y(2), 1_000_000)
+	if a.Moves() != b.Moves() {
+		t.Fatal("two executions of the same trajectory differ in length")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatal("two executions of the same trajectory diverge")
+		}
+	}
+}
+
+func TestRunLimitTruncates(t *testing.T) {
+	env := testEnv(t)
+	g := graph.Ring(5)
+	tr, done := Run(g, 0, env.Y(3), 7)
+	if done {
+		t.Error("Run reported completion despite truncation")
+	}
+	if tr.Moves() != 7 {
+		t.Errorf("truncated trace has %d moves, want 7", tr.Moves())
+	}
+}
+
+func TestRunOnIsolatedNode(t *testing.T) {
+	g := graph.Single()
+	tr, done := Run(g, 0, NewUXS(uxs.Sequence{0, 0}), 10)
+	if done || tr.Moves() != 0 {
+		t.Errorf("degree-0 run: moves=%d done=%v", tr.Moves(), done)
+	}
+}
+
+func TestFixedLengthAcrossGraphs(t *testing.T) {
+	// Property P1 lifted to composite trajectories: the number of moves
+	// of any trajectory is graph-independent.
+	env := testEnv(t)
+	ref := mustRun(t, graph.Ring(5), 0, env.Y(2), 1_000_000).Moves()
+	f := func(seed int64, startRaw uint8) bool {
+		g := graph.RandomConnected(6, 0.3, seed)
+		start := int(startRaw) % g.N()
+		tr := mustRun(t, g, start, env.Y(2), 1_000_000)
+		return tr.Moves() == ref
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDescribeFigures(t *testing.T) {
+	env := testEnv(t)
+	// Figure 1: Q(k) = X(1) ... X(k).
+	q := env.Describe(KindQ, 3, 1, 10)
+	if len(q.Children) != 3 || q.Elided != 0 {
+		t.Fatalf("Q(3) decomposition: %d children, %d elided", len(q.Children), q.Elided)
+	}
+	if got := env.TotalChildrenLen(q, KindQ, 3); got.Cmp(q.Len) != 0 {
+		t.Errorf("Q(3): children sum %v != len %v", got, q.Len)
+	}
+	// Figure 2: Y'(k) has P(k)+1 Q-blocks plus trunk steps.
+	yp := env.Describe(KindYPrime, 2, 1, 4)
+	if got := env.TotalChildrenLen(yp, KindYPrime, 2); got.Cmp(yp.Len) != 0 {
+		t.Errorf("Y'(2): children sum %v != len %v", got, yp.Len)
+	}
+	// Figure 3: Z(k) = Y(1) ... Y(k).
+	z := env.Describe(KindZ, 4, 1, 10)
+	if got := env.TotalChildrenLen(z, KindZ, 4); got.Cmp(z.Len) != 0 {
+		t.Errorf("Z(4): children sum %v != len %v", got, z.Len)
+	}
+	// Figure 4: A'(k) = Z-blocks along the trunk.
+	ap := env.Describe(KindAPrime, 2, 1, 4)
+	if got := env.TotalChildrenLen(ap, KindAPrime, 2); got.Cmp(ap.Len) != 0 {
+		t.Errorf("A'(2): children sum %v != len %v", got, ap.Len)
+	}
+	// Repetition structures: B, K, Ω.
+	for _, kind := range []Kind{KindB, KindK, KindOmega} {
+		d := env.Describe(kind, 2, 1, 4)
+		if d.Repeat == nil || len(d.Children) != 1 {
+			t.Fatalf("%s(2): want single repeated child", kind)
+		}
+		if got := env.TotalChildrenLen(d, kind, 2); got.Cmp(d.Len) != 0 {
+			t.Errorf("%s(2): child*repeat = %v != len %v", kind, got, d.Len)
+		}
+	}
+	// Rendering smoke test.
+	var sb strings.Builder
+	env.Describe(KindQ, 5, 2, 3).Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Q(5,v)") || !strings.Contains(out, "more)") {
+		t.Errorf("render output missing expected content:\n%s", out)
+	}
+	x := env.Describe(KindX, 2, 1, 4)
+	if len(x.Children) != 2 {
+		t.Errorf("X(2): want R and reverse children")
+	}
+	for _, kind := range []Kind{KindY, KindA} {
+		d := env.Describe(kind, 2, 1, 4)
+		if len(d.Children) != 2 {
+			t.Errorf("%s(2): want forward and reverse children", kind)
+		}
+	}
+}
+
+func TestDescribeUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown kind")
+		}
+	}()
+	testEnv(t).Describe(Kind("bogus"), 1, 0, 4)
+}

@@ -1,0 +1,91 @@
+package uxs
+
+import "meetpoly/internal/graph"
+
+// GreedyFor deterministically constructs an exploration sequence that is
+// integral on every graph of gs from every start node, by building the
+// sequence one offset at a time: each position takes the offset that
+// covers the most not-yet-traversed edges across ALL pending
+// (graph, start) walks simultaneously, ties to the smallest offset. When
+// no candidate makes progress, a deterministic rotation keeps the walks
+// moving. The construction is greedy set-cover over walk constraints —
+// typically far shorter than randomized search, and reproducible without
+// a seed.
+//
+// ok is false if the length cap was reached before universality.
+func GreedyFor(gs []*graph.Graph, lengthCap int) (seq Sequence, ok bool) {
+	type walk struct {
+		g       *graph.Graph
+		cur     int
+		entry   int
+		covered map[[2]int]bool
+		need    int
+	}
+	var walks []*walk
+	maxDeg := 1
+	for _, g := range gs {
+		if d := g.MaxDegree(); d > maxDeg {
+			maxDeg = d
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) == 0 {
+				continue
+			}
+			walks = append(walks, &walk{
+				g: g, cur: v, entry: 0,
+				covered: make(map[[2]int]bool, g.M()),
+				need:    g.M(),
+			})
+		}
+	}
+	if len(walks) == 0 {
+		return Sequence{0}, true
+	}
+	pendingAll := func() bool {
+		for _, w := range walks {
+			if len(w.covered) < w.need {
+				return true
+			}
+		}
+		return false
+	}
+	for step := 0; pendingAll(); step++ {
+		if step >= lengthCap {
+			return seq, false
+		}
+		bestX, bestGain := 0, -1
+		for x := 0; x < maxDeg; x++ {
+			gain := 0
+			for _, w := range walks {
+				if len(w.covered) == w.need {
+					continue
+				}
+				d := w.g.Degree(w.cur)
+				port := (w.entry + x) % d
+				if !w.covered[w.g.EdgeID(w.cur, port)] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestX, bestGain = x, gain
+			}
+		}
+		if bestGain == 0 {
+			// Stalled: rotate deterministically so the walks disperse.
+			bestX = step % maxDeg
+		}
+		seq = append(seq, bestX)
+		for _, w := range walks {
+			d := w.g.Degree(w.cur)
+			port := (w.entry + bestX) % d
+			if len(w.covered) < w.need {
+				w.covered[w.g.EdgeID(w.cur, port)] = true
+			}
+			w.cur, w.entry = w.g.Succ(w.cur, port)
+		}
+	}
+	if len(seq) == 0 {
+		seq = Sequence{0}
+	}
+	return seq, true
+}

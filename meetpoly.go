@@ -1,0 +1,188 @@
+// Package meetpoly is a from-scratch Go implementation of
+//
+//	Yoann Dieudonné, Andrzej Pelc, Vincent Villain,
+//	"How to Meet Asynchronously at Polynomial Cost", PODC 2013
+//	(full version: arXiv:1301.7119).
+//
+// It provides deterministic asynchronous rendezvous of two labelled
+// mobile agents in arbitrary unknown port-numbered graphs at cost
+// polynomial in the graph size and in the length of the smaller label
+// (Algorithm RV-asynch-poly, Theorem 3.1), exploration with a
+// semi-stationary token (Procedure ESST, Theorem 2.1), and Strong Global
+// Learning for teams of agents with its four applications — team size,
+// leader election, perfect renaming and gossiping (Algorithm SGL,
+// Theorem 4.1) — together with the exponential-cost baseline the paper
+// supersedes, exact big-integer cost models for every bound in the
+// proofs, a deterministic adversary simulator with an exhaustive
+// worst-case certifier, and the benchmark harness regenerating the
+// paper's quantitative claims.
+//
+// This facade re-exports the primary entry points; the full API lives in
+// the internal packages documented in DESIGN.md:
+//
+//	internal/graph      the anonymous port-numbered network model
+//	internal/uxs        universal exploration sequences (Reingold substitute)
+//	internal/labels     the modified-label transformation M(x)
+//	internal/trajectory the trajectory algebra X, Q, Y, Z, A, B, K, Ω
+//	internal/costmodel  exact evaluation of Π(n, m) and friends
+//	internal/sched      the half-step adversary, strategies, certifier
+//	internal/core       Algorithm RV-asynch-poly
+//	internal/esst       Procedure ESST
+//	internal/baseline   the exponential comparator
+//	internal/sgl        Algorithm SGL + applications
+//	internal/experiments the table generators for EXPERIMENTS.md
+//
+// # Quick start
+//
+//	env := meetpoly.NewEnv(6, 1)  // catalog verified up to 6 nodes
+//	g := meetpoly.Path(4)         // more builders in internal/graph
+//	res, err := meetpoly.Rendezvous(g, 0, 3, 2, 5, env, nil, 1_000_000)
+//
+// See examples/ for runnable programs.
+package meetpoly
+
+import (
+	"math/big"
+
+	"meetpoly/internal/baseline"
+	"meetpoly/internal/core"
+	"meetpoly/internal/costmodel"
+	"meetpoly/internal/esst"
+	"meetpoly/internal/graph"
+	"meetpoly/internal/labels"
+	"meetpoly/internal/sched"
+	"meetpoly/internal/sgl"
+	"meetpoly/internal/trajectory"
+	"meetpoly/internal/uxs"
+)
+
+// Label is an agent label: a strictly positive integer. Agents know only
+// their own label; rendezvous cost depends on the length of the smaller
+// one.
+type Label = labels.Label
+
+// Graph is the anonymous port-numbered network model.
+type Graph = graph.Graph
+
+// Env binds the algorithms to an exploration-sequence catalog.
+type Env = trajectory.Env
+
+// Adversary schedules agent movement; nil selects round-robin.
+type Adversary = sched.Adversary
+
+// RendezvousResult reports a two-agent rendezvous execution.
+type RendezvousResult = core.Result
+
+// SGLConfig configures a Strong Global Learning run.
+type SGLConfig = sgl.Config
+
+// SGLResult reports an SGL run.
+type SGLResult = sgl.Result
+
+// ESSTResult reports an exploration-with-token run.
+type ESSTResult = esst.Result
+
+// CertResult is the exhaustive adversary's verdict.
+type CertResult = sched.CertResult
+
+// NewEnv returns an environment whose exploration sequences are verified
+// on the standard graph families up to maxN nodes (uxs.DefaultFamily).
+// For graphs outside that family, call EnsureFor before running.
+func NewEnv(maxN int, seed int64) *Env {
+	return trajectory.NewEnv(uxs.NewVerified(uxs.DefaultFamily(maxN), seed))
+}
+
+// EnsureFor extends a verified catalog so its integrality guarantee
+// covers g. No-op for non-verified catalogs.
+func EnsureFor(env *Env, g *Graph) {
+	if v, ok := env.Catalog().(*uxs.Verified); ok && !v.Covers(g) {
+		v.Extend(g)
+	}
+}
+
+// Rendezvous runs Algorithm RV-asynch-poly for two agents with distinct
+// labels from distinct start nodes, under adv (nil = round-robin),
+// stopping at the first meeting or after budget adversary events.
+func Rendezvous(g *Graph, start1, start2 int, l1, l2 Label,
+	env *Env, adv Adversary, budget int) (*RendezvousResult, error) {
+	if adv == nil {
+		adv = &sched.RoundRobin{}
+	}
+	return core.Rendezvous(g, start1, start2, l1, l2, env, adv, budget)
+}
+
+// BaselineRendezvous runs the exponential-cost comparator (known n).
+func BaselineRendezvous(g *Graph, start1, start2 int, l1, l2 Label,
+	env *Env, adv Adversary, budget int) (*baseline.Result, error) {
+	if adv == nil {
+		adv = &sched.RoundRobin{}
+	}
+	return baseline.Rendezvous(g, start1, start2, l1, l2, env, adv, budget)
+}
+
+// PiBound returns Π(n, min(|L1|, |L2|)) — Theorem 3.1's guarantee on the
+// traversals either agent performs before meeting is certain — for the
+// environment's catalog.
+func PiBound(env *Env, n int, l1, l2 Label) *big.Int {
+	return core.PiBound(env, n, l1, l2)
+}
+
+// Certify runs the exhaustive adversary on the two agents' route
+// prefixes (moves traversals each): the exact worst case over every
+// schedule the continuous adversary could choose.
+func Certify(g *Graph, start1, start2 int, l1, l2 Label,
+	env *Env, moves int) (CertResult, error) {
+	return core.CertifyInstance(g, start1, start2, l1, l2, env, moves)
+}
+
+// ESSTExplore runs Procedure ESST: an explorer and a parked token.
+func ESSTExplore(g *Graph, startExplorer, startToken int, env *Env,
+	adv Adversary, maxSteps int) (*ESSTResult, error) {
+	if adv == nil {
+		adv = &sched.RoundRobin{}
+	}
+	return esst.Explore(g, startExplorer, startToken, env.Catalog(), adv, maxSteps)
+}
+
+// SGL runs Strong Global Learning for a team of k > 1 agents; the four
+// applications (team size, leader election, perfect renaming, gossiping)
+// are all derivable from the result, or use the sgl package's wrappers.
+func SGL(cfg SGLConfig) (*SGLResult, error) { return sgl.Run(cfg) }
+
+// CostModel returns the exact big-integer cost model over a generic
+// exploration-length polynomial P(k) = c * k^d (the paper's abstract P).
+func CostModel(c, d int) *costmodel.Model {
+	return costmodel.New(costmodel.PPoly(c, d))
+}
+
+// Graph builders re-exported for facade users; the full set (grids,
+// tori, hypercubes, lollipops, random graphs, port shuffling, ...) lives
+// in internal/graph.
+
+// Ring returns the oriented cycle on n >= 3 nodes.
+func Ring(n int) *Graph { return graph.Ring(n) }
+
+// Path returns the path graph on n >= 2 nodes.
+func Path(n int) *Graph { return graph.Path(n) }
+
+// Complete returns the clique K_n.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// Star returns the star K_{1,n-1}.
+func Star(n int) *Graph { return graph.Star(n) }
+
+// ShufflePorts returns a copy of g with adversarially permuted port
+// numbers.
+func ShufflePorts(g *Graph, seed int64) *Graph { return graph.ShufflePorts(g, seed) }
+
+// RoundRobin returns the fair baseline adversary.
+func RoundRobin() Adversary { return &sched.RoundRobin{} }
+
+// Avoider returns the strongest online meeting-dodging adversary.
+func Avoider() Adversary { return &sched.Avoider{} }
+
+// RandomAdversary returns a seeded random scheduler.
+func RandomAdversary(seed int64) Adversary { return sched.NewRandom(seed) }
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
