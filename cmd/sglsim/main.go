@@ -1,26 +1,25 @@
 // Command sglsim runs Algorithm SGL (Strong Global Learning) for a team
 // of agents and reports all four application outputs, or regenerates
-// table E8.
+// table E8. Flags map 1:1 onto a serialized meetpoly.Scenario
+// (-dump / -scenario).
 //
 // Usage:
 //
 //	sglsim -graph star -n 5 -starts 1,2,3 -labels 4,2,7
+//	sglsim -graph path -n 4 -starts 0,3 -labels 1,5 -trace
 //	sglsim -table E8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"meetpoly"
 	"meetpoly/internal/experiments"
-	"meetpoly/internal/graph"
-	"meetpoly/internal/labels"
-	"meetpoly/internal/sgl"
-	"meetpoly/internal/trajectory"
-	"meetpoly/internal/uxs"
 )
 
 func parseInts(s string) ([]int, error) {
@@ -36,73 +35,89 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func main() {
 	gkind := flag.String("graph", "star", "path|ring|star|clique|bintree|random")
 	n := flag.Int("n", 5, "graph size")
 	seed := flag.Int64("seed", 1, "seed for random graphs and the catalog")
 	startsFlag := flag.String("starts", "1,2,3", "comma-separated start nodes")
 	labelsFlag := flag.String("labels", "4,2,7", "comma-separated labels")
+	advName := flag.String("adv", "roundrobin",
+		"roundrobin|avoider|random[:seed]|biased[:w1,w2]|latewake[:hold]")
 	budget := flag.Int("budget", 40_000_000, "scheduler event budget")
 	table := flag.Bool("table", false, "print table E8 over the default instance suite")
 	famMax := flag.Int("family", 6, "catalog family max size")
+	scenarioFile := flag.String("scenario", "", "run a serialized scenario JSON file instead of flags")
+	dump := flag.Bool("dump", false, "print the scenario JSON implied by the flags and exit")
+	trace := flag.Bool("trace", false, "stream traversal/meeting/phase events while running")
 	flag.Parse()
 
-	env := trajectory.NewEnv(uxs.NewVerified(uxs.DefaultFamily(*famMax), *seed))
+	opts := []meetpoly.Option{meetpoly.WithMaxN(*famMax), meetpoly.WithSeed(*seed)}
+	if *trace {
+		opts = append(opts, meetpoly.WithObserver(meetpoly.NewTraceObserver(os.Stdout)))
+	}
+	eng := meetpoly.NewEngine(opts...)
+
 	if *table {
-		experiments.E8SGL(env, experiments.DefaultSGLInstances(), *budget).Render(os.Stdout)
+		experiments.E8SGL(eng.Env(), experiments.DefaultSGLInstances(), *budget).Render(os.Stdout)
 		return
 	}
 
-	var g *graph.Graph
-	switch *gkind {
-	case "path":
-		g = graph.Path(*n)
-	case "ring":
-		g = graph.Ring(*n)
-	case "star":
-		g = graph.Star(*n)
-	case "clique":
-		g = graph.Complete(*n)
-	case "bintree":
-		g = graph.BinaryTree(*n)
-	case "random":
-		g = graph.RandomConnected(*n, 0.3, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown graph kind %q\n", *gkind)
-		os.Exit(2)
+	var sc meetpoly.Scenario
+	if *scenarioFile != "" {
+		var err error
+		sc, err = meetpoly.LoadScenarioFile(*scenarioFile, meetpoly.ScenarioSGL)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		starts, err := parseInts(*startsFlag)
+		if err != nil {
+			fatal(fmt.Errorf("bad -starts: %w", err))
+		}
+		rawLabels, err := parseInts(*labelsFlag)
+		if err != nil {
+			fatal(fmt.Errorf("bad -labels: %w", err))
+		}
+		labs := make([]meetpoly.Label, len(rawLabels))
+		for i, v := range rawLabels {
+			labs[i] = meetpoly.Label(v)
+		}
+		sc = meetpoly.Scenario{
+			Name:      "sglsim",
+			Kind:      meetpoly.ScenarioSGL,
+			Graph:     meetpoly.GraphSpec{Kind: *gkind, N: *n, Seed: *seed},
+			Starts:    starts,
+			Labels:    labs,
+			Adversary: *advName,
+			Budget:    *budget,
+		}
 	}
-	if v, ok := env.Catalog().(*uxs.Verified); ok && !v.Covers(g) {
-		v.Extend(g)
-	}
-	starts, err := parseInts(*startsFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bad -starts:", err)
-		os.Exit(2)
-	}
-	rawLabels, err := parseInts(*labelsFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bad -labels:", err)
-		os.Exit(2)
-	}
-	labs := make([]labels.Label, len(rawLabels))
-	for i, v := range rawLabels {
-		labs[i] = labels.Label(v)
+	if *dump {
+		data, err := sc.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", data)
+		return
 	}
 
-	res, err := sgl.Run(sgl.Config{
-		Graph:    g,
-		Starts:   starts,
-		Labels:   labs,
-		Env:      env,
-		MaxSteps: *budget,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	res, err := eng.Run(context.Background(), sc)
+	if res == nil {
+		fatal(err)
 	}
+	g, gerr := sc.BuildGraph()
+	if gerr != nil {
+		fatal(gerr)
+	}
+	sres := res.SGL
 	fmt.Printf("graph=%s team k=%d total cost=%d all-output=%v\n",
-		g, len(labs), res.TotalCost, res.AllOutput)
-	for _, a := range res.Agents {
+		g, len(sc.Labels), sres.TotalCost, sres.AllOutput)
+	for _, a := range sres.Agents {
 		if !a.HasOutput {
 			fmt.Printf("  L%-4d state=%-9s NO OUTPUT (raise -budget)\n", a.Label, a.State)
 			continue

@@ -1,21 +1,27 @@
 // Command trajviz renders the structural decompositions of the paper's
 // trajectories — the machine-checkable counterpart of Figures 1-4 — with
-// exact lengths under the selected exploration catalog.
+// exact lengths under the selected exploration catalog. With -walk it
+// instead runs a live rendezvous through the engine and renders each
+// agent's walk from the engine's observer events (no trajectory
+// re-derivation).
 //
 // Usage:
 //
 //	trajviz                  # Figures 1-4 for k = 3
 //	trajviz -kind Ω -k 2 -depth 2
+//	trajviz -walk -graph path -n 4 -l1 2 -l2 5
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"meetpoly"
 	"meetpoly/internal/experiments"
 	"meetpoly/internal/trajectory"
-	"meetpoly/internal/uxs"
 )
 
 func main() {
@@ -25,9 +31,21 @@ func main() {
 	maxSib := flag.Int("siblings", 6, "max siblings before eliding")
 	famMax := flag.Int("family", 6, "catalog family max size")
 	seed := flag.Int64("seed", 1, "catalog seed")
+	walk := flag.Bool("walk", false, "run a rendezvous and render the walked trajectories from observer events")
+	gkind := flag.String("graph", "path", "with -walk: path|ring|star|clique|bintree|random")
+	n := flag.Int("n", 4, "with -walk: graph size")
+	l1 := flag.Uint64("l1", 2, "with -walk: label of agent 1")
+	l2 := flag.Uint64("l2", 5, "with -walk: label of agent 2")
+	advName := flag.String("adv", "roundrobin", "with -walk: adversary spec")
+	budget := flag.Int("budget", 2_000_000, "with -walk: adversary event budget")
 	flag.Parse()
 
-	env := trajectory.NewEnv(uxs.NewVerified(uxs.DefaultFamily(*famMax), *seed))
+	if *walk {
+		runWalk(*gkind, *n, *seed, *famMax, *l1, *l2, *advName, *budget)
+		return
+	}
+
+	env := meetpoly.NewEnv(*famMax, *seed)
 	if *kind == "" {
 		fmt.Print(experiments.F1to4(env, *k))
 		return
@@ -44,4 +62,61 @@ func main() {
 		os.Exit(2)
 	}
 	env.Describe(tk, *k, *depth, *maxSib).Render(os.Stdout)
+}
+
+// runWalk executes a rendezvous scenario and renders each agent's
+// walked node sequence, collected purely from observer events.
+func runWalk(gkind string, n int, seed int64, famMax int, l1, l2 uint64, adv string, budget int) {
+	// walks[i] is agent i's node sequence; meetings are annotated as
+	// they fire.
+	walks := make(map[int][]int)
+	var meetings []meetpoly.Meeting
+	obs := &meetpoly.FuncObserver{
+		Traversal: func(agent, from, to int) {
+			if len(walks[agent]) == 0 {
+				walks[agent] = append(walks[agent], from)
+			}
+			walks[agent] = append(walks[agent], to)
+		},
+		Meeting: func(m meetpoly.Meeting) { meetings = append(meetings, m) },
+	}
+	eng := meetpoly.NewEngine(
+		meetpoly.WithMaxN(famMax), meetpoly.WithSeed(seed), meetpoly.WithObserver(obs))
+	sc := meetpoly.Scenario{
+		Name:      "trajviz-walk",
+		Kind:      meetpoly.ScenarioRendezvous,
+		Graph:     meetpoly.GraphSpec{Kind: gkind, N: n, Seed: seed},
+		Starts:    []int{0, n - 1},
+		Labels:    []meetpoly.Label{meetpoly.Label(l1), meetpoly.Label(l2)},
+		Adversary: adv,
+		Budget:    budget,
+	}
+	res, err := eng.Run(context.Background(), sc)
+	if err != nil && !errors.Is(err, meetpoly.ErrBudgetExhausted) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	g, _ := sc.BuildGraph()
+	fmt.Printf("walked trajectories on %s (adversary %q):\n", g, adv)
+	for i := 0; i < 2; i++ {
+		w := walks[i]
+		const maxShow = 40
+		suffix := ""
+		if len(w) > maxShow {
+			suffix = fmt.Sprintf(" … (%d more)", len(w)-maxShow)
+			w = w[:maxShow]
+		}
+		fmt.Printf("  agent %d (L%d): %v%s\n", i, sc.Labels[i], w, suffix)
+	}
+	if res.Rendezvous.Met {
+		m := res.Rendezvous.Meeting
+		where := fmt.Sprintf("node %d", m.Node)
+		if m.InEdge {
+			where = fmt.Sprintf("edge %v", m.Edge)
+		}
+		fmt.Printf("meeting: %s at step %d, cost %d (observer saw %d meeting event(s))\n",
+			where, m.Step, m.Cost, len(meetings))
+	} else {
+		fmt.Println("no meeting within budget")
+	}
 }

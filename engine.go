@@ -1,0 +1,332 @@
+package meetpoly
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"meetpoly/internal/baseline"
+	"meetpoly/internal/core"
+	"meetpoly/internal/esst"
+	"meetpoly/internal/sched"
+	"meetpoly/internal/sgl"
+	"meetpoly/internal/trajectory"
+	"meetpoly/internal/uxs"
+)
+
+// Catalog supplies exploration sequences per size parameter (the
+// paper's R(k, v)); see internal/uxs for the contract and the provided
+// implementations (family-verified compact catalogs, pseudorandom
+// cubic-length formulas).
+type Catalog = uxs.Catalog
+
+// Engine executes Scenarios. Build one with NewEngine and share it: the
+// engine owns a single verified exploration-sequence catalog behind a
+// mutex, so concurrent runs reuse verified sequences instead of
+// re-verifying them per call. The zero value is not usable.
+type Engine struct {
+	env         *trajectory.Env
+	obs         Observer
+	parallelism int
+	autoExtend  bool
+
+	// mu guards catalog coverage checks and extensions; sequence reads
+	// are internally synchronized by the catalog itself.
+	mu sync.Mutex
+}
+
+// engineConfig collects option state before construction.
+type engineConfig struct {
+	catalog     Catalog
+	maxN        int
+	seed        int64
+	obs         Observer
+	parallelism int
+	autoExtend  bool
+}
+
+// Option configures NewEngine.
+type Option func(*engineConfig)
+
+// WithCatalog supplies an explicit exploration-sequence catalog,
+// overriding WithMaxN/WithSeed.
+func WithCatalog(cat Catalog) Option { return func(c *engineConfig) { c.catalog = cat } }
+
+// WithMaxN sets the size ceiling of the default verified catalog's
+// graph family (default 6).
+func WithMaxN(n int) Option { return func(c *engineConfig) { c.maxN = n } }
+
+// WithSeed sets the seed of the default verified catalog (default 1).
+func WithSeed(seed int64) Option { return func(c *engineConfig) { c.seed = seed } }
+
+// WithObserver attaches an execution observer. The engine serializes
+// the callbacks, so one observer value may watch a whole RunBatch.
+func WithObserver(obs Observer) Option { return func(c *engineConfig) { c.obs = obs } }
+
+// WithParallelism caps the worker pool RunBatch fans out over
+// (default: GOMAXPROCS).
+func WithParallelism(n int) Option { return func(c *engineConfig) { c.parallelism = n } }
+
+// WithAutoExtend controls what happens when a scenario's graph is
+// outside the verified catalog's family: extend the family and
+// re-verify (true, the default), or fail the run with
+// ErrCatalogUncovered (false) — the right choice for engines shared by
+// many concurrent workloads, where an extension invalidates cached
+// sequences for everyone.
+func WithAutoExtend(on bool) Option { return func(c *engineConfig) { c.autoExtend = on } }
+
+// NewEngine builds an engine. With no options it verifies a compact
+// exploration catalog on the standard graph families up to 6 nodes,
+// exactly like NewEnv(6, 1).
+func NewEngine(opts ...Option) *Engine {
+	cfg := engineConfig{maxN: 6, seed: 1, parallelism: runtime.GOMAXPROCS(0), autoExtend: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.catalog == nil {
+		cfg.catalog = uxs.NewVerified(uxs.DefaultFamily(cfg.maxN), cfg.seed)
+	}
+	if cfg.parallelism < 1 {
+		cfg.parallelism = 1
+	}
+	e := &Engine{
+		env:         trajectory.NewEnv(cfg.catalog),
+		parallelism: cfg.parallelism,
+		autoExtend:  cfg.autoExtend,
+	}
+	if cfg.obs != nil {
+		e.obs = &lockedObserver{inner: cfg.obs}
+	}
+	return e
+}
+
+// engineOver wraps an existing environment for the deprecated free
+// functions, preserving their auto-extending single-call behaviour.
+func engineOver(env *Env) *Engine {
+	return &Engine{env: env, parallelism: 1, autoExtend: true}
+}
+
+// Env returns the engine's trajectory environment, for interoperating
+// with cost-model queries such as PiBound.
+func (e *Engine) Env() *Env { return e.env }
+
+// ensureCovered makes sure the catalog's integrality guarantee applies
+// to g. Verified catalogs recognize structurally identical family
+// members (so scenario-rebuilt graphs cost nothing); genuinely new
+// graphs either extend the family or fail, per WithAutoExtend. Formula
+// catalogs cover probabilistically and always pass.
+func (e *Engine) ensureCovered(g *Graph) error {
+	v, ok := e.env.Catalog().(*uxs.Verified)
+	if !ok {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v.Covers(g) || v.CoversEqual(g) {
+		return nil
+	}
+	if !e.autoExtend {
+		return fmt.Errorf("graph %v (n=%d, family max %d): %w",
+			g, g.N(), v.MaxN(), ErrCatalogUncovered)
+	}
+	v.Extend(g)
+	return nil
+}
+
+// Result is the outcome of one scenario execution. Exactly one of the
+// per-kind fields is non-nil, matching Scenario.Kind.
+type Result struct {
+	Scenario   Scenario
+	Rendezvous *RendezvousResult
+	Baseline   *BaselineResult
+	ESST       *ESSTResult
+	SGL        *SGLResult
+	Cert       *CertResult
+}
+
+// prepare builds, validates and catalog-covers a scenario exactly once,
+// returning the resolved graph and adversary for execution.
+func (e *Engine) prepare(sc Scenario) (*Graph, Adversary, error) {
+	g, err := sc.BuildGraph()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sc.validateWith(g); err != nil {
+		return nil, nil, err
+	}
+	if err := e.ensureCovered(g); err != nil {
+		return nil, nil, err
+	}
+	adv, err := sc.resolveAdversary()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, adv, nil
+}
+
+// Run validates and executes one scenario. The context cancels the run
+// between scheduler events (and between certifier lattice rows); the
+// returned error then wraps both ErrCanceled and ctx.Err(). A run that
+// consumes its whole budget before reaching its goal returns the
+// partial result alongside an error wrapping ErrBudgetExhausted.
+func (e *Engine) Run(ctx context.Context, sc Scenario) (*Result, error) {
+	g, adv, err := e.prepare(sc)
+	if err != nil {
+		return nil, err
+	}
+	return e.runPrepared(ctx, sc, g, adv)
+}
+
+// runPrepared executes a scenario whose graph, validity and catalog
+// coverage prepare has already resolved.
+func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adversary) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w (%w)", sc.Name, ErrCanceled, err)
+	}
+	opts := sched.RunOpts{Ctx: ctx, Observer: e.obs}
+	res := &Result{Scenario: sc}
+
+	// finish maps scheduler-level outcomes to the typed sentinels:
+	// cancellation first, then goal-miss. Only a run that actually
+	// consumed its budget reports ErrBudgetExhausted — a goal missed
+	// because the adversary rested or every agent halted would not be
+	// cured by a larger budget, so it gets a distinct error.
+	finish := func(sum Summary, goalMet bool, miss string) error {
+		if sum.Canceled {
+			return fmt.Errorf("scenario %q: %w (%w)", sc.Name, ErrCanceled, ctx.Err())
+		}
+		if goalMet {
+			return nil
+		}
+		if sum.Exhausted {
+			return fmt.Errorf("scenario %q: %s within %d events: %w",
+				sc.Name, miss, sc.Budget, ErrBudgetExhausted)
+		}
+		return fmt.Errorf("scenario %q: %s after %d of %d events: run ended early (adversary rested or agents halted)",
+			sc.Name, miss, sum.Steps, sc.Budget)
+	}
+
+	switch sc.Kind {
+	case ScenarioRendezvous:
+		r, err := core.RendezvousWith(opts, g, sc.Starts[0], sc.Starts[1],
+			sc.Labels[0], sc.Labels[1], e.env, adv, sc.Budget)
+		if err != nil {
+			return nil, err
+		}
+		res.Rendezvous = r
+		return res, finish(r.Summary, r.Met, "no meeting")
+	case ScenarioBaseline:
+		r, err := baseline.RendezvousWith(opts, g, sc.Starts[0], sc.Starts[1],
+			sc.Labels[0], sc.Labels[1], e.env, adv, sc.Budget)
+		if err != nil {
+			return nil, err
+		}
+		res.Baseline = r
+		return res, finish(r.Summary, r.Met, "no meeting")
+	case ScenarioESST:
+		r, err := esst.ExploreWith(opts, g, sc.Starts[0], sc.Starts[1],
+			e.env.Catalog(), adv, sc.Budget)
+		if err != nil {
+			return nil, err
+		}
+		res.ESST = r
+		return res, finish(r.Summary, r.Done, "exploration did not terminate")
+	case ScenarioSGL:
+		r, err := sgl.Run(sgl.Config{
+			Graph:     g,
+			Starts:    sc.Starts,
+			Labels:    sc.Labels,
+			Values:    sc.Values,
+			Env:       e.env,
+			Adversary: adv,
+			MaxSteps:  sc.Budget,
+			Context:   ctx,
+			Observer:  e.obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.SGL = r
+		return res, finish(r.Summary, r.AllOutput, "not all agents output")
+	case ScenarioCertify:
+		r, err := core.CertifyInstanceWith(opts, g, sc.Starts[0], sc.Starts[1],
+			sc.Labels[0], sc.Labels[1], e.env, sc.Moves)
+		if err != nil {
+			return nil, err
+		}
+		res.Cert = &r
+		return res, nil
+	default:
+		// Unreachable: Validate rejects unknown kinds.
+		return nil, fmt.Errorf("scenario %q: unknown kind %q: %w", sc.Name, sc.Kind, ErrInvalidScenario)
+	}
+}
+
+// BatchResult pairs one scenario of a RunBatch with its outcome.
+type BatchResult struct {
+	Index    int
+	Scenario Scenario
+	Result   *Result
+	Err      error
+}
+
+// RunBatch executes the scenarios concurrently over a worker pool of
+// WithParallelism size and returns one BatchResult per scenario, in
+// input order. All runs share the engine's verified catalog; graphs
+// outside the family are resolved (extended or rejected, per
+// WithAutoExtend) up front, so no extension invalidates sequences while
+// other scenarios are in flight. Cancellation of ctx aborts the
+// not-yet-finished runs, each reporting ErrCanceled.
+func (e *Engine) RunBatch(ctx context.Context, scs []Scenario) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult, len(scs))
+	// Pre-flight sequentially: validation, graph builds and catalog
+	// coverage happen once per scenario, before any run is in flight.
+	type prepared struct {
+		idx int
+		g   *Graph
+		adv Adversary
+	}
+	runnable := make([]prepared, 0, len(scs))
+	for i, sc := range scs {
+		out[i] = BatchResult{Index: i, Scenario: sc}
+		g, adv, err := e.prepare(sc)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		runnable = append(runnable, prepared{idx: i, g: g, adv: adv})
+	}
+	workers := e.parallelism
+	if workers > len(runnable) {
+		workers = len(runnable)
+	}
+	if workers < 1 {
+		return out
+	}
+	jobs := make(chan prepared)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				res, err := e.runPrepared(ctx, scs[p.idx], p.g, p.adv)
+				out[p.idx].Result = res
+				out[p.idx].Err = err
+			}
+		}()
+	}
+	for _, p := range runnable {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -4,6 +4,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -11,32 +13,40 @@ import (
 )
 
 func main() {
-	// An environment whose exploration sequences are verified on the
+	// An engine whose exploration sequences are verified on the
 	// standard graph families up to 6 nodes (the Reingold substitute,
-	// DESIGN.md §2.1).
-	env := meetpoly.NewEnv(6, 1)
+	// DESIGN.md §2.1). Build it once and reuse it: it owns the shared
+	// verified catalog.
+	eng := meetpoly.NewEngine(meetpoly.WithMaxN(6), meetpoly.WithSeed(1))
 
-	// The network: anonymous nodes, local port numbers only.
-	g := meetpoly.Path(4)
-
-	// Agents start at opposite ends; the adversary controls their speeds.
-	// nil adversary = round-robin; try meetpoly.Avoider() for the
-	// strongest online dodger.
-	res, err := meetpoly.Rendezvous(g, 0, 3, 2, 5, env, nil, 2_000_000)
-	if err != nil {
+	// A scenario is declarative and JSON-serializable: the network
+	// (anonymous nodes, local port numbers only), the agents at opposite
+	// ends, and the adversary controlling their speeds. Try "avoider"
+	// for the strongest online dodger.
+	sc := meetpoly.Scenario{
+		Kind:      meetpoly.ScenarioRendezvous,
+		Graph:     meetpoly.GraphSpec{Kind: "path", N: 4},
+		Starts:    []int{0, 3},
+		Labels:    []meetpoly.Label{2, 5},
+		Adversary: "roundrobin",
+		Budget:    2_000_000,
+	}
+	res, err := eng.Run(context.Background(), sc)
+	if err != nil && !errors.Is(err, meetpoly.ErrBudgetExhausted) {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("met: %v\n", res.Met)
-	if res.Met {
-		where := fmt.Sprintf("node %d", res.Meeting.Node)
-		if res.Meeting.InEdge {
-			where = fmt.Sprintf("inside edge %v", res.Meeting.Edge)
+	rv := res.Rendezvous
+	fmt.Printf("met: %v\n", rv.Met)
+	if rv.Met {
+		where := fmt.Sprintf("node %d", rv.Meeting.Node)
+		if rv.Meeting.InEdge {
+			where = fmt.Sprintf("inside edge %v", rv.Meeting.Edge)
 		}
 		fmt.Printf("meeting point: %s\n", where)
-		fmt.Printf("measured cost: %d edge traversals\n", res.Meeting.Cost)
+		fmt.Printf("measured cost: %d edge traversals\n", rv.Meeting.Cost)
 	}
-	fmt.Printf("Theorem 3.1 guarantee Pi(n, |L_min|): %d bits\n", res.Bound.BitLen())
+	fmt.Printf("Theorem 3.1 guarantee Pi(n, |L_min|): %d bits\n", rv.Bound.BitLen())
 	fmt.Println("(measured cost is tiny next to the worst-case bound — that gap is the paper's point:")
 	fmt.Println(" the bound holds against EVERY adversary, not just this schedule)")
 }

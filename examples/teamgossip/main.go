@@ -5,32 +5,35 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
 	"meetpoly"
-	"meetpoly/internal/graph"
 )
 
 func main() {
-	env := meetpoly.NewEnv(6, 1)
-	g := graph.Star(5)
+	eng := meetpoly.NewEngine(meetpoly.WithMaxN(6), meetpoly.WithSeed(1))
 
-	res, err := meetpoly.SGL(meetpoly.SGLConfig{
-		Graph:    g,
-		Starts:   []int{1, 2, 3},
-		Labels:   []meetpoly.Label{4, 2, 7},
-		Values:   []string{"north", "east", "south"},
-		Env:      env,
-		MaxSteps: 40_000_000,
-	})
-	if err != nil {
+	sc := meetpoly.Scenario{
+		Kind:   meetpoly.ScenarioSGL,
+		Graph:  meetpoly.GraphSpec{Kind: "star", N: 5},
+		Starts: []int{1, 2, 3},
+		Labels: []meetpoly.Label{4, 2, 7},
+		Values: []string{"north", "east", "south"},
+		Budget: 40_000_000,
+	}
+	res, err := eng.Run(context.Background(), sc)
+	if err != nil && !errors.Is(err, meetpoly.ErrBudgetExhausted) {
 		log.Fatal(err)
 	}
+	g, _ := sc.BuildGraph()
 
+	sgl := res.SGL
 	fmt.Printf("team of %d agents on %s, total cost %d traversals\n",
-		len(res.Agents), g, res.TotalCost)
-	for _, a := range res.Agents {
+		len(sgl.Agents), g, sgl.TotalCost)
+	for _, a := range sgl.Agents {
 		fmt.Printf("\nagent L%d (final state: %s)\n", a.Label, a.State)
 		fmt.Printf("  team size : %d\n", a.TeamSize)
 		fmt.Printf("  leader    : L%d\n", a.Leader)

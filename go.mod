@@ -1,0 +1,3 @@
+module meetpoly
+
+go 1.24

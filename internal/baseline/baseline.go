@@ -20,13 +20,13 @@
 package baseline
 
 import (
-	"errors"
 	"fmt"
 	"math/big"
 
 	"meetpoly/internal/costmodel"
 	"meetpoly/internal/graph"
 	"meetpoly/internal/labels"
+	"meetpoly/internal/rverr"
 	"meetpoly/internal/sched"
 	"meetpoly/internal/trajectory"
 )
@@ -64,8 +64,15 @@ type Result struct {
 // distinct) under the given adversary.
 func Rendezvous(g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
 	env *trajectory.Env, adv sched.Adversary, budget int) (*Result, error) {
+	return RendezvousWith(sched.RunOpts{}, g, start1, start2, l1, l2, env, adv, budget)
+}
+
+// RendezvousWith is Rendezvous with cross-cutting execution options
+// (context cancellation and an execution observer).
+func RendezvousWith(opts sched.RunOpts, g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
+	env *trajectory.Env, adv sched.Adversary, budget int) (*Result, error) {
 	if l1 == l2 {
-		return nil, errors.New("baseline: agents must have distinct labels")
+		return nil, fmt.Errorf("baseline: agents must have distinct labels: %w", rverr.ErrInvalidScenario)
 	}
 	n := g.N()
 	a := &sched.Walker{Stepper: NewStepper(env, n, l1), StopAtMeeting: true, Payload: l1}
@@ -77,6 +84,8 @@ func Rendezvous(g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
 		InitiallyAwake: []int{0, 1},
 		MaxSteps:       budget,
 		StopWhen:       func(r *sched.Runner) bool { return len(r.Meetings()) > 0 },
+		Context:        opts.Ctx,
+		Observer:       opts.Observer,
 	}, adv)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)

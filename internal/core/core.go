@@ -22,13 +22,13 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math/big"
 
 	"meetpoly/internal/costmodel"
 	"meetpoly/internal/graph"
 	"meetpoly/internal/labels"
+	"meetpoly/internal/rverr"
 	"meetpoly/internal/sched"
 	"meetpoly/internal/trajectory"
 )
@@ -153,8 +153,17 @@ type Result struct {
 // the adversary chooses who actually moves.
 func Rendezvous(g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
 	env *trajectory.Env, adv sched.Adversary, budget int) (*Result, error) {
+	return RendezvousWith(sched.RunOpts{}, g, start1, start2, l1, l2, env, adv, budget)
+}
+
+// RendezvousWith is Rendezvous with cross-cutting execution options: a
+// context whose cancellation aborts the scheduler between events
+// (reported in Result.Summary.Canceled) and an observer receiving the
+// execution's events.
+func RendezvousWith(opts sched.RunOpts, g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
+	env *trajectory.Env, adv sched.Adversary, budget int) (*Result, error) {
 	if l1 == l2 {
-		return nil, errors.New("core: agents must have distinct labels")
+		return nil, fmt.Errorf("core: agents must have distinct labels: %w", rverr.ErrInvalidScenario)
 	}
 	a := &sched.Walker{Stepper: NewStepper(l1, env), StopAtMeeting: true, Payload: l1}
 	b := &sched.Walker{Stepper: NewStepper(l2, env), StopAtMeeting: true, Payload: l2}
@@ -165,6 +174,8 @@ func Rendezvous(g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
 		InitiallyAwake: []int{0, 1},
 		MaxSteps:       budget,
 		StopWhen:       func(r *sched.Runner) bool { return len(r.Meetings()) > 0 },
+		Context:        opts.Ctx,
+		Observer:       opts.Observer,
 	}, adv)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -197,7 +208,18 @@ func Route(g *graph.Graph, start int, l labels.Label, env *trajectory.Env, moves
 // the meeting within these prefixes.
 func CertifyInstance(g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
 	env *trajectory.Env, moves int) (sched.CertResult, error) {
+	return CertifyInstanceWith(sched.RunOpts{}, g, start1, start2, l1, l2, env, moves)
+}
+
+// CertifyInstanceWith is CertifyInstance with cross-cutting execution
+// options; cancellation aborts the lattice sweep mid-run with an error
+// wrapping rverr.ErrCanceled.
+func CertifyInstanceWith(opts sched.RunOpts, g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
+	env *trajectory.Env, moves int) (sched.CertResult, error) {
+	if l1 == l2 {
+		return sched.CertResult{}, fmt.Errorf("core: agents must have distinct labels: %w", rverr.ErrInvalidScenario)
+	}
 	ra := Route(g, start1, l1, env, moves)
 	rb := Route(g, start2, l2, env, moves)
-	return sched.Certify(ra, rb)
+	return sched.CertifyCtx(opts.Ctx, ra, rb)
 }

@@ -91,6 +91,7 @@ func (e *Explorer) Run(p *sched.Proc) {
 			},
 			Degree:    func() int { return e.curDegree },
 			WithToken: func() bool { return e.withToken },
+			Phase:     func(i int) { p.Phase(fmt.Sprintf("esst: phase %d", i)) },
 		},
 	}
 	ok := pr.Run()
@@ -149,6 +150,14 @@ type Result struct {
 // explorer's port trace.
 func Explore(g *graph.Graph, startExplorer, startToken int, cat uxs.Catalog,
 	adv sched.Adversary, maxSteps int) (*Result, error) {
+	return ExploreWith(sched.RunOpts{}, g, startExplorer, startToken, cat, adv, maxSteps)
+}
+
+// ExploreWith is Explore with cross-cutting execution options: context
+// cancellation (reported in Result.Summary.Canceled) and an observer
+// that additionally receives "esst: phase i" phase-change events.
+func ExploreWith(opts sched.RunOpts, g *graph.Graph, startExplorer, startToken int, cat uxs.Catalog,
+	adv sched.Adversary, maxSteps int) (*Result, error) {
 	ex := &Explorer{Cat: cat, MaxPhase: 30*g.N() + 9}
 	tok := &Token{}
 	r, err := sched.NewRunner(sched.Config{
@@ -157,6 +166,8 @@ func Explore(g *graph.Graph, startExplorer, startToken int, cat uxs.Catalog,
 		Agents:         []sched.Agent{ex, tok},
 		InitiallyAwake: []int{0, 1},
 		MaxSteps:       maxSteps,
+		Context:        opts.Ctx,
+		Observer:       opts.Observer,
 	}, adv)
 	if err != nil {
 		return nil, fmt.Errorf("esst: %w", err)

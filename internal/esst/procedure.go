@@ -25,6 +25,9 @@ type Hooks struct {
 	// WithToken reports whether the agent is co-located with the token
 	// right now (a token parked at the agent's current node).
 	WithToken func() bool
+	// Phase, if non-nil, is told the index of each phase as it starts
+	// (observer plumbing; optional).
+	Phase func(i int)
 }
 
 // Procedure is the reusable core of ESST: the phase loop of §2, driven
@@ -62,6 +65,9 @@ func (pr *Procedure) backtrack(rec []MoveRec) {
 // phase cap is exceeded (false).
 func (pr *Procedure) Run() bool {
 	for i := 3; pr.MaxPhase == 0 || i <= pr.MaxPhase; i += 3 {
+		if pr.Hooks.Phase != nil {
+			pr.Hooks.Phase(i)
+		}
 		if pr.runPhase(i) {
 			pr.Done = true
 			pr.Phase = i

@@ -143,6 +143,32 @@ func (g *Graph) EdgeID(v, port int) [2]int {
 	return [2]int{v, u}
 }
 
+// Equal reports whether a and b are identical port-numbered graphs:
+// same node count and same (neighbour, entry port) at every port of
+// every node. Builders are deterministic, so two graphs produced by the
+// same generator call are Equal even though they are distinct values;
+// this is what lets a shared catalog recognize a scenario-built graph as
+// a member of its verified family without pointer identity.
+func Equal(a, b *Graph) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.N() != b.N() || a.m != b.m {
+		return false
+	}
+	for v := range a.adj {
+		if len(a.adj[v]) != len(b.adj[v]) {
+			return false
+		}
+		for p, h := range a.adj[v] {
+			if b.adj[v][p] != h {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // ErrInvalid is wrapped by all Validate failures.
 var ErrInvalid = errors.New("graph: invalid")
 

@@ -1,0 +1,32 @@
+// Package rverr declares the sentinel errors shared by every algorithm
+// package and re-exported by the public meetpoly facade. It is a leaf
+// package: the internal packages wrap these sentinels into their own
+// error messages with %w, and callers match them with errors.Is through
+// the facade's aliases regardless of which layer produced the failure.
+package rverr
+
+import "errors"
+
+var (
+	// ErrBudgetExhausted reports that an execution stopped at its event
+	// or traversal budget before reaching its goal (meeting, coverage,
+	// or full output). The partial result is usually still returned
+	// alongside this error.
+	ErrBudgetExhausted = errors.New("meetpoly: budget exhausted before completion")
+
+	// ErrInvalidScenario reports a configuration the model rules out:
+	// duplicate starts, non-positive or duplicate labels, out-of-range
+	// nodes, unknown kinds, malformed adversary specs, and the like.
+	ErrInvalidScenario = errors.New("meetpoly: invalid scenario")
+
+	// ErrCatalogUncovered reports that the engine's verified exploration
+	// catalog does not cover the scenario's graph and automatic extension
+	// is disabled, so the integrality guarantee would not hold.
+	ErrCatalogUncovered = errors.New("meetpoly: exploration catalog does not cover graph")
+
+	// ErrCanceled reports that a context was canceled while an execution
+	// was in flight. It is distinct from context.Canceled so that callers
+	// can tell "this run was aborted" from unrelated context plumbing;
+	// errors returned by the engine match both.
+	ErrCanceled = errors.New("meetpoly: run canceled")
+)

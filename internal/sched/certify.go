@@ -1,8 +1,10 @@
 package sched
 
 import (
-	"errors"
+	"context"
 	"fmt"
+
+	"meetpoly/internal/rverr"
 )
 
 // Certify is the exhaustive two-agent adversary: a dynamic program that
@@ -25,11 +27,20 @@ import (
 // Certify therefore returns the exact worst case over ALL walks the
 // continuous adversary could choose for these route prefixes.
 func Certify(routeA, routeB []int) (CertResult, error) {
+	return CertifyCtx(context.Background(), routeA, routeB)
+}
+
+// CertifyCtx is Certify with cancellation: the dynamic program checks
+// ctx between lattice rows (the certifier is the longest-running
+// single-threaded computation in the system — quadratic in the route
+// prefix length) and returns an error wrapping rverr.ErrCanceled when
+// aborted mid-run.
+func CertifyCtx(ctx context.Context, routeA, routeB []int) (CertResult, error) {
 	if len(routeA) == 0 || len(routeB) == 0 {
-		return CertResult{}, errors.New("sched: Certify needs non-empty routes")
+		return CertResult{}, fmt.Errorf("sched: Certify needs non-empty routes: %w", rverr.ErrInvalidScenario)
 	}
 	if routeA[0] == routeB[0] {
-		return CertResult{}, errors.New("sched: agents must start at different nodes")
+		return CertResult{}, fmt.Errorf("sched: agents must start at different nodes: %w", rverr.ErrInvalidScenario)
 	}
 	pb := 2 * (len(routeA) - 1) // max half-steps of A
 	qb := 2 * (len(routeB) - 1)
@@ -71,6 +82,10 @@ func Certify(routeA, routeB []int) (CertResult, error) {
 	}
 
 	for q := 0; q <= qb; q++ {
+		if ctx != nil && ctx.Err() != nil {
+			return CertResult{}, fmt.Errorf("sched: certifier aborted at row %d/%d: %w (%w)",
+				q, qb, rverr.ErrCanceled, ctx.Err())
+		}
 		for i := range cur {
 			cur[i] = 0
 		}
@@ -155,13 +170,13 @@ type CyclicResult struct {
 // route-prefix frontier exists for the adversary to hide behind.
 func CertifyCyclic(routeA, cycleB []int) (CyclicResult, error) {
 	if len(routeA) < 2 {
-		return CyclicResult{}, errors.New("sched: CertifyCyclic needs A to move")
+		return CyclicResult{}, fmt.Errorf("sched: CertifyCyclic needs A to move: %w", rverr.ErrInvalidScenario)
 	}
 	if len(cycleB) < 2 || cycleB[0] != cycleB[len(cycleB)-1] {
-		return CyclicResult{}, errors.New("sched: cycleB must be a closed walk")
+		return CyclicResult{}, fmt.Errorf("sched: cycleB must be a closed walk: %w", rverr.ErrInvalidScenario)
 	}
 	if routeA[0] == cycleB[0] {
-		return CyclicResult{}, errors.New("sched: agents must start at different nodes")
+		return CyclicResult{}, fmt.Errorf("sched: agents must start at different nodes: %w", rverr.ErrInvalidScenario)
 	}
 	pb := 2 * (len(routeA) - 1)
 	period := 2 * (len(cycleB) - 1) // half-steps per lap of B

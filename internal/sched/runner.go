@@ -17,11 +17,13 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"meetpoly/internal/graph"
+	"meetpoly/internal/rverr"
 )
 
 // Observation is everything the model lets an agent see upon arriving at
@@ -83,6 +85,16 @@ type action struct {
 
 // Obs returns the current observation (the node the agent occupies).
 func (p *Proc) Obs() Observation { return p.cur }
+
+// Phase announces an algorithm-level phase change to the runner's
+// observer (no-op without one). It is safe to call from the agent's
+// goroutine: agent code only runs while the runner is suspended, so the
+// callback is serialized with all other observer callbacks.
+func (p *Proc) Phase(name string) {
+	if p.r.obs != nil {
+		p.r.obs.OnPhase(p.id, name)
+	}
+}
 
 // Move requests a traversal through the given port and blocks until the
 // adversary has carried the agent to the other endpoint. It returns the
@@ -200,6 +212,11 @@ type Config struct {
 	StopWhen func(r *Runner) bool
 	// MaxSteps bounds the number of adversary events (safety net).
 	MaxSteps int
+	// Context, if non-nil, aborts the run between adversary events when
+	// canceled; the Summary then reports Canceled.
+	Context context.Context
+	// Observer, if non-nil, receives execution events (see Observer).
+	Observer Observer
 }
 
 // Runner executes a simulation.
@@ -215,6 +232,9 @@ type Runner struct {
 	stopWhen    func(r *Runner) bool
 	maxSteps    int
 	initialWake []int
+	ctx         context.Context
+	obs         Observer
+	canceled    bool
 
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -231,29 +251,32 @@ type Adversary interface {
 // to execute and Close to release agent goroutines.
 func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 	if cfg.Graph == nil {
-		return nil, errors.New("sched: nil graph")
+		return nil, fmt.Errorf("sched: nil graph: %w", rverr.ErrInvalidScenario)
 	}
 	if len(cfg.Agents) == 0 || len(cfg.Agents) != len(cfg.Starts) {
-		return nil, fmt.Errorf("sched: %d agents vs %d starts", len(cfg.Agents), len(cfg.Starts))
+		return nil, fmt.Errorf("sched: %d agents vs %d starts: %w",
+			len(cfg.Agents), len(cfg.Starts), rverr.ErrInvalidScenario)
 	}
 	seen := make(map[int]bool)
 	for _, s := range cfg.Starts {
 		if s < 0 || s >= cfg.Graph.N() {
-			return nil, fmt.Errorf("sched: start node %d out of range", s)
+			return nil, fmt.Errorf("sched: start node %d out of range: %w", s, rverr.ErrInvalidScenario)
 		}
 		if seen[s] {
-			return nil, fmt.Errorf("sched: duplicate start node %d", s)
+			return nil, fmt.Errorf("sched: duplicate start node %d: %w", s, rverr.ErrInvalidScenario)
 		}
 		seen[s] = true
 	}
 	if cfg.MaxSteps <= 0 {
-		return nil, errors.New("sched: MaxSteps must be positive")
+		return nil, fmt.Errorf("sched: MaxSteps must be positive: %w", rverr.ErrInvalidScenario)
 	}
 	r := &Runner{
 		g:        cfg.Graph,
 		adv:      adv,
 		stopWhen: cfg.StopWhen,
 		maxSteps: cfg.MaxSteps,
+		ctx:      cfg.Context,
+		obs:      cfg.Observer,
 		contacts: make(map[[2]int]bool),
 		done:     make(chan struct{}),
 	}
@@ -273,7 +296,7 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 	}
 	for _, i := range cfg.InitiallyAwake {
 		if i < 0 || i >= len(r.agents) {
-			return nil, fmt.Errorf("sched: InitiallyAwake index %d out of range", i)
+			return nil, fmt.Errorf("sched: InitiallyAwake index %d out of range: %w", i, rverr.ErrInvalidScenario)
 		}
 	}
 	r.initialWake = append(r.initialWake, cfg.InitiallyAwake...)
@@ -289,6 +312,10 @@ func (r *Runner) Run() Summary {
 		r.detectMeetings()
 	}
 	for r.steps < r.maxSteps {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.canceled = true
+			break
+		}
 		if r.stopWhen != nil && r.stopWhen(r) {
 			break
 		}
@@ -304,6 +331,9 @@ func (r *Runner) Run() Summary {
 			// Invalid event from the adversary is a programming error in
 			// the strategy; fail loudly.
 			panic(fmt.Sprintf("sched: adversary issued invalid event %+v", ev))
+		}
+		if r.obs != nil {
+			r.obs.OnEvent(r.steps, ev)
 		}
 		r.steps++
 		r.detectMeetings()
@@ -402,6 +432,9 @@ func (r *Runner) apply(ev Event) bool {
 		st.pos = Position{Kind: AtNode, Node: to}
 		st.traversals++
 		st.hasPending = false
+		if r.obs != nil {
+			r.obs.OnTraversal(ev.Agent, from, to)
+		}
 		// Meetings caused by the arrival must be delivered before the
 		// agent decides its next action.
 		r.detectMeetings()
@@ -524,11 +557,15 @@ func (r *Runner) fireMeeting(members []int, inEdge bool, node int, edge [2]int) 
 			committed++
 		}
 	}
-	r.meetings = append(r.meetings, Meeting{
+	m := Meeting{
 		Step: r.steps, Participants: append([]int(nil), members...),
 		InEdge: inEdge, Node: node, Edge: edge,
 		Cost: r.TotalCost(), Committed: r.TotalCost() + committed,
-	})
+	}
+	r.meetings = append(r.meetings, m)
+	if r.obs != nil {
+		r.obs.OnMeeting(m)
+	}
 	// A dormant agent is woken by an agent visiting its start node.
 	for _, id := range members {
 		if r.agents[id].status == StatusDormant {
@@ -586,6 +623,10 @@ type Summary struct {
 	Traversals   []int
 	TotalCost    int
 	FirstMeeting *Meeting // nil if none
+	// Canceled reports that the run was aborted by its Config.Context.
+	Canceled bool
+	// Exhausted reports that the run consumed its full MaxSteps budget.
+	Exhausted bool
 }
 
 func (r *Runner) summary() Summary {
@@ -593,6 +634,8 @@ func (r *Runner) summary() Summary {
 		Steps:     r.steps,
 		Meetings:  append([]Meeting(nil), r.meetings...),
 		TotalCost: r.TotalCost(),
+		Canceled:  r.canceled,
+		Exhausted: !r.canceled && r.steps >= r.maxSteps,
 	}
 	for _, st := range r.agents {
 		s.Traversals = append(s.Traversals, st.traversals)

@@ -33,6 +33,7 @@
 package sgl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -43,6 +44,7 @@ import (
 	"meetpoly/internal/esst"
 	"meetpoly/internal/graph"
 	"meetpoly/internal/labels"
+	"meetpoly/internal/rverr"
 	"meetpoly/internal/sched"
 	"meetpoly/internal/trajectory"
 	"meetpoly/internal/uxs"
@@ -263,16 +265,21 @@ func (a *agent) Run(p *sched.Proc) {
 	defer func() { a.finalState = a.state }()
 	a.curDeg = p.Obs().Degree
 	a.rv = a.newRV()
+	p.Phase("sgl: traveller")
 	a.runTraveller(p)
 	if a.state == StateGhost {
+		p.Phase("sgl: ghost")
 		if a.final && !a.hasOutput {
 			a.setOutput()
 		}
 		return // park forever; OnMeet keeps serving
 	}
 	// Explorer.
+	p.Phase("sgl: explorer phase 1 (ESST)")
 	e := a.phase1(p)
+	p.Phase("sgl: explorer phase 2 (resume RV)")
 	a.phase2(p, e)
+	p.Phase("sgl: explorer phase 3 (seek/sweep)")
 	a.phase3(p, e)
 }
 
@@ -522,29 +529,35 @@ type Config struct {
 	MaxSteps       int
 	// Phase2Budget defaults to PracticalBudget(3).
 	Phase2Budget Phase2Budget
+	// Context, if non-nil, aborts the run between scheduler events when
+	// canceled (reported in Result.Summary.Canceled).
+	Context context.Context
+	// Observer, if non-nil, receives execution events, including each
+	// agent's state and phase transitions.
+	Observer sched.Observer
 }
 
 // Run executes Algorithm SGL and reports every agent's outcome.
 func Run(cfg Config) (*Result, error) {
 	k := len(cfg.Labels)
 	if k < 2 {
-		return nil, errors.New("sgl: SGL requires at least 2 agents (k > 1)")
+		return nil, fmt.Errorf("sgl: SGL requires at least 2 agents (k > 1): %w", rverr.ErrInvalidScenario)
 	}
 	if len(cfg.Starts) != k {
-		return nil, fmt.Errorf("sgl: %d starts for %d labels", len(cfg.Starts), k)
+		return nil, fmt.Errorf("sgl: %d starts for %d labels: %w", len(cfg.Starts), k, rverr.ErrInvalidScenario)
 	}
 	seen := make(map[labels.Label]bool, k)
 	for _, l := range cfg.Labels {
 		if l == 0 {
-			return nil, errors.New("sgl: labels must be positive")
+			return nil, fmt.Errorf("sgl: labels must be positive: %w", rverr.ErrInvalidScenario)
 		}
 		if seen[l] {
-			return nil, fmt.Errorf("sgl: duplicate label %d", l)
+			return nil, fmt.Errorf("sgl: duplicate label %d: %w", l, rverr.ErrInvalidScenario)
 		}
 		seen[l] = true
 	}
 	if cfg.Env == nil {
-		return nil, errors.New("sgl: nil Env")
+		return nil, fmt.Errorf("sgl: nil Env: %w", rverr.ErrInvalidScenario)
 	}
 	budget := cfg.Phase2Budget
 	if budget == nil {
@@ -562,7 +575,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	if len(values) != k {
-		return nil, fmt.Errorf("sgl: %d values for %d labels", len(values), k)
+		return nil, fmt.Errorf("sgl: %d values for %d labels: %w", len(values), k, rverr.ErrInvalidScenario)
 	}
 
 	agents := make([]*agent, k)
@@ -592,6 +605,8 @@ func Run(cfg Config) (*Result, error) {
 			}
 			return true
 		},
+		Context:  cfg.Context,
+		Observer: cfg.Observer,
 	}, adv)
 	if err != nil {
 		return nil, fmt.Errorf("sgl: %w", err)

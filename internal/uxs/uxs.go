@@ -311,6 +311,29 @@ func (v *Verified) Covers(g *graph.Graph) bool {
 	return false
 }
 
+// CoversEqual reports whether the family contains a graph structurally
+// identical to g (graph.Equal), not merely pointer-identical. Scenario
+// descriptors rebuild graphs from deterministic generators, so a
+// rebuilt family member is recognized here without extending the family
+// — which would needlessly invalidate every cached sequence.
+func (v *Verified) CoversEqual(g *graph.Graph) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, f := range v.family {
+		if graph.Equal(f, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxN returns the size of the largest graph in the verified family.
+func (v *Verified) MaxN() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.maxN
+}
+
 // Seq returns a sequence verified to be integral on every family graph of
 // size at most k, from every start node. Sequences are found by seeded
 // randomized search with growing length, then padded so that P stays

@@ -17,8 +17,12 @@
 // worst-case certifier, and the benchmark harness regenerating the
 // paper's quantitative claims.
 //
-// This facade re-exports the primary entry points; the full API lives in
-// the internal packages documented in DESIGN.md:
+// The public API is the Engine/Scenario pair: an Engine is built once
+// (it owns a shared, verified exploration-sequence catalog) and executes
+// declarative, JSON-serializable Scenarios with context cancellation,
+// typed sentinel errors, execution observers and concurrent batches.
+// The full machinery lives in the internal packages documented in
+// DESIGN.md:
 //
 //	internal/graph      the anonymous port-numbered network model
 //	internal/uxs        universal exploration sequences (Reingold substitute)
@@ -30,18 +34,28 @@
 //	internal/esst       Procedure ESST
 //	internal/baseline   the exponential comparator
 //	internal/sgl        Algorithm SGL + applications
+//	internal/rverr      the sentinel errors re-exported by this facade
 //	internal/experiments the table generators for EXPERIMENTS.md
 //
 // # Quick start
 //
-//	env := meetpoly.NewEnv(6, 1)  // catalog verified up to 6 nodes
-//	g := meetpoly.Path(4)         // more builders in internal/graph
-//	res, err := meetpoly.Rendezvous(g, 0, 3, 2, 5, env, nil, 1_000_000)
+//	eng := meetpoly.NewEngine(meetpoly.WithMaxN(6), meetpoly.WithSeed(1))
+//	res, err := eng.Run(ctx, meetpoly.Scenario{
+//		Kind:   meetpoly.ScenarioRendezvous,
+//		Graph:  meetpoly.GraphSpec{Kind: "path", N: 4},
+//		Starts: []int{0, 3},
+//		Labels: []meetpoly.Label{2, 5},
+//		Budget: 1_000_000,
+//	})
 //
-// See examples/ for runnable programs.
+// Engine.RunBatch fans a slice of scenarios out over a worker pool;
+// errors are matched with errors.Is against ErrBudgetExhausted,
+// ErrInvalidScenario, ErrCatalogUncovered and ErrCanceled. See
+// examples/ for runnable programs.
 package meetpoly
 
 import (
+	"context"
 	"math/big"
 
 	"meetpoly/internal/baseline"
@@ -73,6 +87,9 @@ type Adversary = sched.Adversary
 // RendezvousResult reports a two-agent rendezvous execution.
 type RendezvousResult = core.Result
 
+// BaselineResult reports an exponential-baseline rendezvous execution.
+type BaselineResult = baseline.Result
+
 // SGLConfig configures a Strong Global Learning run.
 type SGLConfig = sgl.Config
 
@@ -93,31 +110,60 @@ func NewEnv(maxN int, seed int64) *Env {
 }
 
 // EnsureFor extends a verified catalog so its integrality guarantee
-// covers g. No-op for non-verified catalogs.
+// covers g. No-op for non-verified catalogs and for graphs structurally
+// identical to a family member. The Engine does this automatically
+// (see WithAutoExtend).
 func EnsureFor(env *Env, g *Graph) {
-	if v, ok := env.Catalog().(*uxs.Verified); ok && !v.Covers(g) {
+	if v, ok := env.Catalog().(*uxs.Verified); ok && !v.Covers(g) && !v.CoversEqual(g) {
 		v.Extend(g)
 	}
+}
+
+// legacyRun executes a scenario through a throwaway engine over env,
+// preserving the free functions' semantics: any run that produced a
+// result (goal missed within the budget, adversary rested, ...) is
+// reported through the result, not as an error. Cancellation cannot
+// occur (background context), so a non-nil result means a goal-miss
+// class error.
+func legacyRun(env *Env, sc Scenario) (*Result, error) {
+	res, err := engineOver(env).Run(context.Background(), sc)
+	if res != nil {
+		err = nil
+	}
+	return res, err
 }
 
 // Rendezvous runs Algorithm RV-asynch-poly for two agents with distinct
 // labels from distinct start nodes, under adv (nil = round-robin),
 // stopping at the first meeting or after budget adversary events.
+//
+// Deprecated: build an Engine and run a ScenarioRendezvous Scenario;
+// Engine.Run adds cancellation, typed errors, observers and batching.
 func Rendezvous(g *Graph, start1, start2 int, l1, l2 Label,
 	env *Env, adv Adversary, budget int) (*RendezvousResult, error) {
-	if adv == nil {
-		adv = &sched.RoundRobin{}
+	res, err := legacyRun(env, Scenario{
+		Kind: ScenarioRendezvous, GraphInstance: g, AdversaryInstance: adv,
+		Starts: []int{start1, start2}, Labels: []Label{l1, l2}, Budget: budget,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return core.Rendezvous(g, start1, start2, l1, l2, env, adv, budget)
+	return res.Rendezvous, nil
 }
 
 // BaselineRendezvous runs the exponential-cost comparator (known n).
+//
+// Deprecated: build an Engine and run a ScenarioBaseline Scenario.
 func BaselineRendezvous(g *Graph, start1, start2 int, l1, l2 Label,
-	env *Env, adv Adversary, budget int) (*baseline.Result, error) {
-	if adv == nil {
-		adv = &sched.RoundRobin{}
+	env *Env, adv Adversary, budget int) (*BaselineResult, error) {
+	res, err := legacyRun(env, Scenario{
+		Kind: ScenarioBaseline, GraphInstance: g, AdversaryInstance: adv,
+		Starts: []int{start1, start2}, Labels: []Label{l1, l2}, Budget: budget,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return baseline.Rendezvous(g, start1, start2, l1, l2, env, adv, budget)
+	return res.Baseline, nil
 }
 
 // PiBound returns Π(n, min(|L1|, |L2|)) — Theorem 3.1's guarantee on the
@@ -130,23 +176,43 @@ func PiBound(env *Env, n int, l1, l2 Label) *big.Int {
 // Certify runs the exhaustive adversary on the two agents' route
 // prefixes (moves traversals each): the exact worst case over every
 // schedule the continuous adversary could choose.
+//
+// Deprecated: build an Engine and run a ScenarioCertify Scenario, which
+// adds mid-run cancellation of the lattice sweep.
 func Certify(g *Graph, start1, start2 int, l1, l2 Label,
 	env *Env, moves int) (CertResult, error) {
-	return core.CertifyInstance(g, start1, start2, l1, l2, env, moves)
+	res, err := legacyRun(env, Scenario{
+		Kind: ScenarioCertify, GraphInstance: g,
+		Starts: []int{start1, start2}, Labels: []Label{l1, l2}, Moves: moves,
+	})
+	if err != nil {
+		return CertResult{}, err
+	}
+	return *res.Cert, nil
 }
 
 // ESSTExplore runs Procedure ESST: an explorer and a parked token.
+//
+// Deprecated: build an Engine and run a ScenarioESST Scenario.
 func ESSTExplore(g *Graph, startExplorer, startToken int, env *Env,
 	adv Adversary, maxSteps int) (*ESSTResult, error) {
-	if adv == nil {
-		adv = &sched.RoundRobin{}
+	res, err := legacyRun(env, Scenario{
+		Kind: ScenarioESST, GraphInstance: g, AdversaryInstance: adv,
+		Starts: []int{startExplorer, startToken}, Budget: maxSteps,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return esst.Explore(g, startExplorer, startToken, env.Catalog(), adv, maxSteps)
+	return res.ESST, nil
 }
 
 // SGL runs Strong Global Learning for a team of k > 1 agents; the four
 // applications (team size, leader election, perfect renaming, gossiping)
 // are all derivable from the result, or use the sgl package's wrappers.
+//
+// Deprecated: build an Engine and run a ScenarioSGL Scenario. This
+// function remains for configurations a declarative Scenario does not
+// express (custom Phase2Budget, InitiallyAwake subsets).
 func SGL(cfg SGLConfig) (*SGLResult, error) { return sgl.Run(cfg) }
 
 // CostModel returns the exact big-integer cost model over a generic

@@ -1,0 +1,85 @@
+package meetpoly
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"meetpoly/internal/sched"
+)
+
+// Observer receives execution events from running scenarios: adversary
+// steps, completed edge traversals, meetings, and algorithm phase
+// changes. Attach one to an Engine with WithObserver.
+//
+// Within a single run all callbacks are serialized. The engine
+// additionally wraps the observer in a mutex so that one observer value
+// may watch a whole RunBatch without further synchronization.
+type Observer = sched.Observer
+
+// FuncObserver adapts optional callbacks to the Observer interface; nil
+// fields ignore their event kind.
+type FuncObserver = sched.FuncObserver
+
+// Event is one adversary decision (wake or advance of one agent).
+type Event = sched.Event
+
+// Meeting is a recorded meeting of two or more agents.
+type Meeting = sched.Meeting
+
+// Summary is the scheduler-level outcome of one execution.
+type Summary = sched.Summary
+
+// NewTraceObserver returns an Observer that writes a line per
+// traversal, meeting and phase change to w — the quick way to watch an
+// execution from a command line (`rvsim -trace`).
+func NewTraceObserver(w io.Writer) Observer {
+	return &FuncObserver{
+		Traversal: func(agent, from, to int) {
+			fmt.Fprintf(w, "agent %d: %d -> %d\n", agent, from, to)
+		},
+		Meeting: func(m Meeting) {
+			where := fmt.Sprintf("node %d", m.Node)
+			if m.InEdge {
+				where = fmt.Sprintf("edge %v", m.Edge)
+			}
+			fmt.Fprintf(w, "MEETING %v at %s (step %d, cost %d)\n", m.Participants, where, m.Step, m.Cost)
+		},
+		Phase: func(agent int, phase string) {
+			fmt.Fprintf(w, "agent %d: [%s]\n", agent, phase)
+		},
+	}
+}
+
+// lockedObserver serializes an Observer across concurrently executing
+// runners, so a single observer can watch an entire RunBatch.
+type lockedObserver struct {
+	mu    sync.Mutex
+	inner Observer
+}
+
+var _ Observer = (*lockedObserver)(nil)
+
+func (l *lockedObserver) OnEvent(step int, ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnEvent(step, ev)
+}
+
+func (l *lockedObserver) OnTraversal(agent, from, to int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnTraversal(agent, from, to)
+}
+
+func (l *lockedObserver) OnMeeting(m Meeting) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnMeeting(m)
+}
+
+func (l *lockedObserver) OnPhase(agent int, phase string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.OnPhase(agent, phase)
+}

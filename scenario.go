@@ -1,0 +1,377 @@
+package meetpoly
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"meetpoly/internal/graph"
+	"meetpoly/internal/sched"
+)
+
+// ScenarioKind selects which of the paper's algorithms a Scenario runs.
+type ScenarioKind string
+
+// Scenario kinds.
+const (
+	// ScenarioRendezvous runs Algorithm RV-asynch-poly (Theorem 3.1).
+	ScenarioRendezvous ScenarioKind = "rendezvous"
+	// ScenarioBaseline runs the exponential-cost comparator.
+	ScenarioBaseline ScenarioKind = "baseline"
+	// ScenarioESST runs Procedure ESST (Theorem 2.1): Starts[0] is the
+	// explorer, Starts[1] the parked token; Labels are unused.
+	ScenarioESST ScenarioKind = "esst"
+	// ScenarioSGL runs Algorithm SGL (Theorem 4.1) for a team of
+	// len(Starts) agents.
+	ScenarioSGL ScenarioKind = "sgl"
+	// ScenarioCertify runs the exhaustive lattice adversary on the two
+	// agents' route prefixes of Moves traversals each; Budget and
+	// Adversary are ignored (the certifier ranges over ALL schedules).
+	ScenarioCertify ScenarioKind = "certify"
+)
+
+// GraphSpec declaratively describes a graph so that scenarios round-trip
+// through JSON. Builders are deterministic: the same spec always yields
+// the same port-numbered graph, which is what lets a shared verified
+// catalog recognize rebuilt family members without re-verification.
+type GraphSpec struct {
+	// Kind is one of path|ring|star|clique|bintree|tree|random|grid|
+	// torus|hypercube|lollipop|petersen.
+	Kind string `json:"kind"`
+	// N is the node count (ignored for petersen; for hypercube it is
+	// the dimension; for grid/torus/lollipop see Rows/Cols).
+	N int `json:"n,omitempty"`
+	// Rows and Cols size grid and torus graphs; for lollipop they are
+	// the clique size and tail length.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// P is the edge probability for random graphs (default 0.3).
+	P float64 `json:"p,omitempty"`
+	// Seed drives random graph generation and port shuffling.
+	Seed int64 `json:"seed,omitempty"`
+	// Shuffle applies adversarially permuted port numbers (ShufflePorts
+	// with Seed) to the built graph.
+	Shuffle bool `json:"shuffle,omitempty"`
+}
+
+// Build constructs the described graph. All failures wrap
+// ErrInvalidScenario.
+func (s GraphSpec) Build() (g *Graph, err error) {
+	defer func() {
+		// The generators panic on out-of-range parameters (they are
+		// driven by trusted code); a declarative spec is user input, so
+		// convert panics into typed errors.
+		if rec := recover(); rec != nil {
+			g, err = nil, fmt.Errorf("graph spec %+v: %v: %w", s, rec, ErrInvalidScenario)
+		}
+	}()
+	switch s.Kind {
+	case "path":
+		g = graph.Path(s.N)
+	case "ring":
+		g = graph.Ring(s.N)
+	case "star":
+		g = graph.Star(s.N)
+	case "clique", "complete":
+		g = graph.Complete(s.N)
+	case "bintree":
+		g = graph.BinaryTree(s.N)
+	case "tree":
+		g = graph.RandomTree(s.N, s.Seed)
+	case "random":
+		p := s.P
+		if p == 0 {
+			p = 0.3
+		}
+		g = graph.RandomConnected(s.N, p, s.Seed)
+	case "grid":
+		g = graph.Grid(s.Rows, s.Cols)
+	case "torus":
+		g = graph.Torus(s.Rows, s.Cols)
+	case "hypercube":
+		g = graph.Hypercube(s.N)
+	case "lollipop":
+		g = graph.Lollipop(s.Rows, s.Cols)
+	case "petersen":
+		g = graph.Petersen()
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q: %w", s.Kind, ErrInvalidScenario)
+	}
+	if s.Shuffle {
+		g = graph.ShufflePorts(g, s.Seed)
+	}
+	return g, nil
+}
+
+// ParseAdversary resolves a declarative adversary spec string to a
+// strategy, so serialized scenarios and command-line flags reach every
+// constructor the sched package exports:
+//
+//	""                   round-robin (the default)
+//	"roundrobin"         round-robin ("round-robin" also accepted)
+//	"avoider"            the strongest online meeting dodger
+//	"random"             seeded random schedule, seed 42
+//	"random:<seed>"      seeded random schedule
+//	"biased:<w1>,<w2>,…" per-agent speed weights
+//	"latewake:<hold>"    all but agent 0 dormant for <hold> events
+//	                     ("late-wake:<hold>" also accepted)
+//
+// Unknown or malformed specs wrap ErrInvalidScenario. Bare "biased"
+// needs an agent count and is therefore rejected here but accepted
+// inside a Scenario, where it defaults to the 1:5:9:... skew of
+// sched.Strategies.
+func ParseAdversary(spec string) (Adversary, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	switch name {
+	case "", "roundrobin", "round-robin":
+		return &sched.RoundRobin{}, nil
+	case "avoider":
+		return &sched.Avoider{}, nil
+	case "random":
+		seed := int64(42)
+		if arg != "" {
+			v, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("adversary %q: bad seed: %w", spec, ErrInvalidScenario)
+			}
+			seed = v
+		}
+		return sched.NewRandom(seed), nil
+	case "biased":
+		if arg == "" {
+			return nil, fmt.Errorf("adversary %q: biased needs weights: %w", spec, ErrInvalidScenario)
+		}
+		parts := strings.Split(arg, ",")
+		ws := make([]int, len(parts))
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("adversary %q: bad weight %q: %w", spec, p, ErrInvalidScenario)
+			}
+			ws[i] = v
+		}
+		return &sched.Biased{Weights: ws}, nil
+	case "latewake", "late-wake":
+		hold := 200
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("adversary %q: bad hold: %w", spec, ErrInvalidScenario)
+			}
+			hold = v
+		}
+		return &sched.LateWake{Primary: 0, Hold: hold}, nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q: %w", spec, ErrInvalidScenario)
+	}
+}
+
+// Scenario is a declarative, JSON-serializable description of one
+// execution: which algorithm, on which graph, with which agents, under
+// which adversary, and for how long. Execute it with Engine.Run.
+type Scenario struct {
+	// Name is a free-form identifier echoed in results and errors.
+	Name string       `json:"name,omitempty"`
+	Kind ScenarioKind `json:"kind"`
+	// Graph describes the network declaratively.
+	Graph GraphSpec `json:"graph"`
+	// GraphInstance, when non-nil, overrides Graph with an
+	// already-built value (not serialized). The deprecated free
+	// functions use this to route concrete graphs through the engine.
+	GraphInstance *Graph `json:"-"`
+	// Starts are the agents' starting nodes (distinct). For ESST:
+	// [explorer, token].
+	Starts []int `json:"starts"`
+	// Labels are the agents' labels: two distinct positive values for
+	// rendezvous/baseline/certify, one per agent for SGL, unused for
+	// ESST.
+	Labels []Label `json:"labels,omitempty"`
+	// Values are SGL gossip inputs (defaults to "value-of-<label>").
+	Values []string `json:"values,omitempty"`
+	// Adversary is a ParseAdversary spec string; "" = round-robin.
+	Adversary string `json:"adversary,omitempty"`
+	// AdversaryInstance, when non-nil, overrides Adversary with an
+	// already-built strategy (not serialized).
+	AdversaryInstance Adversary `json:"-"`
+	// Budget bounds the number of adversary events (all kinds except
+	// certify).
+	Budget int `json:"budget,omitempty"`
+	// Moves is the certify route-prefix length (certify only).
+	Moves int `json:"moves,omitempty"`
+}
+
+// BuildGraph returns the scenario's graph: GraphInstance when set,
+// otherwise the graph built from the declarative spec.
+func (s Scenario) BuildGraph() (*Graph, error) {
+	if s.GraphInstance != nil {
+		return s.GraphInstance, nil
+	}
+	return s.Graph.Build()
+}
+
+// resolveAdversary returns the scenario's adversary strategy. Bare
+// "biased" (no weights) is resolved here rather than in ParseAdversary
+// because the default 1:5:9:... skew of sched.Strategies needs the
+// agent count, which only the scenario knows.
+func (s Scenario) resolveAdversary() (Adversary, error) {
+	if s.AdversaryInstance != nil {
+		return s.AdversaryInstance, nil
+	}
+	if s.Adversary == "biased" {
+		ws := make([]int, len(s.Starts))
+		for i := range ws {
+			ws[i] = 1 + 4*i
+		}
+		return &sched.Biased{Weights: ws}, nil
+	}
+	return ParseAdversary(s.Adversary)
+}
+
+// Validate checks the scenario against the model's requirements. All
+// failures wrap ErrInvalidScenario.
+func (s Scenario) Validate() error {
+	g, err := s.BuildGraph()
+	if err != nil {
+		return err
+	}
+	return s.validateWith(g)
+}
+
+// validateWith is Validate against an already-built graph, so callers
+// that need the graph anyway (the engine) build it exactly once.
+func (s Scenario) validateWith(g *Graph) error {
+	fail := func(format string, args ...any) error {
+		msg := fmt.Sprintf(format, args...)
+		return fmt.Errorf("scenario %q: %s: %w", s.Name, msg, ErrInvalidScenario)
+	}
+	seen := make(map[int]bool, len(s.Starts))
+	for _, v := range s.Starts {
+		if v < 0 || v >= g.N() {
+			return fail("start node %d out of range [0,%d)", v, g.N())
+		}
+		if seen[v] {
+			return fail("duplicate start node %d", v)
+		}
+		seen[v] = true
+	}
+	adv, err := s.resolveAdversary()
+	if err != nil {
+		return err
+	}
+	// A biased schedule panics inside the runner on a weight/agent
+	// mismatch (it is a programming error there); from a declarative
+	// descriptor it is user input, so reject it here.
+	if b, ok := adv.(*sched.Biased); ok && len(b.Weights) != len(s.Starts) {
+		return fail("biased adversary has %d weights for %d agents", len(b.Weights), len(s.Starts))
+	}
+	distinctPositive := func(ls []Label) error {
+		got := make(map[Label]bool, len(ls))
+		for _, l := range ls {
+			if l == 0 {
+				return fail("labels must be positive")
+			}
+			if got[l] {
+				return fail("duplicate label %d", l)
+			}
+			got[l] = true
+		}
+		return nil
+	}
+	switch s.Kind {
+	case ScenarioRendezvous, ScenarioBaseline:
+		if len(s.Starts) != 2 || len(s.Labels) != 2 {
+			return fail("%s needs exactly 2 starts and 2 labels", s.Kind)
+		}
+		if err := distinctPositive(s.Labels); err != nil {
+			return err
+		}
+		if s.Budget <= 0 {
+			return fail("budget must be positive")
+		}
+	case ScenarioCertify:
+		if len(s.Starts) != 2 || len(s.Labels) != 2 {
+			return fail("certify needs exactly 2 starts and 2 labels")
+		}
+		if err := distinctPositive(s.Labels); err != nil {
+			return err
+		}
+		if s.Moves <= 0 {
+			return fail("certify needs positive moves")
+		}
+	case ScenarioESST:
+		if len(s.Starts) != 2 {
+			return fail("esst needs exactly 2 starts (explorer, token)")
+		}
+		if s.Budget <= 0 {
+			return fail("budget must be positive")
+		}
+	case ScenarioSGL:
+		if len(s.Starts) < 2 {
+			return fail("sgl needs at least 2 agents")
+		}
+		if len(s.Labels) != len(s.Starts) {
+			return fail("sgl needs one label per start (%d vs %d)", len(s.Labels), len(s.Starts))
+		}
+		if err := distinctPositive(s.Labels); err != nil {
+			return err
+		}
+		if s.Values != nil && len(s.Values) != len(s.Labels) {
+			return fail("sgl values must match labels (%d vs %d)", len(s.Values), len(s.Labels))
+		}
+		if s.Budget <= 0 {
+			return fail("budget must be positive")
+		}
+	default:
+		return fail("unknown kind %q", s.Kind)
+	}
+	return nil
+}
+
+// JSON renders the scenario as indented JSON.
+func (s Scenario) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ScenarioFromJSON parses and validates a serialized scenario.
+func ScenarioFromJSON(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario JSON: %v: %w", err, ErrInvalidScenario)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// LoadScenarioFile reads, parses and validates a scenario JSON file,
+// optionally restricting the accepted kinds (the per-algorithm
+// commands each run only their own kind).
+func LoadScenarioFile(path string, kinds ...ScenarioKind) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	s, err := ScenarioFromJSON(data)
+	if err != nil {
+		return Scenario{}, err
+	}
+	if len(kinds) > 0 {
+		ok := false
+		for _, k := range kinds {
+			if s.Kind == k {
+				ok = true
+			}
+		}
+		if !ok {
+			return Scenario{}, fmt.Errorf("%s: scenario kind %q not accepted here (want %v): %w",
+				path, s.Kind, kinds, ErrInvalidScenario)
+		}
+	}
+	return s, nil
+}

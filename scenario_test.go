@@ -1,0 +1,117 @@
+package meetpoly
+
+import (
+	"reflect"
+	"testing"
+
+	"meetpoly/internal/sched"
+)
+
+// TestScenarioJSONRoundTrip serializes scenarios of every kind and
+// checks the parse restores them exactly.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	scs := []Scenario{
+		{Name: "rv", Kind: ScenarioRendezvous,
+			Graph:  GraphSpec{Kind: "ring", N: 5, Seed: 3, Shuffle: true},
+			Starts: []int{0, 4}, Labels: []Label{2, 5},
+			Adversary: "random:7", Budget: 1000},
+		{Name: "base", Kind: ScenarioBaseline,
+			Graph:  GraphSpec{Kind: "path", N: 2},
+			Starts: []int{0, 1}, Labels: []Label{1, 2}, Budget: 10},
+		{Name: "esst", Kind: ScenarioESST,
+			Graph:  GraphSpec{Kind: "clique", N: 4},
+			Starts: []int{0, 3}, Adversary: "biased:1,5", Budget: 500},
+		{Name: "sgl", Kind: ScenarioSGL,
+			Graph:  GraphSpec{Kind: "star", N: 5},
+			Starts: []int{1, 2, 3}, Labels: []Label{4, 2, 7},
+			Values: []string{"a", "b", "c"}, Adversary: "latewake:100", Budget: 99},
+		{Name: "cert", Kind: ScenarioCertify,
+			Graph:  GraphSpec{Kind: "random", N: 6, Seed: 9, P: 0.5},
+			Starts: []int{0, 5}, Labels: []Label{3, 4}, Moves: 40},
+	}
+	for _, sc := range scs {
+		data, err := sc.JSON()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", sc.Name, err)
+		}
+		back, err := ScenarioFromJSON(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", sc.Name, err, data)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", sc.Name, back, sc)
+		}
+	}
+}
+
+// TestScenarioFromJSONValidates ensures the parser rejects structurally
+// valid JSON describing invalid scenarios.
+func TestScenarioFromJSONValidates(t *testing.T) {
+	if _, err := ScenarioFromJSON([]byte(`{"kind":"rendezvous","graph":{"kind":"path","n":4},"starts":[0,0],"labels":[1,2],"budget":10}`)); err == nil {
+		t.Error("duplicate starts must fail")
+	}
+	if _, err := ScenarioFromJSON([]byte(`{not json`)); err == nil {
+		t.Error("malformed JSON must fail")
+	}
+}
+
+// TestParseAdversary maps every spec string onto its strategy type.
+func TestParseAdversary(t *testing.T) {
+	cases := map[string]any{
+		"":             &sched.RoundRobin{},
+		"roundrobin":   &sched.RoundRobin{},
+		"round-robin":  &sched.RoundRobin{},
+		"avoider":      &sched.Avoider{},
+		"random":       &sched.Random{},
+		"random:99":    &sched.Random{},
+		"biased:1,5,9": &sched.Biased{},
+		"latewake:10":  &sched.LateWake{},
+		"late-wake:10": &sched.LateWake{},
+	}
+	for spec, want := range cases {
+		adv, err := ParseAdversary(spec)
+		if err != nil {
+			t.Errorf("%q: %v", spec, err)
+			continue
+		}
+		if reflect.TypeOf(adv) != reflect.TypeOf(want) {
+			t.Errorf("%q: got %T, want %T", spec, adv, want)
+		}
+	}
+	for _, bad := range []string{"chaos", "random:x", "biased:", "biased:1,x", "latewake:x"} {
+		if _, err := ParseAdversary(bad); err == nil {
+			t.Errorf("%q: expected an error", bad)
+		}
+	}
+	// The biased weights must actually arrive.
+	adv, err := ParseAdversary("biased:1,5,9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := adv.(*sched.Biased); !reflect.DeepEqual(b.Weights, []int{1, 5, 9}) {
+		t.Errorf("weights = %v", b.Weights)
+	}
+}
+
+// TestGraphSpecBuild pins the declarative builders to the generator
+// package: identical parameters must produce structurally equal graphs,
+// and bad specs must produce typed errors rather than panics.
+func TestGraphSpecBuild(t *testing.T) {
+	g1, err := GraphSpec{Kind: "ring", N: 5, Seed: 3, Shuffle: true}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GraphSpec{Kind: "ring", N: 5, Seed: 3, Shuffle: true}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.N() != 5 || g1.String() != g2.String() {
+		t.Errorf("deterministic build violated: %v vs %v", g1, g2)
+	}
+	if _, err := (GraphSpec{Kind: "path", N: 1}).Build(); err == nil {
+		t.Error("path of 1 node must fail (generator panic converted)")
+	}
+	if _, err := (GraphSpec{Kind: "nope"}).Build(); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}
