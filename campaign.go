@@ -1,0 +1,210 @@
+package meetpoly
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"meetpoly/internal/campaign"
+)
+
+// The campaign sweep subsystem: a SweepSpec declares the cross product
+// of graph families × sizes × start pairs × label pairs × adversary
+// specs × scenario kinds, Engine.Sweep expands it into concrete
+// Scenarios, fans them out over the engine's worker pool, checks every
+// run against oracle predicates derived from the paper's cost bounds,
+// and aggregates the results into a cost-statistics report.
+//
+// Determinism is the point: each cell's seed string ("<spec seed>#<i>")
+// pins its starts, labels and adversary seed, so any failing cell
+// replays from the spec plus that one string (Engine.ReplayCell).
+
+// SweepSpec declares a campaign. See internal/campaign.Spec for the
+// field-by-field contract; load one from JSON with SweepSpecFromJSON or
+// LoadSweepSpecFile.
+type SweepSpec = campaign.Spec
+
+// SweepGraphAxis is one graph family × size axis of a SweepSpec.
+type SweepGraphAxis = campaign.GraphAxis
+
+// SweepCell is one fully-resolved scenario descriptor of a sweep.
+type SweepCell = campaign.Cell
+
+// SweepOutcome is the engine-agnostic record of one executed cell that
+// oracles judge.
+type SweepOutcome = campaign.Outcome
+
+// SweepOracle is a machine-checked predicate over one executed cell.
+type SweepOracle = campaign.Oracle
+
+// SweepCellResult pairs a cell with its outcome and oracle verdicts.
+type SweepCellResult = campaign.CellResult
+
+// SweepReport is the aggregate outcome of a campaign.
+type SweepReport = campaign.Report
+
+// CellScenario converts an expanded campaign cell into the Scenario it
+// executes. The conversion is 1:1 and deterministic, so a replayed cell
+// runs exactly the scenario the sweep ran.
+func CellScenario(c SweepCell) Scenario {
+	sc := Scenario{
+		Name: c.ID,
+		Kind: ScenarioKind(c.Kind),
+		Graph: GraphSpec{
+			Kind: c.Graph.Kind, N: c.Graph.N,
+			Rows: c.Graph.Rows, Cols: c.Graph.Cols,
+			P: c.Graph.P, Seed: c.Graph.Seed, Shuffle: c.Graph.Shuffle,
+		},
+		Starts:    append([]int(nil), c.Starts...),
+		Adversary: c.Adversary,
+		Budget:    c.Budget,
+		Moves:     c.Moves,
+	}
+	for _, l := range c.Labels {
+		sc.Labels = append(sc.Labels, Label(l))
+	}
+	return sc
+}
+
+// ExpandSweep expands a sweep spec into its cells and the scenarios
+// they execute, index-aligned.
+func ExpandSweep(spec SweepSpec) ([]SweepCell, []Scenario, error) {
+	cells, err := campaign.Expand(spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%v: %w", err, ErrInvalidScenario)
+	}
+	scs := make([]Scenario, len(cells))
+	for i, c := range cells {
+		scs[i] = CellScenario(c)
+	}
+	return cells, scs, nil
+}
+
+// sweepOutcome classifies one batch result into the engine-agnostic
+// outcome the campaign oracles consume.
+func sweepOutcome(cell SweepCell, br BatchResult) SweepOutcome {
+	o := SweepOutcome{Consistent: true}
+	g := br.Graph
+	if g == nil {
+		// Replayed cells arrive without the batch-prepared graph; the
+		// build is deterministic, so rebuilding preserves the facts.
+		if built, err := br.Scenario.BuildGraph(); err == nil {
+			g = built
+		}
+	}
+	if g != nil {
+		o.N, o.M = g.N(), g.M()
+	}
+	if br.Err != nil {
+		o.Err = br.Err.Error()
+		switch {
+		case errors.Is(br.Err, ErrCanceled):
+			o.Canceled = true
+		case errors.Is(br.Err, ErrBudgetExhausted):
+			o.Exhausted = true
+		case errors.Is(br.Err, ErrInvalidScenario), errors.Is(br.Err, ErrCatalogUncovered):
+			o.Invalid = true
+		default:
+			o.EndedEarly = true
+		}
+	}
+	res := br.Result
+	if res == nil {
+		return o
+	}
+	fill := func(sum Summary) {
+		o.Cost = sum.TotalCost
+		o.MaxPerAgent = sum.Account.MaxPerAgent
+		o.Committed = sum.Account.Committed
+	}
+	switch {
+	case res.Rendezvous != nil:
+		fill(res.Rendezvous.Summary)
+		if res.Rendezvous.Met && br.Err == nil {
+			o.Met = true
+			o.Cost = res.Rendezvous.Meeting.Cost
+		}
+	case res.Baseline != nil:
+		fill(res.Baseline.Summary)
+		if res.Baseline.Met && br.Err == nil {
+			o.Met = true
+			o.Cost = res.Baseline.Meeting.Cost
+		}
+	case res.ESST != nil:
+		fill(res.ESST.Summary)
+		if res.ESST.Done && br.Err == nil {
+			o.Met = true
+			o.Cost = res.ESST.Cost
+			if !res.ESST.Covered {
+				o.Consistent = false
+				o.Detail = "esst reported done without covering every edge"
+			}
+		}
+	case res.SGL != nil:
+		fill(res.SGL.Summary)
+		if res.SGL.AllOutput && br.Err == nil {
+			o.Met = true
+			o.Cost = res.SGL.TotalCost
+			if detail := sglInconsistency(res.SGL); detail != "" {
+				o.Consistent = false
+				o.Detail = detail
+			}
+		}
+	case res.Cert != nil:
+		if br.Err == nil {
+			o.Met = true
+			o.Cost = res.Cert.WorstCompleted
+			if res.Cert.Forced && res.Cert.WorstCommitted < res.Cert.WorstCompleted {
+				o.Consistent = false
+				o.Detail = "certifier committed cost below completed cost"
+			}
+		}
+	}
+	return o
+}
+
+// sglInconsistency checks the semantic invariants of a completed Strong
+// Global Learning run: every agent output the same label set, agreed on
+// the leader (the smallest label), reported the true team size, and took
+// a distinct new name in 1..k. It returns "" when all hold.
+func sglInconsistency(r *SGLResult) string {
+	k := len(r.Agents)
+	var ref []Label
+	names := make(map[int]bool, k)
+	minLabel := Label(0)
+	for _, a := range r.Agents {
+		if a.Label < minLabel || minLabel == 0 {
+			minLabel = a.Label
+		}
+	}
+	for i, a := range r.Agents {
+		if !a.HasOutput {
+			return fmt.Sprintf("agent %d has no output despite AllOutput", i)
+		}
+		if a.TeamSize != k {
+			return fmt.Sprintf("agent %d reports team size %d, want %d", i, a.TeamSize, k)
+		}
+		if a.Leader != minLabel {
+			return fmt.Sprintf("agent %d elected leader %d, want %d", i, a.Leader, minLabel)
+		}
+		if a.NewName < 1 || a.NewName > k || names[a.NewName] {
+			return fmt.Sprintf("agent %d renamed to %d (not a fresh name in 1..%d)", i, a.NewName, k)
+		}
+		names[a.NewName] = true
+		out := append([]Label(nil), a.Output...)
+		sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+		if ref == nil {
+			ref = out
+			continue
+		}
+		if len(out) != len(ref) {
+			return fmt.Sprintf("agent %d output %d labels, agent 0 output %d", i, len(out), len(ref))
+		}
+		for j := range out {
+			if out[j] != ref[j] {
+				return fmt.Sprintf("agent %d output disagrees with agent 0 at position %d", i, j)
+			}
+		}
+	}
+	return ""
+}

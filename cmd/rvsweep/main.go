@@ -1,0 +1,117 @@
+// Command rvsweep runs a campaign sweep from a declarative JSON spec:
+// it expands the spec's cross product (graph families × sizes × start
+// pairs × label pairs × adversaries × scenario kinds) into concrete
+// scenarios, executes them over a shared engine, checks every run
+// against the paper-bound oracles (termination, Π/baseline/ESST cost
+// bounds, lemma inequalities), and prints the aggregate cost table.
+//
+// Every failing cell is reported with a replay seed string; re-run that
+// one cell with:
+//
+//	rvsweep -spec campaign.json -replay 'seed#index'
+//
+// The process exits non-zero when any oracle fails, so a sweep doubles
+// as a CI gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"meetpoly"
+)
+
+func main() {
+	var (
+		specPath    = flag.String("spec", "", "path to the sweep spec JSON (required)")
+		replay      = flag.String("replay", "", "replay a single cell from its seed string instead of sweeping")
+		expand      = flag.Bool("expand", false, "expand the spec and list cells without running them")
+		maxN        = flag.Int("maxn", 6, "size ceiling of the engine's verified catalog family")
+		seed        = flag.Int64("seed", 1, "seed of the engine's verified catalog")
+		parallelism = flag.Int("parallelism", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON instead of a table")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "rvsweep: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := meetpoly.LoadSweepSpecFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *expand {
+		cells, _, err := meetpoly.ExpandSweep(spec)
+		if err != nil {
+			fatal(err)
+		}
+		for _, c := range cells {
+			fmt.Printf("%-6s %s\n", c.Seed, c.ID)
+		}
+		fmt.Printf("%d cells\n", len(cells))
+		return
+	}
+
+	opts := []meetpoly.Option{meetpoly.WithMaxN(*maxN), meetpoly.WithSeed(*seed)}
+	if *parallelism > 0 {
+		opts = append(opts, meetpoly.WithParallelism(*parallelism))
+	}
+	eng := meetpoly.NewEngine(opts...)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *replay != "" {
+		cr, err := eng.ReplayCell(ctx, spec, *replay)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := json.MarshalIndent(cr, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		// A canceled replay verified nothing: the oracles skip canceled
+		// runs by design, so a clean verdict here would be a lie.
+		if cr.Outcome.Canceled {
+			fmt.Fprintln(os.Stderr, "rvsweep: replay interrupted before completing")
+			os.Exit(1)
+		}
+		if cr.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := eng.Sweep(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(rep.Table())
+	}
+	if rep.Canc > 0 {
+		// Report.OK is false for interrupted sweeps (canceled cells
+		// verified nothing); name the cause before the gate fires.
+		fmt.Fprintf(os.Stderr, "rvsweep: sweep interrupted: %d of %d cells canceled\n", rep.Canc, rep.Cells)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rvsweep:", err)
+	os.Exit(1)
+}

@@ -7,7 +7,9 @@ import (
 	"sync"
 
 	"meetpoly/internal/baseline"
+	"meetpoly/internal/campaign"
 	"meetpoly/internal/core"
+	"meetpoly/internal/costmodel"
 	"meetpoly/internal/esst"
 	"meetpoly/internal/sched"
 	"meetpoly/internal/sgl"
@@ -190,17 +192,19 @@ func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adv
 	opts := sched.RunOpts{Ctx: ctx, Observer: e.obs}
 	res := &Result{Scenario: sc}
 
-	// finish maps scheduler-level outcomes to the typed sentinels:
-	// cancellation first, then goal-miss. Only a run that actually
-	// consumed its budget reports ErrBudgetExhausted — a goal missed
-	// because the adversary rested or every agent halted would not be
-	// cured by a larger budget, so it gets a distinct error.
+	// finish maps scheduler-level outcomes to the typed sentinels. A
+	// run that reached its goal succeeds even if the context fired just
+	// afterwards (the result is complete; cancellation only matters for
+	// work cut short). Only a run that actually consumed its budget
+	// reports ErrBudgetExhausted — a goal missed because the adversary
+	// rested or every agent halted would not be cured by a larger
+	// budget, so it gets a distinct error.
 	finish := func(sum Summary, goalMet bool, miss string) error {
-		if sum.Canceled {
-			return fmt.Errorf("scenario %q: %w (%w)", sc.Name, ErrCanceled, ctx.Err())
-		}
 		if goalMet {
 			return nil
+		}
+		if sum.Canceled {
+			return fmt.Errorf("scenario %q: %w (%w)", sc.Name, ErrCanceled, ctx.Err())
 		}
 		if sum.Exhausted {
 			return fmt.Errorf("scenario %q: %s within %d events: %w",
@@ -270,8 +274,12 @@ func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adv
 type BatchResult struct {
 	Index    int
 	Scenario Scenario
-	Result   *Result
-	Err      error
+	// Graph is the built graph the run executed (nil when the build or
+	// validation failed). Consumers that need graph facts — campaign
+	// oracles read N and M — use it instead of rebuilding the spec.
+	Graph  *Graph
+	Result *Result
+	Err    error
 }
 
 // RunBatch executes the scenarios concurrently over a worker pool of
@@ -301,6 +309,7 @@ func (e *Engine) RunBatch(ctx context.Context, scs []Scenario) []BatchResult {
 			out[i].Err = err
 			continue
 		}
+		out[i].Graph = g
 		runnable = append(runnable, prepared{idx: i, g: g, adv: adv})
 	}
 	workers := e.parallelism
@@ -329,4 +338,74 @@ func (e *Engine) RunBatch(ctx context.Context, scs []Scenario) []BatchResult {
 	close(jobs)
 	wg.Wait()
 	return out
+}
+
+// BoundModel returns the paper's cost model bound to the concrete
+// exploration-sequence lengths of the engine's catalog: the Π(n, ℓ) this
+// model evaluates is the exact guarantee for scenarios this engine runs.
+// Campaign oracles are parameterized by it.
+func (e *Engine) BoundModel() *costmodel.Model {
+	return costmodel.NewFromLengths(func(k int) int { return e.env.Catalog().P(k) })
+}
+
+// Sweep expands a campaign spec into scenarios, executes them over the
+// engine's worker pool, checks every run against the default paper-bound
+// oracle suite (termination, result consistency, Π/baseline/ESST cost
+// bounds, lemma inequalities), and aggregates the results. The returned
+// report is complete even when oracles fail — check Report.OK, and
+// replay any failure with ReplayCell and its reported seed string.
+//
+// The error is non-nil only for a malformed spec; per-run failures are
+// data, not errors.
+func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepReport, error) {
+	return e.SweepWithOracles(ctx, spec, campaign.DefaultOracles(e.BoundModel())...)
+}
+
+// SweepWithOracles is Sweep with an explicit oracle suite, for callers
+// that add domain-specific predicates (or inject failing ones to test
+// the replay loop).
+func (e *Engine) SweepWithOracles(ctx context.Context, spec SweepSpec, oracles ...SweepOracle) (*SweepReport, error) {
+	cells, scs, err := ExpandSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	brs := e.RunBatch(ctx, scs)
+	results := make([]SweepCellResult, len(cells))
+	for i := range cells {
+		results[i] = e.judge(cells[i], brs[i], oracles)
+	}
+	return campaign.BuildReport(spec, results, nil), nil
+}
+
+// judge classifies one batch result and runs the oracle suite over it.
+func (e *Engine) judge(cell SweepCell, br BatchResult, oracles []SweepOracle) SweepCellResult {
+	out := sweepOutcome(cell, br)
+	cr := SweepCellResult{Cell: cell, Outcome: out}
+	for _, o := range oracles {
+		if err := o.Check(cell, out); err != nil {
+			cr.Failures = append(cr.Failures, campaign.OracleFailure{Oracle: o.Name(), Err: err.Error()})
+		}
+	}
+	return cr
+}
+
+// ReplayCell re-derives the single cell a replay seed string identifies
+// (spec must be the campaign it came from), executes it, and re-checks
+// the default oracle suite — the one-seed-string reproduction loop for
+// sweep failures. Use ReplayCellWithOracles to reproduce a failure of a
+// custom suite.
+func (e *Engine) ReplayCell(ctx context.Context, spec SweepSpec, seed string) (*SweepCellResult, error) {
+	return e.ReplayCellWithOracles(ctx, spec, seed, campaign.DefaultOracles(e.BoundModel())...)
+}
+
+// ReplayCellWithOracles is ReplayCell with an explicit oracle suite.
+func (e *Engine) ReplayCellWithOracles(ctx context.Context, spec SweepSpec, seed string, oracles ...SweepOracle) (*SweepCellResult, error) {
+	cell, err := campaign.Replay(spec, seed)
+	if err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrInvalidScenario)
+	}
+	sc := CellScenario(cell)
+	res, runErr := e.Run(ctx, sc)
+	cr := e.judge(cell, BatchResult{Index: cell.Index, Scenario: sc, Result: res, Err: runErr}, oracles)
+	return &cr, nil
 }

@@ -3,6 +3,8 @@ package meetpoly
 import (
 	"context"
 	"errors"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -152,6 +154,76 @@ func TestRunBatchSharedCatalog(t *testing.T) {
 		if br.Result == nil {
 			t.Errorf("scenario %q: nil result", br.Scenario.Name)
 		}
+	}
+}
+
+// TestRunBatchCancelMidBatch cancels a batch right after its first
+// scenario produces a result: the first result must stand (its goal was
+// reached before the cancellation), every remaining BatchResult must
+// carry ErrCanceled, and the worker pool must drain without leaking
+// goroutines.
+func TestRunBatchCancelMidBatch(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	// The observer fires at the first meeting of the batch; with
+	// parallelism 1 that is deterministically scenario 0's meeting.
+	obs := &FuncObserver{Meeting: func(Meeting) { once.Do(cancel) }}
+	eng := NewEngine(WithMaxN(4), WithSeed(1), WithParallelism(1), WithObserver(obs))
+
+	scs := []Scenario{{
+		Name: "fast-meeting", Kind: ScenarioRendezvous,
+		Graph:  GraphSpec{Kind: "path", N: 4},
+		Starts: []int{0, 3}, Labels: []Label{2, 5}, Budget: 2_000_000,
+	}}
+	for i := 0; i < 7; i++ {
+		// Symmetric oriented-ring instances: without the cancellation
+		// these would churn through an effectively unbounded budget, so
+		// the test only terminates if mid-batch cancellation works.
+		scs = append(scs, Scenario{
+			Name: "doomed", Kind: ScenarioRendezvous,
+			Graph:  GraphSpec{Kind: "ring", N: 4},
+			Starts: []int{0, 2}, Labels: []Label{1, 3}, Budget: 1 << 40,
+		})
+	}
+
+	out := eng.RunBatch(ctx, scs)
+	if len(out) != len(scs) {
+		t.Fatalf("got %d results for %d scenarios", len(out), len(scs))
+	}
+	first := out[0]
+	if first.Err != nil {
+		t.Fatalf("first scenario met before the cancel and must not error: %v", first.Err)
+	}
+	if first.Result == nil || first.Result.Rendezvous == nil || !first.Result.Rendezvous.Met {
+		t.Fatal("first scenario should have met")
+	}
+	for _, br := range out[1:] {
+		if !errors.Is(br.Err, ErrCanceled) {
+			t.Fatalf("scenario %d (%s): want ErrCanceled, got %v", br.Index, br.Scenario.Name, br.Err)
+		}
+		if !errors.Is(br.Err, context.Canceled) {
+			t.Fatalf("scenario %d: error should wrap context.Canceled, got %v", br.Index, br.Err)
+		}
+	}
+
+	// The pool and every agent goroutine must drain. Goroutine counts
+	// are noisy (test runner, GC), so poll with a tolerance.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("worker pool leaked goroutines: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,79 @@
+package meetpoly
+
+import (
+	"errors"
+	"testing"
+)
+
+// Native fuzz targets hardening the declarative input surface: whatever
+// bytes arrive as scenario JSON or adversary spec strings, the parsers
+// must either succeed or return an error wrapping ErrInvalidScenario —
+// never panic, never return an untyped failure. Run the full fuzzers
+// with:
+//
+//	go test -fuzz=FuzzScenarioFromJSON -fuzztime=30s .
+//	go test -fuzz=FuzzParseAdversary  -fuzztime=30s .
+
+func FuzzScenarioFromJSON(f *testing.F) {
+	// Seed corpus: one valid scenario per kind, plus representative
+	// malformed inputs (truncated JSON, wrong types, out-of-range and
+	// oversized parameters, bad adversary specs).
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"path","n":4},"starts":[0,3],"labels":[2,5],"budget":1000}`))
+	f.Add([]byte(`{"kind":"baseline","graph":{"kind":"ring","n":4},"starts":[0,2],"labels":[1,2],"budget":1000}`))
+	f.Add([]byte(`{"kind":"esst","graph":{"kind":"star","n":5},"starts":[1,3],"budget":1000}`))
+	f.Add([]byte(`{"kind":"sgl","graph":{"kind":"clique","n":4},"starts":[0,1,2],"labels":[3,1,7],"budget":1000}`))
+	f.Add([]byte(`{"kind":"certify","graph":{"kind":"path","n":3},"starts":[0,2],"labels":[1,2],"moves":50}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"grid","rows":2,"cols":3},"starts":[0,5],"labels":[2,5],"budget":9,"adversary":"biased:1,5"}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"tree","n":5,"seed":5,"shuffle":true},"starts":[0,4],"labels":[2,5],"budget":9}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"kind":"teleport"}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"clique","n":1000000000},"starts":[0,1],"labels":[1,2],"budget":1}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"grid","rows":-3,"cols":-9},"starts":[0,1],"labels":[1,2],"budget":1}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"lollipop","rows":4611686018427387904,"cols":4611686018427387904},"starts":[0,1],"labels":[1,2],"budget":1}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"hypercube","n":63},"starts":[0,1],"labels":[1,2],"budget":1}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"path","n":4},"starts":[0,0],"labels":[1,1],"budget":-5}`))
+	f.Add([]byte(`{"kind":"sgl","graph":{"kind":"path","n":4},"starts":[0,3],"labels":[1],"values":["a","b"],"budget":1}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"path","n":4},"starts":[0,3],"labels":[2,5],"budget":9,"adversary":"biased:1,5,9"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ScenarioFromJSON(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidScenario) {
+				t.Fatalf("non-typed error %v for input %q", err, data)
+			}
+			return
+		}
+		// An accepted scenario must re-serialize and still validate.
+		out, err := sc.JSON()
+		if err != nil {
+			t.Fatalf("accepted scenario does not serialize: %v", err)
+		}
+		if _, err := ScenarioFromJSON(out); err != nil {
+			t.Fatalf("accepted scenario does not round-trip: %v\n%s", err, out)
+		}
+	})
+}
+
+func FuzzParseAdversary(f *testing.F) {
+	for _, s := range []string{
+		"", "roundrobin", "round-robin", "avoider",
+		"random", "random:7", "random:-9223372036854775808",
+		"biased", "biased:1,5", "biased:0,0", "biased:1,-2", "biased:,",
+		"latewake", "late-wake:200", "latewake:-1", "latewake:99999999999999999999",
+		"chaos", ":", "random:", "biased:",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		adv, err := ParseAdversary(spec)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidScenario) {
+				t.Fatalf("non-typed error %v for spec %q", err, spec)
+			}
+			return
+		}
+		if adv == nil {
+			t.Fatalf("nil adversary without error for spec %q", spec)
+		}
+	})
+}

@@ -1,0 +1,548 @@
+// Package campaign implements the sweep engine behind the public
+// Campaign/Sweep API: it expands a declarative sweep specification (the
+// cross product of graph families × sizes × start pairs × label pairs ×
+// adversary specs × scenario kinds) into concrete scenario cells with
+// deterministic per-cell seeds, checks every run against oracle
+// predicates derived from the paper's cost bounds (internal/costmodel),
+// and aggregates per-cell results into cost-statistics tables.
+//
+// The package is deliberately engine-agnostic: it produces Cells (plain
+// scenario descriptors) and consumes Outcomes (plain run summaries), so
+// the root package owns the only dependency on the Engine. Everything
+// here is deterministic — expanding the same Spec always yields the same
+// cells in the same order, which is what lets a single seed string like
+// "nightly#412" replay any failing cell exactly (see Replay).
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"meetpoly/internal/uxs"
+)
+
+// Scenario kind names, mirroring the root package's ScenarioKind values
+// (an internal package cannot import the root facade).
+const (
+	KindRendezvous = "rendezvous"
+	KindBaseline   = "baseline"
+	KindESST       = "esst"
+	KindSGL        = "sgl"
+	KindCertify    = "certify"
+)
+
+// AllKinds lists every sweepable scenario kind.
+func AllKinds() []string {
+	return []string{KindRendezvous, KindBaseline, KindESST, KindSGL, KindCertify}
+}
+
+// MaxSpecNodes caps the node count a declarative graph descriptor may
+// request. The root package's GraphSpec enforces the same cap (it
+// aliases this constant), so spec validation and scenario validation
+// agree: a Spec that passes Validate never expands into cells the
+// engine rejects for size.
+const MaxSpecNodes = 2048
+
+// MaxCells caps the number of cells a spec may expand into. A sweep
+// spec is user input like any other declarative descriptor, and without
+// this cap "start_pairs": 2e9 would make Expand an allocation bomb.
+// 2^18 cells is two orders of magnitude beyond the acceptance campaign.
+const MaxCells = 1 << 18
+
+// maxHypercubeDim is the largest hypercube dimension under the cap
+// (2^11 = 2048).
+const maxHypercubeDim = 11
+
+// NodeCount resolves the node count a declarative graph descriptor of
+// the given kind requests, enforcing MaxSpecNodes (dimensions are
+// checked individually before multiplying, so oversized inputs cannot
+// overflow). It is the single sizing formula shared by campaign axis
+// validation and the root package's GraphSpec, so the two can never
+// disagree about which descriptors fit under the cap. Lower bounds
+// (path >= 2, grid rows >= 1, ...) remain with the builders and axis
+// validation; n < 1 for hypercube resolves to 0 and is left for them
+// to reject.
+func NodeCount(kind string, n, rows, cols int) (int, error) {
+	switch kind {
+	case "grid", "torus":
+		if rows < 0 || cols < 0 || rows > MaxSpecNodes || cols > MaxSpecNodes || rows*cols > MaxSpecNodes {
+			return 0, fmt.Errorf("%s %dx%d exceeds the %d-node spec cap", kind, rows, cols, MaxSpecNodes)
+		}
+		return rows * cols, nil
+	case "lollipop":
+		// Check each dimension before summing: the sum of two near-max
+		// ints overflows negative and would sneak past the cap.
+		if rows < 0 || cols < 0 || rows > MaxSpecNodes || cols > MaxSpecNodes || rows+cols > MaxSpecNodes {
+			return 0, fmt.Errorf("lollipop %d+%d exceeds the %d-node spec cap", rows, cols, MaxSpecNodes)
+		}
+		return rows + cols, nil
+	case "hypercube":
+		if n > maxHypercubeDim {
+			return 0, fmt.Errorf("hypercube dimension %d exceeds the cap of %d (2^%d = %d nodes)",
+				n, maxHypercubeDim, maxHypercubeDim, MaxSpecNodes)
+		}
+		if n < 1 {
+			return 0, nil
+		}
+		return 1 << n, nil
+	case "petersen":
+		return 10, nil
+	default:
+		if n > MaxSpecNodes {
+			return 0, fmt.Errorf("%s size %d exceeds the %d-node spec cap", kind, n, MaxSpecNodes)
+		}
+		return n, nil
+	}
+}
+
+// Spec declaratively describes a campaign: the axes whose cross product
+// becomes the cell set. It round-trips through JSON so campaigns are
+// files, not code.
+type Spec struct {
+	// Name identifies the campaign in reports.
+	Name string `json:"name,omitempty"`
+	// Seed is the campaign master seed string. Every cell's replay seed
+	// is "<Seed>#<index>", and all derived randomness (start pairs,
+	// label values, random-adversary seeds) hashes off that string, so
+	// one seed string pins one exact scenario.
+	Seed string `json:"seed"`
+	// Kinds are the scenario kinds to sweep (default: all five).
+	Kinds []string `json:"kinds,omitempty"`
+	// Graphs are the graph axes (family × sizes).
+	Graphs []GraphAxis `json:"graphs"`
+	// StartPairs is how many start placements to derive per graph cell
+	// (default 1). Placement sp is shared by every cell with the same
+	// graph and sp index — across kinds, label pairs and adversaries —
+	// so those axes compare the same instances. Distinct sp values are
+	// independent draws and can coincide on very small graphs.
+	StartPairs int `json:"start_pairs,omitempty"`
+	// LabelPairs is how many label assignments to derive per placement
+	// for labeled kinds (default 1; ESST ignores it). Assignment lp is
+	// likewise shared across kinds and adversaries; distinct lp values
+	// are independent draws and may occasionally coincide.
+	LabelPairs int `json:"label_pairs,omitempty"`
+	// Adversaries are adversary spec strings in the root package's
+	// ParseAdversary syntax (default: [""], the round-robin schedule).
+	// A bare "random" is specialized per cell with a derived seed so
+	// cells differ; "random:<seed>" pins one seed for every cell.
+	Adversaries []string `json:"adversaries,omitempty"`
+	// Budget bounds adversary events per run (all kinds but certify).
+	Budget int `json:"budget"`
+	// Moves is the certify route-prefix length (default 200).
+	Moves int `json:"moves,omitempty"`
+}
+
+// GraphAxis describes one graph family × size axis of the sweep.
+type GraphAxis struct {
+	// Kind names a root GraphSpec builder: path|ring|star|clique|
+	// bintree|tree|random|grid|torus|hypercube|lollipop|petersen.
+	Kind string `json:"kind"`
+	// Sizes are the N values to sweep (ignored by grid/torus/lollipop/
+	// petersen; for hypercube each size is the dimension).
+	Sizes []int `json:"sizes,omitempty"`
+	// Rows and Cols size grid/torus cells (clique size and tail length
+	// for lollipop).
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// P is the edge probability for random graphs (0 = builder default).
+	P float64 `json:"p,omitempty"`
+	// Seed drives random generation and port shuffling. Zero selects
+	// the family-default derivation (the seeds uxs.DefaultFamily uses),
+	// so expanded graphs are recognized by a default verified catalog
+	// without extending it — except shuffled "random" axes, where one
+	// seed cannot match both the family's generation and shuffle seeds;
+	// those cells run fine but extend the engine's catalog (or fail
+	// with WithAutoExtend(false)).
+	Seed int64 `json:"seed,omitempty"`
+	// Shuffle applies adversarially permuted port numbers.
+	Shuffle bool `json:"shuffle,omitempty"`
+}
+
+// GraphParams is one resolved graph cell: GraphAxis with the size axis
+// collapsed and seeds made explicit. Field names mirror the root
+// package's GraphSpec so the conversion is 1:1.
+type GraphParams struct {
+	Kind    string  `json:"kind"`
+	N       int     `json:"n,omitempty"`
+	Rows    int     `json:"rows,omitempty"`
+	Cols    int     `json:"cols,omitempty"`
+	P       float64 `json:"p,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	Shuffle bool    `json:"shuffle,omitempty"`
+
+	// Nodes is the resolved node count, for start-pair derivation.
+	Nodes int `json:"-"`
+}
+
+// Cell is one fully-resolved scenario descriptor of the sweep.
+type Cell struct {
+	// Index is the cell's position in expansion order.
+	Index int `json:"index"`
+	// ID is the human-readable cell identity (kind/graph/axes).
+	ID string `json:"id"`
+	// Seed is the replay seed string "<spec seed>#<index>": Replay
+	// re-derives this exact cell from it.
+	Seed string `json:"seed"`
+
+	Kind      string      `json:"kind"`
+	Graph     GraphParams `json:"graph"`
+	Starts    []int       `json:"starts"`
+	Labels    []uint64    `json:"labels,omitempty"`
+	Adversary string      `json:"adversary,omitempty"`
+	Budget    int         `json:"budget,omitempty"`
+	Moves     int         `json:"moves,omitempty"`
+}
+
+// normalized returns the spec with defaults applied.
+func (s Spec) normalized() Spec {
+	if len(s.Kinds) == 0 {
+		s.Kinds = AllKinds()
+	}
+	if s.StartPairs < 1 {
+		s.StartPairs = 1
+	}
+	if s.LabelPairs < 1 {
+		s.LabelPairs = 1
+	}
+	if len(s.Adversaries) == 0 {
+		s.Adversaries = []string{""}
+	}
+	if s.Moves == 0 {
+		s.Moves = 200
+	}
+	return s
+}
+
+// Validate checks the spec's own consistency (scenario-level validity is
+// re-checked by the engine on every expanded cell).
+func (s Spec) Validate() error {
+	s = s.normalized()
+	if s.Seed == "" {
+		return fmt.Errorf("campaign: spec needs a seed string")
+	}
+	if len(s.Graphs) == 0 {
+		return fmt.Errorf("campaign: spec needs at least one graph axis")
+	}
+	known := make(map[string]bool)
+	for _, k := range AllKinds() {
+		known[k] = true
+	}
+	needsBudget := false
+	for _, k := range s.Kinds {
+		if !known[k] {
+			return fmt.Errorf("campaign: unknown scenario kind %q", k)
+		}
+		if k != KindCertify {
+			needsBudget = true
+		}
+	}
+	if needsBudget && s.Budget <= 0 {
+		return fmt.Errorf("campaign: spec needs a positive budget for kinds %v", s.Kinds)
+	}
+	if s.Moves < 0 {
+		return fmt.Errorf("campaign: negative moves")
+	}
+	graphCells := 0
+	for _, ga := range s.Graphs {
+		cs, err := ga.cells()
+		if err != nil {
+			return err
+		}
+		graphCells += len(cs)
+	}
+	// Project the expanded cell count with saturating arithmetic so
+	// oversized axes cannot overflow their way past the cap.
+	perGraph := 0
+	for _, k := range s.Kinds {
+		switch k {
+		case KindESST:
+			perGraph = satAdd(perGraph, satMul(s.StartPairs, len(s.Adversaries)))
+		case KindCertify:
+			perGraph = satAdd(perGraph, satMul(s.StartPairs, s.LabelPairs))
+		default:
+			perGraph = satAdd(perGraph, satMul(satMul(s.StartPairs, s.LabelPairs), len(s.Adversaries)))
+		}
+	}
+	if total := satMul(graphCells, perGraph); total > MaxCells {
+		return fmt.Errorf("campaign: spec expands to %d cells, over the %d-cell cap", total, MaxCells)
+	}
+	return nil
+}
+
+// satMul and satAdd saturate at MaxCells+1, enough to fail the cap
+// check without risking integer overflow on hostile axis sizes.
+func satMul(a, b int) int {
+	if a < 0 || b < 0 {
+		return MaxCells + 1
+	}
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > (MaxCells+1)/b+1 {
+		return MaxCells + 1
+	}
+	p := a * b
+	if p > MaxCells+1 || p/b != a {
+		return MaxCells + 1
+	}
+	return p
+}
+
+func satAdd(a, b int) int {
+	s := a + b
+	if s > MaxCells+1 || s < 0 {
+		return MaxCells + 1
+	}
+	return s
+}
+
+// cells collapses the axis into resolved graph cells.
+func (ga GraphAxis) cells() ([]GraphParams, error) {
+	// finish applies the defaults every resolved cell shares: the
+	// family shuffle seed, so zero-seed shuffled cells are recognized
+	// by a default verified catalog without extending it.
+	finish := func(p GraphParams) GraphParams {
+		if ga.Shuffle && p.Seed == 0 {
+			p.Seed = uxs.DefaultShuffleSeed(p.Nodes)
+		}
+		return p
+	}
+	sized := func(n int) (GraphParams, error) {
+		nodes, err := NodeCount(ga.Kind, n, 0, 0)
+		if err != nil {
+			return GraphParams{}, fmt.Errorf("campaign: %v", err)
+		}
+		p := GraphParams{Kind: ga.Kind, N: n, P: ga.P, Seed: ga.Seed, Shuffle: ga.Shuffle, Nodes: nodes}
+		switch ga.Kind {
+		case "path":
+			if n < 2 {
+				return p, fmt.Errorf("campaign: path needs size >= 2, got %d", n)
+			}
+		case "ring", "star", "clique", "complete", "bintree":
+			if n < 3 {
+				return p, fmt.Errorf("campaign: %s needs size >= 3, got %d", ga.Kind, n)
+			}
+		case "tree":
+			if n < 2 {
+				return p, fmt.Errorf("campaign: tree needs size >= 2, got %d", n)
+			}
+			if p.Seed == 0 {
+				p.Seed = uxs.DefaultTreeSeed(n)
+			}
+		case "random":
+			if n < 2 {
+				return p, fmt.Errorf("campaign: random needs size >= 2, got %d", n)
+			}
+			if p.P == 0 {
+				p.P = uxs.DefaultRandomP
+			}
+			if p.Seed == 0 {
+				p.Seed = uxs.DefaultRandomSeed(n)
+			}
+		case "hypercube":
+			if n < 1 {
+				return p, fmt.Errorf("campaign: hypercube dimension %d out of range", n)
+			}
+		default:
+			return p, fmt.Errorf("campaign: graph kind %q does not take sizes", ga.Kind)
+		}
+		return finish(p), nil
+	}
+	fixed := func() ([]GraphParams, error) {
+		nodes, err := NodeCount(ga.Kind, 0, ga.Rows, ga.Cols)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %v", err)
+		}
+		p := GraphParams{Kind: ga.Kind, Rows: ga.Rows, Cols: ga.Cols,
+			P: ga.P, Seed: ga.Seed, Shuffle: ga.Shuffle, Nodes: nodes}
+		return []GraphParams{finish(p)}, nil
+	}
+	switch ga.Kind {
+	case "grid", "torus":
+		if ga.Rows < 1 || ga.Cols < 1 || ga.Rows*ga.Cols < 2 {
+			return nil, fmt.Errorf("campaign: %s needs rows and cols (got %dx%d)", ga.Kind, ga.Rows, ga.Cols)
+		}
+		return fixed()
+	case "lollipop":
+		if ga.Rows < 2 || ga.Cols < 1 {
+			return nil, fmt.Errorf("campaign: lollipop needs clique size (rows) >= 2 and tail (cols) >= 1")
+		}
+		return fixed()
+	case "petersen":
+		return fixed()
+	default:
+		if len(ga.Sizes) == 0 {
+			return nil, fmt.Errorf("campaign: graph axis %q needs sizes", ga.Kind)
+		}
+		out := make([]GraphParams, 0, len(ga.Sizes))
+		for _, n := range ga.Sizes {
+			p, err := sized(n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+		return out, nil
+	}
+}
+
+// axisLabel renders the graph cell identity for cell IDs.
+func (p GraphParams) axisLabel() string {
+	var sb strings.Builder
+	sb.WriteString(p.Kind)
+	switch p.Kind {
+	case "grid", "torus", "lollipop":
+		fmt.Fprintf(&sb, "-%dx%d", p.Rows, p.Cols)
+	case "petersen":
+	default:
+		fmt.Fprintf(&sb, "-%d", p.N)
+	}
+	if p.Shuffle {
+		sb.WriteString("-shuf")
+	}
+	return sb.String()
+}
+
+// hash64 hashes a seed string to the int64 that drives a cell's derived
+// randomness (FNV-1a; stability across builds matters more than quality
+// here, and Go pins FNV).
+func hash64(s string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int64(h.Sum64() & (1<<63 - 1))
+}
+
+// CellSeed returns the replay seed string of cell index under master.
+func CellSeed(master string, index int) string {
+	return fmt.Sprintf("%s#%d", master, index)
+}
+
+// ParseCellSeed splits a replay seed string into master seed and index.
+func ParseCellSeed(seed string) (master string, index int, err error) {
+	i := strings.LastIndexByte(seed, '#')
+	if i < 0 {
+		return "", 0, fmt.Errorf("campaign: seed %q has no #index suffix", seed)
+	}
+	idx, err := strconv.Atoi(seed[i+1:])
+	if err != nil || idx < 0 {
+		return "", 0, fmt.Errorf("campaign: seed %q has a malformed index", seed)
+	}
+	return seed[:i], idx, nil
+}
+
+// labeledKind reports whether the kind takes agent labels.
+func labeledKind(kind string) bool { return kind != KindESST }
+
+// Expand resolves the spec's cross product into concrete cells, in a
+// deterministic order: kind, then graph axis, then size, then start
+// pair, then label pair, then adversary. Certify cells skip the
+// adversary axis (the certifier ranges over all schedules), and ESST
+// cells skip the label axis (its agents are anonymous).
+func Expand(spec Spec) ([]Cell, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.normalized()
+	var cells []Cell
+	add := func(kind string, gp GraphParams, sp, lp int, adversary string) {
+		idx := len(cells)
+		seed := CellSeed(spec.Seed, idx)
+		c := Cell{
+			Index: idx,
+			Seed:  seed,
+			Kind:  kind,
+			Graph: gp,
+		}
+		// Instance derivation is keyed on the graph cell and the sp/lp
+		// axis indices — NOT on the cell index — so cells that differ
+		// only in kind, label pair or adversary run the SAME placement
+		// (and, per placement, the same labels). That is what makes the
+		// ByAdversary and ByKind groupings compare like against like,
+		// and what the s<sp>/l<lp> components of the cell ID assert.
+		startRng := rand.New(rand.NewSource(hash64(
+			fmt.Sprintf("%s/%s/start%d", spec.Seed, gp.axisLabel(), sp))))
+		s1 := startRng.Intn(gp.Nodes)
+		s2 := startRng.Intn(gp.Nodes - 1)
+		if s2 >= s1 {
+			s2++
+		}
+		c.Starts = []int{s1, s2}
+		if labeledKind(kind) {
+			labelRng := rand.New(rand.NewSource(hash64(
+				fmt.Sprintf("%s/%s/start%d/label%d", spec.Seed, gp.axisLabel(), sp, lp))))
+			l1 := uint64(1 + labelRng.Intn(64))
+			l2 := uint64(1 + labelRng.Intn(63))
+			if l2 >= l1 {
+				l2++
+			}
+			c.Labels = []uint64{l1, l2}
+		}
+		switch kind {
+		case KindCertify:
+			c.Moves = spec.Moves
+		default:
+			c.Budget = spec.Budget
+		}
+		if adversary == "random" {
+			// Specialize the bare spec per cell so cells differ.
+			adversary = fmt.Sprintf("random:%d", hash64(seed+"/adv"))
+		}
+		c.Adversary = adversary
+		advLabel := adversary
+		if advLabel == "" {
+			advLabel = "roundrobin"
+		}
+		c.ID = fmt.Sprintf("%s/%s/s%d/l%d/%s", kind, gp.axisLabel(), sp, lp, advLabel)
+		cells = append(cells, c)
+	}
+	for _, kind := range spec.Kinds {
+		for _, ga := range spec.Graphs {
+			gps, err := ga.cells()
+			if err != nil {
+				return nil, err
+			}
+			for _, gp := range gps {
+				for sp := 0; sp < spec.StartPairs; sp++ {
+					labelPairs := spec.LabelPairs
+					if !labeledKind(kind) {
+						labelPairs = 1
+					}
+					for lp := 0; lp < labelPairs; lp++ {
+						if kind == KindCertify {
+							add(kind, gp, sp, lp, "")
+							continue
+						}
+						for _, adv := range spec.Adversaries {
+							add(kind, gp, sp, lp, adv)
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Replay re-derives the single cell a replay seed string identifies.
+// The spec must be the campaign the seed came from: its master seed is
+// checked against the string's prefix.
+func Replay(spec Spec, seed string) (Cell, error) {
+	master, idx, err := ParseCellSeed(seed)
+	if err != nil {
+		return Cell{}, err
+	}
+	if master != spec.Seed {
+		return Cell{}, fmt.Errorf("campaign: seed %q is from campaign %q, spec has %q", seed, master, spec.Seed)
+	}
+	cells, err := Expand(spec)
+	if err != nil {
+		return Cell{}, err
+	}
+	if idx >= len(cells) {
+		return Cell{}, fmt.Errorf("campaign: seed %q indexes cell %d of %d", seed, idx, len(cells))
+	}
+	return cells[idx], nil
+}

@@ -1,0 +1,358 @@
+package campaign
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"meetpoly/internal/costmodel"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name: "unit",
+		Seed: "unit-seed",
+		Graphs: []GraphAxis{
+			{Kind: "path", Sizes: []int{3, 4}},
+			{Kind: "ring", Sizes: []int{4}},
+			{Kind: "grid", Rows: 2, Cols: 3},
+		},
+		StartPairs:  2,
+		LabelPairs:  2,
+		Adversaries: []string{"", "avoider", "random"},
+		Budget:      1000,
+		Moves:       100,
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	a, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("expansion is not deterministic")
+	}
+}
+
+func TestExpandCrossProduct(t *testing.T) {
+	cells, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 graph cells; per graph cell: rendezvous/baseline/sgl are
+	// 2 starts x 2 labels x 3 adversaries = 12, esst is 2 x 3 = 6,
+	// certify is 2 x 2 x 1 = 4.
+	want := 4 * (3*12 + 6 + 4)
+	if len(cells) != want {
+		t.Fatalf("expanded %d cells, want %d", len(cells), want)
+	}
+	counts := make(map[string]int)
+	for i, c := range cells {
+		counts[c.Kind]++
+		if c.Index != i {
+			t.Fatalf("cell %d carries index %d", i, c.Index)
+		}
+		if c.Seed != CellSeed("unit-seed", i) {
+			t.Fatalf("cell %d seed %q", i, c.Seed)
+		}
+		if len(c.Starts) != 2 || c.Starts[0] == c.Starts[1] {
+			t.Fatalf("cell %d starts %v", i, c.Starts)
+		}
+		if c.Starts[0] >= c.Graph.Nodes || c.Starts[1] >= c.Graph.Nodes {
+			t.Fatalf("cell %d starts %v out of range for %d nodes", i, c.Starts, c.Graph.Nodes)
+		}
+		switch c.Kind {
+		case KindESST:
+			if c.Labels != nil {
+				t.Fatalf("esst cell %d has labels %v", i, c.Labels)
+			}
+		case KindCertify:
+			if c.Adversary != "" {
+				t.Fatalf("certify cell %d has adversary %q", i, c.Adversary)
+			}
+			if c.Moves != 100 || c.Budget != 0 {
+				t.Fatalf("certify cell %d moves=%d budget=%d", i, c.Moves, c.Budget)
+			}
+		default:
+			if len(c.Labels) != 2 || c.Labels[0] == c.Labels[1] || c.Labels[0] == 0 || c.Labels[1] == 0 {
+				t.Fatalf("cell %d labels %v", i, c.Labels)
+			}
+			if c.Budget != 1000 {
+				t.Fatalf("cell %d budget %d", i, c.Budget)
+			}
+		}
+		if strings.HasPrefix(c.Adversary, "random") && !strings.Contains(c.Adversary, ":") {
+			t.Fatalf("bare random adversary was not specialized: %q", c.Adversary)
+		}
+	}
+	for _, k := range AllKinds() {
+		if counts[k] == 0 {
+			t.Fatalf("kind %s missing from expansion: %v", k, counts)
+		}
+	}
+}
+
+// TestInstanceSharingAcrossAxes: cells that differ only in kind, label
+// pair or adversary must run the same start placement (and, per
+// placement, the same labels), so grouped comparisons compare like
+// against like.
+func TestInstanceSharingAcrossAxes(t *testing.T) {
+	cells, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type instKey struct{ graph, sp string }
+	starts := make(map[instKey][]int)
+	type labelKey struct{ graph, sp, lp string }
+	labels := make(map[labelKey][]uint64)
+	for _, c := range cells {
+		parts := strings.Split(c.ID, "/") // kind/graph/s<sp>/l<lp>/adv
+		ik := instKey{parts[1], parts[2]}
+		if prev, ok := starts[ik]; ok {
+			if prev[0] != c.Starts[0] || prev[1] != c.Starts[1] {
+				t.Fatalf("placement %v differs across axes: %v vs %v (cell %s)", ik, prev, c.Starts, c.ID)
+			}
+		} else {
+			starts[ik] = c.Starts
+		}
+		if len(c.Labels) > 0 {
+			lk := labelKey{parts[1], parts[2], parts[3]}
+			if prev, ok := labels[lk]; ok {
+				if prev[0] != c.Labels[0] || prev[1] != c.Labels[1] {
+					t.Fatalf("labels %v differ across axes: %v vs %v (cell %s)", lk, prev, c.Labels, c.ID)
+				}
+			} else {
+				labels[lk] = c.Labels
+			}
+		}
+	}
+	// The sp axis must still produce more than one placement overall
+	// (independent draws, so not guaranteed per graph — but across 4
+	// graph cells a total collision would mean derivation is broken).
+	distinct := make(map[string]bool)
+	for ik, s := range starts {
+		distinct[fmt.Sprintf("%s:%v", ik.graph, s)] = true
+	}
+	if len(distinct) <= len(starts)/2 {
+		t.Fatalf("start derivation suspiciously uniform: %v", starts)
+	}
+}
+
+func TestReplayMatchesExpand(t *testing.T) {
+	spec := testSpec()
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, len(cells) / 2, len(cells) - 1} {
+		got, err := Replay(spec, cells[i].Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, cells[i]) {
+			t.Fatalf("replay of %q diverged:\n got %+v\nwant %+v", cells[i].Seed, got, cells[i])
+		}
+	}
+	if _, err := Replay(spec, "other-campaign#3"); err == nil {
+		t.Fatal("replay accepted a foreign master seed")
+	}
+	if _, err := Replay(spec, CellSeed(spec.Seed, len(cells))); err == nil {
+		t.Fatal("replay accepted an out-of-range index")
+	}
+	if _, err := Replay(spec, "no-index"); err == nil {
+		t.Fatal("replay accepted a seed without #index")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for name, mut := range map[string]func(*Spec){
+		"no seed":      func(s *Spec) { s.Seed = "" },
+		"no graphs":    func(s *Spec) { s.Graphs = nil },
+		"unknown kind": func(s *Spec) { s.Kinds = []string{"teleport"} },
+		"no budget":    func(s *Spec) { s.Budget = 0 },
+		"bad size":     func(s *Spec) { s.Graphs = []GraphAxis{{Kind: "ring", Sizes: []int{2}}} },
+		"no sizes":     func(s *Spec) { s.Graphs = []GraphAxis{{Kind: "path"}} },
+		"bad grid":     func(s *Spec) { s.Graphs = []GraphAxis{{Kind: "grid", Rows: 1}} },
+		"over cap":     func(s *Spec) { s.Graphs = []GraphAxis{{Kind: "clique", Sizes: []int{MaxSpecNodes + 1}}} },
+		"cube cap":     func(s *Spec) { s.Graphs = []GraphAxis{{Kind: "hypercube", Sizes: []int{12}}} },
+		"grid cap":     func(s *Spec) { s.Graphs = []GraphAxis{{Kind: "grid", Rows: 64, Cols: 64}} },
+		"lolli cap":    func(s *Spec) { s.Graphs = []GraphAxis{{Kind: "lollipop", Rows: 2000, Cols: 2000}} },
+		"cell bomb":    func(s *Spec) { s.StartPairs = 1 << 30 },
+		"cell bomb 2":  func(s *Spec) { s.StartPairs = 1 << 40; s.LabelPairs = 1 << 40 },
+		"lolli overflow": func(s *Spec) {
+			s.Graphs = []GraphAxis{{Kind: "lollipop", Rows: 1 << 62, Cols: 1 << 62}}
+		},
+	} {
+		s := testSpec()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the spec", name)
+		}
+	}
+	certOnly := testSpec()
+	certOnly.Kinds = []string{KindCertify}
+	certOnly.Budget = 0
+	if err := certOnly.Validate(); err != nil {
+		t.Errorf("certify-only spec should not need a budget: %v", err)
+	}
+}
+
+func TestFamilyDefaultSeeds(t *testing.T) {
+	spec := Spec{
+		Seed:   "s",
+		Kinds:  []string{KindRendezvous},
+		Graphs: []GraphAxis{{Kind: "tree", Sizes: []int{5}}, {Kind: "random", Sizes: []int{4}}},
+		Budget: 10,
+	}
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Graph.Seed != 5 {
+		t.Errorf("tree-5 default seed = %d, want the family seed 5", cells[0].Graph.Seed)
+	}
+	if cells[1].Graph.Seed != 4*7+1 {
+		t.Errorf("random-4 default seed = %d, want the family seed 29", cells[1].Graph.Seed)
+	}
+	if cells[1].Graph.P != 0.3 {
+		t.Errorf("random default p = %v", cells[1].Graph.P)
+	}
+
+	// Zero-seed shuffled axes must default to the family shuffle seed
+	// (the node count) on BOTH the sized and the fixed expansion paths,
+	// or a default verified catalog would not recognize the graphs.
+	shuf := Spec{
+		Seed:  "s",
+		Kinds: []string{KindRendezvous},
+		Graphs: []GraphAxis{
+			{Kind: "path", Sizes: []int{4}, Shuffle: true},
+			{Kind: "grid", Rows: 2, Cols: 3, Shuffle: true},
+		},
+		Budget: 10,
+	}
+	sc, err := Expand(shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc[0].Graph.Seed != 4 {
+		t.Errorf("shuffled path-4 default seed = %d, want 4", sc[0].Graph.Seed)
+	}
+	if sc[1].Graph.Seed != 6 {
+		t.Errorf("shuffled grid-2x3 default seed = %d, want 6 (the node count)", sc[1].Graph.Seed)
+	}
+}
+
+func metOutcome(n, m, cost, maxPer int) Outcome {
+	return Outcome{N: n, M: m, Met: true, Consistent: true, Cost: cost, MaxPerAgent: maxPer}
+}
+
+func TestOracles(t *testing.T) {
+	model := costmodel.New(costmodel.PLinear(1))
+	cellRV := Cell{Kind: KindRendezvous, Labels: []uint64{2, 5}}
+	cellESST := Cell{Kind: KindESST}
+
+	term := Termination()
+	if err := term.Check(cellRV, metOutcome(4, 3, 10, 5)); err != nil {
+		t.Errorf("termination failed a met run: %v", err)
+	}
+	if err := term.Check(cellRV, Outcome{Exhausted: true}); err != nil {
+		t.Errorf("termination failed an exhausted run: %v", err)
+	}
+	if err := term.Check(cellRV, Outcome{EndedEarly: true}); err == nil {
+		t.Error("termination accepted a run that ended without goal or sentinel")
+	}
+	if err := term.Check(cellRV, Outcome{Invalid: true}); err == nil {
+		t.Error("termination accepted an invalid expanded cell")
+	}
+
+	bound := Bound(model)
+	if err := bound.Check(cellRV, metOutcome(4, 3, 40, 25)); err != nil {
+		t.Errorf("bound failed a tiny-cost run: %v", err)
+	}
+	// Pi exceeds 2^63 even at n=2, so no honest int64 cost can breach
+	// it; corrupted (negative) accounting must still be rejected.
+	corrupt := metOutcome(4, 3, 40, 25)
+	corrupt.MaxPerAgent = -1
+	if err := bound.Check(cellRV, corrupt); err == nil {
+		t.Error("bound accepted corrupted negative per-agent accounting")
+	}
+	if err := bound.Check(cellESST, metOutcome(4, 3, 2, 2)); err == nil {
+		t.Error("bound accepted an ESST run with fewer traversals than edges")
+	}
+	if err := bound.Check(cellESST, metOutcome(4, 3, 12, 12)); err != nil {
+		t.Errorf("bound failed a covering ESST run: %v", err)
+	}
+
+	cons := Consistency()
+	bad := metOutcome(4, 3, 10, 5)
+	bad.Consistent = false
+	bad.Detail = "disagreement"
+	if err := cons.Check(cellRV, bad); err == nil {
+		t.Error("consistency accepted an inconsistent met run")
+	}
+
+	lem := Lemmas(model)
+	if err := lem.Check(cellRV, metOutcome(4, 3, 10, 5)); err != nil {
+		t.Errorf("lemmas failed on a holding combination: %v", err)
+	}
+}
+
+func TestReportAggregationAndTable(t *testing.T) {
+	spec := Spec{Name: "agg", Seed: "agg-seed"}
+	mk := func(kind, graphKind string, o Outcome, fail bool) CellResult {
+		cr := CellResult{
+			Cell:    Cell{Kind: kind, Graph: GraphParams{Kind: graphKind, N: 4}, ID: kind + "/x", Seed: "agg-seed#0"},
+			Outcome: o,
+		}
+		if fail {
+			cr.Failures = []OracleFailure{{Oracle: "test", Err: "boom"}}
+		}
+		return cr
+	}
+	results := []CellResult{
+		mk(KindRendezvous, "path", metOutcome(4, 3, 10, 6), false),
+		mk(KindRendezvous, "path", metOutcome(4, 3, 30, 20), false),
+		mk(KindRendezvous, "path", Outcome{Exhausted: true}, false),
+		mk(KindESST, "ring", Outcome{Canceled: true}, true),
+		mk(KindESST, "ring", Outcome{EndedEarly: true}, true),
+	}
+	r := BuildReport(spec, results, nil)
+	if r.Cells != 5 || r.Met != 2 || r.Ex != 1 || r.Canc != 1 || r.Other != 1 || r.Fail != 2 {
+		t.Fatalf("totals: %+v", r)
+	}
+	if r.Met+r.Ex+r.Canc+r.Other != r.Cells {
+		t.Fatalf("outcome buckets do not sum to cells: %+v", r)
+	}
+	if r.OK() {
+		t.Fatal("report with failures claims OK")
+	}
+	// Canceled cells alone must also spoil OK: they verified nothing.
+	interrupted := BuildReport(spec, []CellResult{
+		mk(KindRendezvous, "path", metOutcome(4, 3, 10, 6), false),
+		mk(KindRendezvous, "path", Outcome{Canceled: true}, false),
+	}, nil)
+	if interrupted.OK() {
+		t.Fatal("interrupted sweep (canceled cells, no oracle failures) claims OK")
+	}
+	var rv *GroupStats
+	for i := range r.Group {
+		if strings.HasPrefix(r.Group[i].Group, "rendezvous/") {
+			rv = &r.Group[i]
+		}
+	}
+	if rv == nil || rv.Runs != 3 || rv.Met != 2 || rv.MinCost != 10 || rv.MaxCost != 30 || rv.MeanCost() != 20 {
+		t.Fatalf("rendezvous group stats: %+v", rv)
+	}
+	tbl := r.Table()
+	for _, want := range []string{"agg", "TOTAL", "rendezvous/path-4", "FAIL", "agg-seed#0"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OracleFailure records one oracle's verdict on one cell.
+type OracleFailure struct {
+	Oracle string `json:"oracle"`
+	Err    string `json:"err"`
+}
+
+// CellResult pairs an executed cell with its outcome and any oracle
+// failures. A failing result carries the cell's replay seed string, so
+// reproducing it needs nothing but the spec and that one string.
+type CellResult struct {
+	Cell     Cell            `json:"cell"`
+	Outcome  Outcome         `json:"outcome"`
+	Failures []OracleFailure `json:"failures,omitempty"`
+}
+
+// Failed reports whether any oracle rejected the run.
+func (cr CellResult) Failed() bool { return len(cr.Failures) > 0 }
+
+// GroupKey maps a cell to the aggregation bucket it belongs to.
+type GroupKey func(Cell) string
+
+// ByKindGraph groups results by scenario kind and graph cell — the
+// default report shape.
+func ByKindGraph(c Cell) string { return c.Kind + "/" + c.Graph.axisLabel() }
+
+// ByKind groups results by scenario kind only.
+func ByKind(c Cell) string { return c.Kind }
+
+// ByAdversary groups results by scenario kind and adversary family (the
+// spec string up to any ':' argument).
+func ByAdversary(c Cell) string {
+	adv := c.Adversary
+	if i := strings.IndexByte(adv, ':'); i >= 0 {
+		adv = adv[:i]
+	}
+	if adv == "" {
+		adv = "roundrobin"
+	}
+	return c.Kind + "/" + adv
+}
+
+// GroupStats aggregates the cells of one bucket.
+type GroupStats struct {
+	Group     string `json:"group"`
+	Runs      int    `json:"runs"`
+	Met       int    `json:"met"`
+	Exhausted int    `json:"exhausted"`
+	Canceled  int    `json:"canceled"`
+	// Other counts runs in none of the above buckets: invalid expanded
+	// cells and runs that ended without goal or typed sentinel. The
+	// termination oracle fails each of them, but the column keeps the
+	// table rows summing to Runs.
+	Other  int `json:"other,omitempty"`
+	Failed int `json:"failed"` // oracle failures
+	// Cost statistics over met runs (the goal cost).
+	MinCost int   `json:"min_cost"`
+	MaxCost int   `json:"max_cost"`
+	CostSum int64 `json:"cost_sum"`
+}
+
+// MeanCost returns the mean goal cost over met runs (0 when none met).
+func (g GroupStats) MeanCost() float64 {
+	if g.Met == 0 {
+		return 0
+	}
+	return float64(g.CostSum) / float64(g.Met)
+}
+
+// Report is the aggregate outcome of one campaign.
+type Report struct {
+	Name  string       `json:"name,omitempty"`
+	Seed  string       `json:"seed"`
+	Cells int          `json:"cells"`
+	Met   int          `json:"met"`
+	Ex    int          `json:"exhausted"`
+	Canc  int          `json:"canceled"`
+	Other int          `json:"other,omitempty"`
+	Fail  int          `json:"failed"`
+	Group []GroupStats `json:"groups"`
+	// Failures lists every oracle-failing cell, replayable by seed.
+	Failures []CellResult `json:"failures,omitempty"`
+}
+
+// OK reports whether the campaign was fully verified: every run passed
+// every oracle AND no run was canceled. Oracles skip canceled runs by
+// design (a canceled run proves nothing), so a sweep cut short by its
+// context must not read as a clean verdict.
+func (r *Report) OK() bool { return r.Fail == 0 && r.Canc == 0 }
+
+// BuildReport aggregates per-cell results under the given grouping
+// (ByKindGraph when key is nil).
+func BuildReport(spec Spec, results []CellResult, key GroupKey) *Report {
+	if key == nil {
+		key = ByKindGraph
+	}
+	r := &Report{Name: spec.Name, Seed: spec.Seed, Cells: len(results)}
+	groups := make(map[string]*GroupStats)
+	for _, cr := range results {
+		g, ok := groups[key(cr.Cell)]
+		if !ok {
+			g = &GroupStats{Group: key(cr.Cell)}
+			groups[key(cr.Cell)] = g
+		}
+		g.Runs++
+		o := cr.Outcome
+		switch {
+		case o.Met:
+			r.Met++
+			g.Met++
+			if g.Met == 1 || o.Cost < g.MinCost {
+				g.MinCost = o.Cost
+			}
+			if o.Cost > g.MaxCost {
+				g.MaxCost = o.Cost
+			}
+			g.CostSum += int64(o.Cost)
+		case o.Exhausted:
+			r.Ex++
+			g.Exhausted++
+		case o.Canceled:
+			r.Canc++
+			g.Canceled++
+		default:
+			r.Other++
+			g.Other++
+		}
+		if cr.Failed() {
+			r.Fail++
+			g.Failed++
+			r.Failures = append(r.Failures, cr)
+		}
+	}
+	for _, g := range groups {
+		r.Group = append(r.Group, *g)
+	}
+	sort.Slice(r.Group, func(i, j int) bool { return r.Group[i].Group < r.Group[j].Group })
+	return r
+}
+
+// Table renders the report as an aligned text table, one row per group,
+// with a totals row and a failure list (each entry replayable from its
+// seed string).
+func (r *Report) Table() string {
+	var sb strings.Builder
+	title := r.Name
+	if title == "" {
+		title = "campaign"
+	}
+	fmt.Fprintf(&sb, "== %s (seed %q): %d cells ==\n", title, r.Seed, r.Cells)
+	rows := [][]string{{"group", "runs", "met", "exhausted", "canceled", "other", "oracle-fail", "min-cost", "mean-cost", "max-cost"}}
+	for _, g := range r.Group {
+		min, mean, max := "-", "-", "-"
+		if g.Met > 0 {
+			min = fmt.Sprint(g.MinCost)
+			mean = fmt.Sprintf("%.1f", g.MeanCost())
+			max = fmt.Sprint(g.MaxCost)
+		}
+		rows = append(rows, []string{g.Group, fmt.Sprint(g.Runs), fmt.Sprint(g.Met),
+			fmt.Sprint(g.Exhausted), fmt.Sprint(g.Canceled), fmt.Sprint(g.Other),
+			fmt.Sprint(g.Failed), min, mean, max})
+	}
+	rows = append(rows, []string{"TOTAL", fmt.Sprint(r.Cells), fmt.Sprint(r.Met),
+		fmt.Sprint(r.Ex), fmt.Sprint(r.Canc), fmt.Sprint(r.Other), fmt.Sprint(r.Fail), "", "", ""})
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(row)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", w))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&sb, "FAIL %s (replay seed %q):", f.Cell.ID, f.Cell.Seed)
+		for _, of := range f.Failures {
+			fmt.Fprintf(&sb, " [%s] %s", of.Oracle, of.Err)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -65,7 +65,8 @@ type Model struct {
 
 	mu       sync.Mutex
 	memo     map[key]*big.Int
-	prefixHi map[byte]int // highest index with a computed prefix sum
+	prefixHi map[byte]int        // highest index with a computed prefix sum
+	piMemo   map[[2]int]*big.Int // Pi cached per (n, mLen): oracles re-ask per run
 }
 
 type key struct {
@@ -75,7 +76,12 @@ type key struct {
 
 // New returns a Model over the given exploration length polynomial.
 func New(p PFunc) *Model {
-	return &Model{p: p, memo: make(map[key]*big.Int), prefixHi: make(map[byte]int)}
+	return &Model{
+		p:        p,
+		memo:     make(map[key]*big.Int),
+		prefixHi: make(map[byte]int),
+		piMemo:   make(map[[2]int]*big.Int),
+	}
 }
 
 func (m *Model) get(kind byte, k int, f func() *big.Int) *big.Int {
@@ -208,14 +214,25 @@ func Horizon(n, m int) int { return 2*(n+ModifiedLen(m)) + 1 }
 // Pi returns Π(n, m) = sum_{k=1..N} (T*_k + Ω*_k): the Theorem 3.1 bound
 // on the number of edge traversals either agent performs before the
 // meeting is guaranteed, where n is the graph size and m the length of
-// the smaller label.
+// the smaller label. Results are cached per (n, m): campaign oracles
+// re-ask for the same handful of combinations once per executed run.
 func (m *Model) Pi(n, mLen int) *big.Int {
+	pk := [2]int{n, mLen}
+	m.mu.Lock()
+	if v, ok := m.piMemo[pk]; ok {
+		m.mu.Unlock()
+		return v
+	}
+	m.mu.Unlock()
 	nn := Horizon(n, mLen)
 	s := new(big.Int)
 	for k := 1; k <= nn; k++ {
 		s.Add(s, m.TStar(k, nn))
 		s.Add(s, m.OmegaStar(k))
 	}
+	m.mu.Lock()
+	m.piMemo[pk] = s
+	m.mu.Unlock()
 	return s
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // half is one directed half of an undirected edge: the port points at the
@@ -30,6 +31,12 @@ type Graph struct {
 	name string
 	adj  [][]half
 	m    int // number of undirected edges
+
+	// edgeIdx maps (node, port) to a dense edge identifier in [0, m),
+	// built lazily on first EdgeIndex call (the graph is immutable, so
+	// one build serves every caller).
+	idxOnce sync.Once
+	edgeIdx [][]int32
 }
 
 // Builder incrementally constructs a Graph. Nodes are added implicitly by
@@ -141,6 +148,36 @@ func (g *Graph) EdgeID(v, port int) [2]int {
 		return [2]int{u, v}
 	}
 	return [2]int{v, u}
+}
+
+// EdgeIndex returns a dense direction-independent identifier in [0, M())
+// for the undirected edge leaving v by port. Unlike EdgeID it indexes a
+// flat array instead of keying a map, which is what edge-coverage checks
+// on hot paths want: covered := make([]bool, g.M()).
+func (g *Graph) EdgeIndex(v, port int) int {
+	g.idxOnce.Do(g.buildEdgeIndex)
+	return int(g.edgeIdx[v][port])
+}
+
+// buildEdgeIndex numbers the undirected edges 0..m-1 in (min endpoint,
+// port at that endpoint) discovery order and records the id at both
+// endpoints' half-edges.
+func (g *Graph) buildEdgeIndex() {
+	idx := make([][]int32, len(g.adj))
+	for v := range g.adj {
+		idx[v] = make([]int32, len(g.adj[v]))
+	}
+	var next int32
+	for v := range g.adj {
+		for p, h := range g.adj[v] {
+			if v < h.to {
+				idx[v][p] = next
+				idx[h.to][h.toPort] = next
+				next++
+			}
+		}
+	}
+	g.edgeIdx = idx
 }
 
 // Equal reports whether a and b are identical port-numbered graphs:

@@ -616,6 +616,20 @@ func (r *Runner) TotalCost() int {
 	return t
 }
 
+// CostAccount is the per-run cost accounting in the paper's measure
+// (completed edge traversals) beyond what Summary's Traversals/TotalCost
+// already carry, surfaced so that bound oracles can check every run
+// against the cost model without re-deriving anything from the event
+// log.
+type CostAccount struct {
+	// MaxPerAgent is the largest single agent's traversal count — the
+	// quantity Theorem 3.1's Π(n, ℓ) bounds for either agent.
+	MaxPerAgent int
+	// Committed additionally counts traversals in progress when the run
+	// ended, which the model obliges agents to finish.
+	Committed int
+}
+
 // Summary is the result of a run.
 type Summary struct {
 	Steps        int
@@ -623,6 +637,9 @@ type Summary struct {
 	Traversals   []int
 	TotalCost    int
 	FirstMeeting *Meeting // nil if none
+	// Account is the full per-run cost accounting (per-agent, committed,
+	// wake steps) consumed by campaign bound oracles.
+	Account CostAccount
 	// Canceled reports that the run was aborted by its Config.Context.
 	Canceled bool
 	// Exhausted reports that the run consumed its full MaxSteps budget.
@@ -637,9 +654,17 @@ func (r *Runner) summary() Summary {
 		Canceled:  r.canceled,
 		Exhausted: !r.canceled && r.steps >= r.maxSteps,
 	}
+	inFlight := 0
 	for _, st := range r.agents {
 		s.Traversals = append(s.Traversals, st.traversals)
+		if st.traversals > s.Account.MaxPerAgent {
+			s.Account.MaxPerAgent = st.traversals
+		}
+		if st.pos.Kind == InEdge {
+			inFlight++
+		}
 	}
+	s.Account.Committed = s.TotalCost + inFlight
 	if len(r.meetings) > 0 {
 		m := r.meetings[0]
 		s.FirstMeeting = &m

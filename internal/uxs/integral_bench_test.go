@@ -1,0 +1,61 @@
+package uxs
+
+import (
+	"fmt"
+	"testing"
+
+	"meetpoly/internal/graph"
+)
+
+// integralMapRef is the pre-optimization implementation of Integral: the
+// edge set tracked in a map keyed by graph.EdgeID. It is kept here as the
+// benchmark baseline for the dense []bool version and as an independent
+// reference for the property tests.
+func integralMapRef(g *graph.Graph, start int, seq Sequence) bool {
+	if g.M() == 0 {
+		return true
+	}
+	covered := make(map[[2]int]bool, g.M())
+	cur, entry := start, 0
+	for _, x := range seq {
+		d := g.Degree(cur)
+		if d == 0 {
+			return false
+		}
+		port := (entry + x) % d
+		covered[g.EdgeID(cur, port)] = true
+		cur, entry = g.Succ(cur, port)
+	}
+	return len(covered) == g.M()
+}
+
+// benchGraphs is the workload the campaign sweeps hammer: the verified
+// family's graph shapes at their usual sizes.
+func benchGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Ring(6),
+		graph.Complete(6),
+		graph.Grid(3, 3),
+		graph.Petersen(),
+		graph.RandomConnected(8, 0.3, 57),
+	}
+}
+
+func benchIntegral(b *testing.B, impl func(*graph.Graph, int, Sequence) bool) {
+	for _, g := range benchGraphs() {
+		seq := Generate(g.N(), 1, 7)
+		b.Run(fmt.Sprintf("%s/len=%d", g.Name(), len(seq)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				impl(g, i%g.N(), seq)
+			}
+		})
+	}
+}
+
+// BenchmarkIntegralDense measures the shipped dense []bool edge-set.
+func BenchmarkIntegralDense(b *testing.B) { benchIntegral(b, Integral) }
+
+// BenchmarkIntegralMapBaseline measures the replaced map[[2]int]bool
+// edge-set, for the before/after comparison.
+func BenchmarkIntegralMapBaseline(b *testing.B) { benchIntegral(b, integralMapRef) }

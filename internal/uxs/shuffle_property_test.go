@@ -1,0 +1,231 @@
+package uxs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"meetpoly/internal/graph"
+)
+
+// allBuilders constructs one deterministic graph per generator in
+// internal/graph/builders.go, keyed by a human-readable name.
+func allBuilders() map[string]func() *graph.Graph {
+	return map[string]func() *graph.Graph{
+		"ring":       func() *graph.Graph { return graph.Ring(5) },
+		"path":       func() *graph.Graph { return graph.Path(5) },
+		"clique":     func() *graph.Graph { return graph.Complete(5) },
+		"star":       func() *graph.Graph { return graph.Star(5) },
+		"grid":       func() *graph.Graph { return graph.Grid(2, 3) },
+		"torus":      func() *graph.Graph { return graph.Torus(3, 3) },
+		"hypercube":  func() *graph.Graph { return graph.Hypercube(3) },
+		"kbipartite": func() *graph.Graph { return graph.CompleteBipartite(2, 3) },
+		"bintree":    func() *graph.Graph { return graph.BinaryTree(6) },
+		"lollipop":   func() *graph.Graph { return graph.Lollipop(3, 2) },
+		"petersen":   graph.Petersen,
+		"rtree":      func() *graph.Graph { return graph.RandomTree(6, 3) },
+		"rand":       func() *graph.Graph { return graph.RandomConnected(6, 0.3, 9) },
+		"single":     graph.Single,
+		"shuffled":   func() *graph.Graph { return graph.ShufflePorts(graph.Ring(5), 11) },
+	}
+}
+
+// checkWalkInvariants asserts the structural invariants of Walk on one
+// graph: the trace starts at the start node, has full length P1 (length
+// of the sequence plus one, except on the degree-0 single node), every
+// visited node is in range, and every step follows an actual edge.
+func checkWalkInvariants(t *testing.T, name string, g *graph.Graph, start int, seq Sequence) {
+	t.Helper()
+	trace := Walk(g, start, seq)
+	if trace[0] != start {
+		t.Fatalf("%s: walk from %d starts at %d", name, start, trace[0])
+	}
+	wantLen := len(seq) + 1
+	if g.Degree(start) == 0 {
+		wantLen = 1
+	}
+	if len(trace) != wantLen {
+		t.Fatalf("%s: walk length %d, want %d (P1: length independent of the graph)", name, len(trace), wantLen)
+	}
+	for i := 0; i+1 < len(trace); i++ {
+		u, v := trace[i], trace[i+1]
+		if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+			t.Fatalf("%s: walk leaves the graph at step %d (%d -> %d)", name, i, u, v)
+		}
+		adjacent := false
+		for p := 0; p < g.Degree(u); p++ {
+			if to, _ := g.Succ(u, p); to == v {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			t.Fatalf("%s: walk step %d jumps a non-edge %d -> %d", name, i, u, v)
+		}
+	}
+}
+
+// TestWalkIntegralInvariantsUnderShuffle: the Walk/Integral invariants
+// hold on every builder's graph AND on every adversarially port-shuffled
+// relabeling of it, and the dense-edge-set Integral agrees everywhere
+// with the independent map-based reference. Port shuffling changes which
+// walk a sequence induces, but never the walk's structural invariants or
+// the meaning of integrality.
+func TestWalkIntegralInvariantsUnderShuffle(t *testing.T) {
+	for name, build := range allBuilders() {
+		t.Run(name, func(t *testing.T) {
+			base := build()
+			for _, shufSeed := range []int64{1, 2, 77} {
+				g := graph.ShufflePorts(base, shufSeed)
+				if g.N() != base.N() || g.M() != base.M() {
+					t.Fatalf("shuffle changed the graph: n %d->%d m %d->%d", base.N(), g.N(), base.M(), g.M())
+				}
+				for v := 0; v < base.N(); v++ {
+					if g.Degree(v) != base.Degree(v) {
+						t.Fatalf("shuffle changed degree of %d: %d -> %d", v, base.Degree(v), g.Degree(v))
+					}
+				}
+				if err := g.Validate(); err != nil {
+					t.Fatalf("shuffled graph invalid: %v", err)
+				}
+				for _, seqSeed := range []int64{3, 4} {
+					seq := Generate(base.N(), 1, seqSeed)
+					for _, cand := range []*graph.Graph{base, g} {
+						for v := 0; v < cand.N(); v++ {
+							checkWalkInvariants(t, name, cand, v, seq)
+							if got, want := Integral(cand, v, seq), integralMapRef(cand, v, seq); got != want {
+								t.Fatalf("%s: dense Integral=%v, reference=%v (start %d, shuffle %d)",
+									name, got, want, v, shufSeed)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIntegralAgreesWithReferenceProperty drives the dense/map agreement
+// over randomized graphs, starts and sequences.
+func TestIntegralAgreesWithReferenceProperty(t *testing.T) {
+	f := func(nRaw, pRaw, seedRaw, startRaw uint8, shuffle bool) bool {
+		n := 2 + int(nRaw)%8
+		g := graph.RandomConnected(n, float64(pRaw%100)/100, int64(seedRaw))
+		if shuffle {
+			g = graph.ShufflePorts(g, int64(seedRaw)+1)
+		}
+		start := int(startRaw) % n
+		seq := Generate(n, 1, int64(seedRaw)*3+1)
+		// Truncate to a random prefix so both covering and non-covering
+		// walks are exercised.
+		seq = seq[:int(pRaw)%len(seq)]
+		return Integral(g, start, seq) == integralMapRef(g, start, seq)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVerifiedSequencesStayIntegralOnShuffledFamily: a Verified catalog
+// whose family includes port-shuffled variants keeps its integrality
+// guarantee on exactly those relabelings — the property the engine's
+// coverage checks rely on when scenario specs request Shuffle.
+func TestVerifiedSequencesStayIntegralOnShuffledFamily(t *testing.T) {
+	base := []*graph.Graph{graph.Ring(5), graph.Path(4), graph.Star(5)}
+	var fam []*graph.Graph
+	for _, g := range base {
+		fam = append(fam, g, graph.ShufflePorts(g, int64(g.N())))
+	}
+	v := NewVerified(fam, 1)
+	seq := v.Seq(5)
+	for _, g := range fam {
+		for vtx := 0; vtx < g.N(); vtx++ {
+			if !Integral(g, vtx, seq) {
+				t.Fatalf("verified sequence not integral on %v from %d", g, vtx)
+			}
+		}
+	}
+}
+
+// TestCoversEqualAgreesWithEqual: for every candidate graph c and every
+// verified family, CoversEqual(c) must coincide with "some family member
+// is graph.Equal to c". Candidates include rebuilt family members
+// (deterministic builders => Equal without pointer identity), every
+// other builder's graph, and shuffled variants.
+func TestCoversEqualAgreesWithEqual(t *testing.T) {
+	builders := allBuilders()
+	var family []*graph.Graph
+	for _, build := range builders {
+		family = append(family, build())
+	}
+	v := NewVerified(family, 1)
+
+	equalRef := func(g *graph.Graph) bool {
+		for _, f := range family {
+			if graph.Equal(f, g) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var candidates []*graph.Graph
+	for _, build := range builders {
+		g := build()
+		candidates = append(candidates, g, graph.ShufflePorts(g, 999), graph.ShufflePorts(g, int64(g.N())))
+	}
+	candidates = append(candidates,
+		graph.Ring(6), graph.Path(6), graph.Complete(4), graph.RandomTree(6, 4),
+		graph.RandomConnected(6, 0.3, 10), graph.Grid(3, 2))
+
+	for i, c := range candidates {
+		if got, want := v.CoversEqual(c), equalRef(c); got != want {
+			t.Errorf("candidate %d (%v): CoversEqual=%v but graph.Equal scan=%v", i, c, got, want)
+		}
+	}
+
+	// Rebuilt family members specifically must be recognized: this is
+	// what lets scenario-rebuilt graphs share a verified catalog.
+	for name, build := range builders {
+		if !v.CoversEqual(build()) {
+			t.Errorf("%s: rebuilt family member not recognized by CoversEqual", name)
+		}
+	}
+
+	// And pointer-identity coverage implies structural coverage.
+	for _, f := range family {
+		if !v.Covers(f) || !v.CoversEqual(f) {
+			t.Errorf("family member %v not covered", f)
+		}
+	}
+}
+
+// TestEdgeIndexContract pins the dense edge numbering: ids are a
+// bijection between undirected edges and [0, M), and both half-edges of
+// an edge map to the same id (matching EdgeID's canonicalization).
+func TestEdgeIndexContract(t *testing.T) {
+	for name, build := range allBuilders() {
+		g := build()
+		seen := make(map[int][2]int, g.M())
+		for v := 0; v < g.N(); v++ {
+			for p := 0; p < g.Degree(v); p++ {
+				id := g.EdgeIndex(v, p)
+				if id < 0 || id >= g.M() {
+					t.Fatalf("%s: EdgeIndex(%d,%d)=%d out of [0,%d)", name, v, p, id, g.M())
+				}
+				eid := g.EdgeID(v, p)
+				if prev, ok := seen[id]; ok {
+					if prev != eid {
+						t.Fatalf("%s: edge index %d maps to both %v and %v", name, id, prev, eid)
+					}
+				} else {
+					seen[id] = eid
+				}
+			}
+		}
+		if len(seen) != g.M() {
+			t.Fatalf("%s: %d distinct edge ids for %d edges", name, len(seen), g.M())
+		}
+	}
+}

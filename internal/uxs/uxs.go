@@ -55,12 +55,17 @@ func Walk(g *graph.Graph, start int, seq Sequence) []int {
 }
 
 // Integral reports whether following seq in g from start traverses every
-// edge of g (the paper's notion of an integral trajectory).
+// edge of g (the paper's notion of an integral trajectory). The edge set
+// is tracked in a dense []bool indexed by graph.EdgeIndex rather than a
+// map: this runs on the walk-verification hot path (every Verified.Seq
+// search candidate, every campaign cell) and the flat array removes the
+// hashing and allocation that dominated the map version.
 func Integral(g *graph.Graph, start int, seq Sequence) bool {
 	if g.M() == 0 {
 		return true
 	}
-	covered := make(map[[2]int]bool, g.M())
+	covered := make([]bool, g.M())
+	remaining := g.M()
 	cur, entry := start, 0
 	for _, x := range seq {
 		d := g.Degree(cur)
@@ -68,10 +73,16 @@ func Integral(g *graph.Graph, start int, seq Sequence) bool {
 			return false
 		}
 		port := (entry + x) % d
-		covered[g.EdgeID(cur, port)] = true
+		if id := g.EdgeIndex(cur, port); !covered[id] {
+			covered[id] = true
+			remaining--
+			if remaining == 0 {
+				return true
+			}
+		}
 		cur, entry = g.Succ(cur, port)
 	}
-	return len(covered) == g.M()
+	return remaining == 0
 }
 
 // UniversalFor reports whether seq is integral on every graph in gs from
@@ -239,6 +250,31 @@ func NewVerified(family []*graph.Graph, seed int64) *Verified {
 	return v
 }
 
+// The default family's seed derivations, exported so that declarative
+// descriptors (campaign axes, scenario specs) can reproduce family
+// members exactly: a zero-seed "tree"/"random" or shuffled cell derives
+// these same seeds and is therefore recognized by a default verified
+// catalog without extending it. One exception: a *shuffled* random
+// graph cannot be family-identical, because a declarative GraphSpec
+// drives generation and shuffling with a single seed while the family
+// shuffles with the node count — such cells build fine but extend the
+// catalog.
+
+// DefaultTreeSeed is the RandomTree seed DefaultFamily uses at size n.
+func DefaultTreeSeed(n int) int64 { return int64(n) }
+
+// DefaultRandomSeed is the RandomConnected seed DefaultFamily uses at
+// size n.
+func DefaultRandomSeed(n int) int64 { return int64(n)*7 + 1 }
+
+// DefaultRandomP is the RandomConnected edge probability DefaultFamily
+// uses.
+const DefaultRandomP = 0.3
+
+// DefaultShuffleSeed is the ShufflePorts seed DefaultFamily pairs with
+// a family graph of the given node count.
+func DefaultShuffleSeed(nodes int) int64 { return int64(nodes) }
+
 // DefaultFamily returns a representative family of standard topologies up
 // to maxN nodes: rings, paths, cliques, stars, trees, grids and a sprinkle
 // of random connected graphs, each with both natural and shuffled ports.
@@ -249,7 +285,7 @@ func DefaultFamily(maxN int) []*graph.Graph {
 	var fam []*graph.Graph
 	add := func(g *graph.Graph) {
 		if g.N() <= maxN {
-			fam = append(fam, g, graph.ShufflePorts(g, int64(g.N())))
+			fam = append(fam, g, graph.ShufflePorts(g, DefaultShuffleSeed(g.N())))
 		}
 	}
 	for n := 2; n <= maxN; n++ {
@@ -261,8 +297,8 @@ func DefaultFamily(maxN int) []*graph.Graph {
 			add(graph.BinaryTree(n))
 		}
 		if n >= 4 {
-			add(graph.RandomTree(n, int64(n)))
-			add(graph.RandomConnected(n, 0.3, int64(n)*7+1))
+			add(graph.RandomTree(n, DefaultTreeSeed(n)))
+			add(graph.RandomConnected(n, DefaultRandomP, DefaultRandomSeed(n)))
 		}
 	}
 	if maxN >= 6 {

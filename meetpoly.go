@@ -36,6 +36,9 @@
 //	internal/sgl        Algorithm SGL + applications
 //	internal/rverr      the sentinel errors re-exported by this facade
 //	internal/experiments the table generators for EXPERIMENTS.md
+//	internal/campaign   the sweep engine behind Engine.Sweep: spec
+//	                    expansion, per-cell seed derivation, paper-bound
+//	                    oracles, aggregation
 //
 // # Quick start
 //
@@ -50,8 +53,11 @@
 //
 // Engine.RunBatch fans a slice of scenarios out over a worker pool;
 // errors are matched with errors.Is against ErrBudgetExhausted,
-// ErrInvalidScenario, ErrCatalogUncovered and ErrCanceled. See
-// examples/ for runnable programs.
+// ErrInvalidScenario, ErrCatalogUncovered and ErrCanceled. Engine.Sweep
+// expands a declarative SweepSpec into thousands of scenarios and
+// checks every run against oracles derived from the paper's cost
+// bounds, with single-seed-string replay for failures. See examples/
+// for runnable programs.
 package meetpoly
 
 import (

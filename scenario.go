@@ -7,8 +7,10 @@ import (
 	"strconv"
 	"strings"
 
+	"meetpoly/internal/campaign"
 	"meetpoly/internal/graph"
 	"meetpoly/internal/sched"
+	"meetpoly/internal/uxs"
 )
 
 // ScenarioKind selects which of the paper's algorithms a Scenario runs.
@@ -56,9 +58,24 @@ type GraphSpec struct {
 	Shuffle bool `json:"shuffle,omitempty"`
 }
 
+// MaxSpecNodes caps the node count a declarative GraphSpec may request.
+// The builders themselves are driven by trusted code and take any size,
+// but a spec is user input (JSON files, CLI flags, fuzzers), and an
+// unchecked "clique of 10^9 nodes" is an allocation bomb, not a
+// scenario. The cap is far above the small-graph regime the verified
+// catalogs target, and is shared with campaign sweep validation so a
+// SweepSpec that validates never expands into cells this check rejects.
+const MaxSpecNodes = campaign.MaxSpecNodes
+
 // Build constructs the described graph. All failures wrap
 // ErrInvalidScenario.
 func (s GraphSpec) Build() (g *Graph, err error) {
+	// Size-cap the request before building: campaign.NodeCount is the
+	// single sizing formula shared with sweep-spec validation, so a
+	// SweepSpec that validates never expands into cells rejected here.
+	if _, err := campaign.NodeCount(s.Kind, s.N, s.Rows, s.Cols); err != nil {
+		return nil, fmt.Errorf("graph spec %+v: %v: %w", s, err, ErrInvalidScenario)
+	}
 	defer func() {
 		// The generators panic on out-of-range parameters (they are
 		// driven by trusted code); a declarative spec is user input, so
@@ -83,7 +100,7 @@ func (s GraphSpec) Build() (g *Graph, err error) {
 	case "random":
 		p := s.P
 		if p == 0 {
-			p = 0.3
+			p = uxs.DefaultRandomP
 		}
 		g = graph.RandomConnected(s.N, p, s.Seed)
 	case "grid":
@@ -347,6 +364,35 @@ func ScenarioFromJSON(data []byte) (Scenario, error) {
 		return Scenario{}, err
 	}
 	return s, nil
+}
+
+// SweepSpecJSON renders a campaign sweep spec as indented JSON, the
+// same declarative-descriptor convention Scenario.JSON follows.
+func SweepSpecJSON(s SweepSpec) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// SweepSpecFromJSON parses and validates a serialized sweep spec.
+// Malformed or inconsistent specs wrap ErrInvalidScenario, like every
+// other declarative descriptor.
+func SweepSpecFromJSON(data []byte) (SweepSpec, error) {
+	var s SweepSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return SweepSpec{}, fmt.Errorf("sweep spec JSON: %v: %w", err, ErrInvalidScenario)
+	}
+	if err := s.Validate(); err != nil {
+		return SweepSpec{}, fmt.Errorf("%v: %w", err, ErrInvalidScenario)
+	}
+	return s, nil
+}
+
+// LoadSweepSpecFile reads, parses and validates a sweep spec JSON file.
+func LoadSweepSpecFile(path string) (SweepSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SweepSpec{}, err
+	}
+	return SweepSpecFromJSON(data)
 }
 
 // LoadScenarioFile reads, parses and validates a scenario JSON file,
