@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"meetpoly/internal/campaign"
+	"meetpoly/internal/uxs"
 )
 
 // acceptanceSpec is the full-coverage campaign: all five scenario kinds,
@@ -108,8 +109,15 @@ func TestSweepAcceptance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: expansion validated, skipping the full execution")
 	}
-	eng := NewEngine(WithMaxN(6), WithSeed(1))
-	rep, err := eng.Sweep(context.Background(), spec)
+	// The sweeping engine runs the direct-dispatch fast path; the
+	// cross-core oracle re-executes every cell on a goroutine-core
+	// engine sharing the same catalog, so each acceptance sweep is also
+	// a full differential check of the two execution cores.
+	cat := uxs.NewVerified(uxs.DefaultFamily(6), 1)
+	eng := NewEngine(WithCatalog(cat))
+	ref := NewEngine(WithCatalog(cat), WithDirectDispatch(false))
+	oracles := append(campaign.DefaultOracles(eng.BoundModel()), CrossCheckOracle(ref))
+	rep, err := eng.SweepWithOracles(context.Background(), spec, oracles...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,228 @@
+// Command rvbench records the repo's performance trajectory: it runs
+// the scheduler's half-step microbenchmark on both execution cores
+// (internal/schedbench, the same harness BenchmarkRunnerHalfSteps uses)
+// plus an E4-style measured rendezvous campaign on the fast engine, and
+// writes the results as BENCH_sched.json (schema documented in
+// EXPERIMENTS.md §P1).
+//
+// Modes:
+//
+//	rvbench                    # measure and write BENCH_sched.json
+//	rvbench -quick             # smaller campaign (CI-sized)
+//	rvbench -quick -check BENCH_sched.json
+//	                           # measure, compare against the committed
+//	                           # baseline, write nothing; exit 1 if the
+//	                           # half-step cost regressed > 2x or the
+//	                           # stepper core lost its >= 5x advantage
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"meetpoly"
+	"meetpoly/internal/schedbench"
+)
+
+// Schema is the BENCH_sched.json format identifier.
+const Schema = "meetpoly/bench_sched/v1"
+
+// CoreBench is one execution core's half-step microbenchmark result.
+type CoreBench struct {
+	NsPerHalfStep     float64 `json:"ns_per_halfstep"`
+	BytesPerHalfStep  int64   `json:"bytes_per_halfstep"`
+	AllocsPerHalfStep int64   `json:"allocs_per_halfstep"`
+}
+
+// BenchFile is the BENCH_sched.json document.
+type BenchFile struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	HalfStep struct {
+		Stepper   CoreBench `json:"stepper"`
+		Goroutine CoreBench `json:"goroutine"`
+		// Speedup is goroutine ns / stepper ns: the dispatch win of the
+		// zero-handoff core. The acceptance floor is 5.
+		Speedup float64 `json:"speedup"`
+	} `json:"half_step"`
+
+	Campaign struct {
+		Spec        string  `json:"spec"`
+		Cells       int     `json:"cells"`
+		Met         int     `json:"met"`
+		TotalCost   int64   `json:"total_cost"`
+		WallMS      int64   `json:"wall_ms"`
+		CellsPerSec float64 `json:"cells_per_sec"`
+	} `json:"campaign"`
+}
+
+// benchSpec is the E4-style measured campaign: rendezvous instances
+// across four graph families under the three headline adversaries.
+func benchSpec(quick bool) meetpoly.SweepSpec {
+	sp := meetpoly.SweepSpec{
+		Name:  "rvbench-e4",
+		Seed:  "rvbench-v1",
+		Kinds: []string{"rendezvous"},
+		Graphs: []meetpoly.SweepGraphAxis{
+			{Kind: "path", Sizes: []int{4, 5}},
+			{Kind: "ring", Sizes: []int{4, 5}},
+			{Kind: "star", Sizes: []int{5}},
+			{Kind: "clique", Sizes: []int{4}},
+		},
+		StartPairs:  2,
+		LabelPairs:  2,
+		Adversaries: []string{"", "avoider", "random"},
+		Budget:      200_000,
+	}
+	if quick {
+		sp.StartPairs, sp.LabelPairs = 1, 1
+		sp.Budget = 50_000
+	}
+	return sp
+}
+
+func measure(quick bool) (*BenchFile, error) {
+	bf := &BenchFile{Schema: Schema, GoVersion: runtime.Version(),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+
+	fmt.Fprintln(os.Stderr, "rvbench: measuring half-steps on the stepper core...")
+	ns, by, al := schedbench.Measure(false)
+	bf.HalfStep.Stepper = CoreBench{NsPerHalfStep: ns, BytesPerHalfStep: by, AllocsPerHalfStep: al}
+	fmt.Fprintln(os.Stderr, "rvbench: measuring half-steps on the goroutine core...")
+	ns, by, al = schedbench.Measure(true)
+	bf.HalfStep.Goroutine = CoreBench{NsPerHalfStep: ns, BytesPerHalfStep: by, AllocsPerHalfStep: al}
+	if s := bf.HalfStep.Stepper.NsPerHalfStep; s > 0 {
+		bf.HalfStep.Speedup = bf.HalfStep.Goroutine.NsPerHalfStep / s
+	}
+
+	spec := benchSpec(quick)
+	cells, _, err := meetpoly.ExpandSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "rvbench: running the %d-cell %s campaign...\n", len(cells), spec.Name)
+	eng := meetpoly.NewEngine(WithDefaults()...)
+	start := time.Now()
+	rep, err := eng.Sweep(context.Background(), spec)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	if !rep.OK() {
+		return nil, fmt.Errorf("campaign oracle failures:\n%s", rep.Table())
+	}
+	bf.Campaign.Spec = spec.Name
+	bf.Campaign.Cells = rep.Cells
+	bf.Campaign.Met = rep.Met
+	for _, g := range rep.Group {
+		bf.Campaign.TotalCost += g.CostSum
+	}
+	bf.Campaign.WallMS = wall.Milliseconds()
+	if s := wall.Seconds(); s > 0 {
+		bf.Campaign.CellsPerSec = float64(rep.Cells) / s
+	}
+	return bf, nil
+}
+
+// WithDefaults returns the engine options rvbench runs with (the
+// production fast path).
+func WithDefaults() []meetpoly.Option {
+	return []meetpoly.Option{meetpoly.WithMaxN(6), meetpoly.WithSeed(1)}
+}
+
+// checkRegression compares a fresh measurement against the committed
+// baseline. The gate is hardware-independent: the stepper core's cost
+// is normalized by the goroutine core measured in the same run (the
+// channel hand-off is the natural calibration unit), and that
+// normalized cost must not exceed 2x the baseline's — a stepper-only
+// or shared-event-loop regression moves the ratio, a faster or slower
+// CI machine does not. Losing the 5x dispatch-speedup floor fails too.
+// Absolute ns drifts are reported as warnings only, since the baseline
+// may have been recorded on different hardware.
+func checkRegression(cur, base *BenchFile) error {
+	for _, p := range []struct {
+		name      string
+		cur, base float64
+	}{
+		{"stepper", cur.HalfStep.Stepper.NsPerHalfStep, base.HalfStep.Stepper.NsPerHalfStep},
+		{"goroutine", cur.HalfStep.Goroutine.NsPerHalfStep, base.HalfStep.Goroutine.NsPerHalfStep},
+	} {
+		if p.base > 0 && p.cur > 2*p.base {
+			fmt.Fprintf(os.Stderr,
+				"rvbench: warning: %s core measures %.1f ns/half-step vs baseline %.1f (different hardware?)\n",
+				p.name, p.cur, p.base)
+		}
+	}
+	curG, baseG := cur.HalfStep.Goroutine.NsPerHalfStep, base.HalfStep.Goroutine.NsPerHalfStep
+	curS, baseS := cur.HalfStep.Stepper.NsPerHalfStep, base.HalfStep.Stepper.NsPerHalfStep
+	if curG > 0 && baseG > 0 && baseS > 0 {
+		curNorm, baseNorm := curS/curG, baseS/baseG
+		if curNorm > 2*baseNorm {
+			return fmt.Errorf(
+				"stepper core regressed: %.3f of the goroutine core's cost vs baseline %.3f (>2x)",
+				curNorm, baseNorm)
+		}
+	}
+	if cur.HalfStep.Speedup < 5 {
+		return fmt.Errorf("stepper core speedup %.1fx below the 5x floor", cur.HalfStep.Speedup)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_sched.json", "file to write the measurements to")
+		quick = flag.Bool("quick", false, "CI-sized campaign (smaller cross product, smaller budget)")
+		check = flag.String("check", "", "compare against this baseline file instead of writing; exit 1 on regression")
+	)
+	flag.Parse()
+
+	bf, err := measure(*quick)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+
+	if *check != "" {
+		raw, err := os.ReadFile(*check)
+		if err != nil {
+			fatal(err)
+		}
+		var base BenchFile
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatal(fmt.Errorf("%s: %v", *check, err))
+		}
+		if base.Schema != Schema {
+			fatal(fmt.Errorf("%s: schema %q, want %q", *check, base.Schema, Schema))
+		}
+		fmt.Println(string(doc))
+		if err := checkRegression(bf, &base); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rvbench: no regression (stepper %.1f ns, goroutine %.1f ns, %.1fx)\n",
+			bf.HalfStep.Stepper.NsPerHalfStep, bf.HalfStep.Goroutine.NsPerHalfStep, bf.HalfStep.Speedup)
+		return
+	}
+
+	if err := os.WriteFile(*out, append(doc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rvbench: wrote %s (stepper %.1f ns, goroutine %.1f ns, %.1fx)\n",
+		*out, bf.HalfStep.Stepper.NsPerHalfStep, bf.HalfStep.Goroutine.NsPerHalfStep, bf.HalfStep.Speedup)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rvbench:", err)
+	os.Exit(1)
+}

@@ -51,10 +51,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		for _, c := range cells {
-			fmt.Printf("%-6s %s\n", c.Seed, c.ID)
+		if *jsonOut {
+			out, err := json.MarshalIndent(cells, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+		} else {
+			for _, c := range cells {
+				fmt.Printf("%-6s %s\n", c.Seed, c.ID)
+			}
 		}
-		fmt.Printf("%d cells\n", len(cells))
+		// The count is progress chatter, not data: keep stdout (cell
+		// list or JSON) machine-parseable.
+		fmt.Fprintf(os.Stderr, "%d cells\n", len(cells))
 		return
 	}
 

@@ -1,0 +1,91 @@
+package meetpoly
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"meetpoly/internal/uxs"
+)
+
+// differentialSpec is the cross-core equivalence campaign: every
+// scheduler-backed kind (certify never touches the runner) across six
+// graph families, three adversary families, two start pairs and two
+// label pairs — >= 500 generated scenarios.
+func differentialSpec() SweepSpec {
+	return SweepSpec{
+		Name:  "differential",
+		Seed:  "differential-v1",
+		Kinds: []string{"rendezvous", "baseline", "esst", "sgl"},
+		Graphs: []SweepGraphAxis{
+			{Kind: "path", Sizes: []int{3, 4, 5}},
+			{Kind: "ring", Sizes: []int{3, 4, 5}},
+			{Kind: "star", Sizes: []int{4, 5}},
+			{Kind: "clique", Sizes: []int{4}},
+			{Kind: "tree", Sizes: []int{4, 5}},
+			{Kind: "random", Sizes: []int{5}},
+		},
+		StartPairs:  2,
+		LabelPairs:  2,
+		Adversaries: []string{"", "avoider", "random"},
+		Budget:      3000,
+	}
+}
+
+// resultSummary extracts the scheduler summary of whichever kind ran.
+func resultSummary(r *Result) *Summary {
+	switch {
+	case r == nil:
+		return nil
+	case r.Rendezvous != nil:
+		return &r.Rendezvous.Summary
+	case r.Baseline != nil:
+		return &r.Baseline.Summary
+	case r.ESST != nil:
+		return &r.ESST.Summary
+	case r.SGL != nil:
+		return &r.SGL.Summary
+	default:
+		return nil
+	}
+}
+
+// TestDifferentialCores is the equivalence proof of DESIGN.md §2.2's
+// execution model: a >= 500-cell campaign sample executed through both
+// the direct-dispatch fast path and the goroutine core must produce
+// byte-identical Summary values — steps, meetings (participants, node,
+// edge, costs), per-agent traversal counts and the CostAccount — cell
+// for cell.
+func TestDifferentialCores(t *testing.T) {
+	spec := differentialSpec()
+	cells, scs, err := ExpandSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) < 500 {
+		t.Fatalf("differential campaign generated %d scenarios, want >= 500", len(cells))
+	}
+	cat := uxs.NewVerified(uxs.DefaultFamily(6), 1)
+	fast := NewEngine(WithCatalog(cat))
+	slow := NewEngine(WithCatalog(cat), WithDirectDispatch(false))
+
+	ctx := context.Background()
+	fb := fast.RunBatch(ctx, scs)
+	sb := slow.RunBatch(ctx, scs)
+	for i := range cells {
+		fe, se := fb[i].Err, sb[i].Err
+		if (fe == nil) != (se == nil) || (fe != nil && fe.Error() != se.Error()) {
+			t.Errorf("cell %s (%s): errors diverge: fast %v, slow %v", cells[i].Seed, cells[i].ID, fe, se)
+			continue
+		}
+		fs, ss := resultSummary(fb[i].Result), resultSummary(sb[i].Result)
+		if (fs == nil) != (ss == nil) {
+			t.Errorf("cell %s (%s): one core produced no summary", cells[i].Seed, cells[i].ID)
+			continue
+		}
+		if fs != nil && !reflect.DeepEqual(*fs, *ss) {
+			t.Errorf("cell %s (%s): summaries diverge:\nfast %+v\nslow %+v",
+				cells[i].Seed, cells[i].ID, *fs, *ss)
+		}
+	}
+}

@@ -28,10 +28,11 @@ type Catalog = uxs.Catalog
 // mutex, so concurrent runs reuse verified sequences instead of
 // re-verifying them per call. The zero value is not usable.
 type Engine struct {
-	env         *trajectory.Env
-	obs         Observer
-	parallelism int
-	autoExtend  bool
+	env           *trajectory.Env
+	obs           Observer
+	parallelism   int
+	autoExtend    bool
+	forceBlocking bool
 
 	// mu guards catalog coverage checks and extensions; sequence reads
 	// are internally synchronized by the catalog itself.
@@ -40,12 +41,13 @@ type Engine struct {
 
 // engineConfig collects option state before construction.
 type engineConfig struct {
-	catalog     Catalog
-	maxN        int
-	seed        int64
-	obs         Observer
-	parallelism int
-	autoExtend  bool
+	catalog        Catalog
+	maxN           int
+	seed           int64
+	obs            Observer
+	parallelism    int
+	autoExtend     bool
+	directDispatch bool
 }
 
 // Option configures NewEngine.
@@ -78,11 +80,22 @@ func WithParallelism(n int) Option { return func(c *engineConfig) { c.parallelis
 // sequences for everyone.
 func WithAutoExtend(on bool) Option { return func(c *engineConfig) { c.autoExtend = on } }
 
+// WithDirectDispatch selects the scheduler's execution core (DESIGN.md
+// §2.2, "execution model"). On (the default), agents implementing the
+// scheduler's state-machine interface are dispatched inline on the
+// runner's goroutine — the zero-handoff fast path every built-in
+// algorithm uses. Off forces the blocking goroutine core for every
+// agent. The two cores are observationally identical (the differential
+// test suite and the sweep cross-check oracle enforce it); turning the
+// fast path off exists for exactly those comparisons.
+func WithDirectDispatch(on bool) Option { return func(c *engineConfig) { c.directDispatch = on } }
+
 // NewEngine builds an engine. With no options it verifies a compact
 // exploration catalog on the standard graph families up to 6 nodes,
 // exactly like NewEnv(6, 1).
 func NewEngine(opts ...Option) *Engine {
-	cfg := engineConfig{maxN: 6, seed: 1, parallelism: runtime.GOMAXPROCS(0), autoExtend: true}
+	cfg := engineConfig{maxN: 6, seed: 1, parallelism: runtime.GOMAXPROCS(0), autoExtend: true,
+		directDispatch: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -93,9 +106,10 @@ func NewEngine(opts ...Option) *Engine {
 		cfg.parallelism = 1
 	}
 	e := &Engine{
-		env:         trajectory.NewEnv(cfg.catalog),
-		parallelism: cfg.parallelism,
-		autoExtend:  cfg.autoExtend,
+		env:           trajectory.NewEnv(cfg.catalog),
+		parallelism:   cfg.parallelism,
+		autoExtend:    cfg.autoExtend,
+		forceBlocking: !cfg.directDispatch,
 	}
 	if cfg.obs != nil {
 		e.obs = &lockedObserver{inner: cfg.obs}
@@ -189,7 +203,7 @@ func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adv
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("scenario %q: %w (%w)", sc.Name, ErrCanceled, err)
 	}
-	opts := sched.RunOpts{Ctx: ctx, Observer: e.obs}
+	opts := sched.RunOpts{Ctx: ctx, Observer: e.obs, ForceBlocking: e.forceBlocking}
 	res := &Result{Scenario: sc}
 
 	// finish maps scheduler-level outcomes to the typed sentinels. A
@@ -241,15 +255,16 @@ func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adv
 		return res, finish(r.Summary, r.Done, "exploration did not terminate")
 	case ScenarioSGL:
 		r, err := sgl.Run(sgl.Config{
-			Graph:     g,
-			Starts:    sc.Starts,
-			Labels:    sc.Labels,
-			Values:    sc.Values,
-			Env:       e.env,
-			Adversary: adv,
-			MaxSteps:  sc.Budget,
-			Context:   ctx,
-			Observer:  e.obs,
+			Graph:         g,
+			Starts:        sc.Starts,
+			Labels:        sc.Labels,
+			Values:        sc.Values,
+			Env:           e.env,
+			Adversary:     adv,
+			MaxSteps:      sc.Budget,
+			Context:       ctx,
+			Observer:      e.obs,
+			ForceBlocking: e.forceBlocking,
 		})
 		if err != nil {
 			return nil, err
@@ -371,9 +386,33 @@ func (e *Engine) SweepWithOracles(ctx context.Context, spec SweepSpec, oracles .
 	}
 	brs := e.RunBatch(ctx, scs)
 	results := make([]SweepCellResult, len(cells))
-	for i := range cells {
-		results[i] = e.judge(cells[i], brs[i], oracles)
+	// Judging fans out over the worker pool too: oracle suites may
+	// re-execute cells (CrossCheckOracle), so sequential judging would
+	// serialize work RunBatch just parallelized. Oracles are documented
+	// to be safe for concurrent Check calls.
+	workers := e.parallelism
+	if workers > len(cells) {
+		workers = len(cells)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = e.judge(cells[i], brs[i], oracles)
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 	return campaign.BuildReport(spec, results, nil), nil
 }
 

@@ -176,6 +176,7 @@ func RendezvousWith(opts sched.RunOpts, g *graph.Graph, start1, start2 int, l1, 
 		StopWhen:       func(r *sched.Runner) bool { return len(r.Meetings()) > 0 },
 		Context:        opts.Ctx,
 		Observer:       opts.Observer,
+		ForceBlocking:  opts.ForceBlocking,
 	}, adv)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -35,6 +35,12 @@ import (
 
 // Explorer is the standalone ESST agent program: any meeting counts as a
 // token sighting. Zero value is not usable; set Cat.
+//
+// Explorer implements both execution cores of DESIGN.md §2.2: Step
+// drives the pull-based Machine inline (the scheduler's fast path),
+// while Run executes the blocking Procedure — two independent
+// realizations of the same phase loop, kept equivalent by the
+// differential tests.
 type Explorer struct {
 	// Cat supplies exploration sequences (the R(k, ·) trajectories).
 	Cat uxs.Catalog
@@ -56,9 +62,14 @@ type Explorer struct {
 	meetEpoch int  // incremented by every OnMeet
 	withToken bool // co-located with the token right now
 	curDegree int
+
+	mach        *Machine // direct-dispatch core state (Step)
+	epochAtStep int      // meetEpoch snapshot at the last Step return
+	inFlight    bool     // a Step-emitted move awaits its arrival
+	lastPort    int      // the port of that move
 }
 
-var _ sched.Agent = (*Explorer)(nil)
+var _ sched.Stepper = (*Explorer)(nil)
 
 // Publish implements sched.Agent.
 func (e *Explorer) Publish() any { return e.Payload }
@@ -69,6 +80,36 @@ func (e *Explorer) OnMeet(enc sched.Encounter) {
 	if !enc.InEdge {
 		e.withToken = true
 	}
+}
+
+// Step implements sched.Stepper: the ESST main loop via Machine. The
+// sighting flags mirror the Hooks wiring of Run — a meeting delivered
+// since the previous decision is a sighting, and withToken is reset at
+// every decision exactly like Hooks.Move does at every move.
+func (e *Explorer) Step(p *sched.Proc, o sched.Observation) sched.Action {
+	if e.mach == nil {
+		e.mach = &Machine{Cat: e.Cat, MaxPhase: e.MaxPhase,
+			PhaseHook: func(i int) { p.Phase(fmt.Sprintf("esst: phase %d", i)) }}
+		e.epochAtStep = e.meetEpoch
+	}
+	e.curDegree = o.Degree
+	if e.inFlight {
+		// Record the completed traversal exactly when the goroutine
+		// core's Hooks.Move does: on arrival, so an interrupted run
+		// leaves the same partial trace on either core.
+		e.TraceExits = append(e.TraceExits, e.lastPort)
+		e.inFlight = false
+	}
+	sighted := e.meetEpoch > e.epochAtStep
+	port, running := e.mach.Step(o.Degree, o.Entry, sighted, e.withToken)
+	if !running {
+		e.Done, e.Phase, e.Cost = e.mach.Done, e.mach.Phase, e.mach.Cost
+		return sched.Action{Halt: true}
+	}
+	e.lastPort, e.inFlight = port, true
+	e.withToken = false
+	e.epochAtStep = e.meetEpoch
+	return sched.Action{Port: port}
 }
 
 // Run implements sched.Agent: the ESST main loop via Procedure.
@@ -120,10 +161,15 @@ type Token struct {
 	mets    int
 }
 
-var _ sched.Agent = (*Token)(nil)
+var _ sched.Stepper = (*Token)(nil)
 
 // Run implements sched.Agent: the token halts immediately.
 func (t *Token) Run(*sched.Proc) {}
+
+// Step implements sched.Stepper: the token halts immediately.
+func (t *Token) Step(*sched.Proc, sched.Observation) sched.Action {
+	return sched.Action{Halt: true}
+}
 
 // Publish implements sched.Agent.
 func (t *Token) Publish() any { return t.Payload }
@@ -168,6 +214,7 @@ func ExploreWith(opts sched.RunOpts, g *graph.Graph, startExplorer, startToken i
 		MaxSteps:       maxSteps,
 		Context:        opts.Ctx,
 		Observer:       opts.Observer,
+		ForceBlocking:  opts.ForceBlocking,
 	}, adv)
 	if err != nil {
 		return nil, fmt.Errorf("esst: %w", err)

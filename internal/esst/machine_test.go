@@ -1,0 +1,114 @@
+package esst
+
+import (
+	"reflect"
+	"testing"
+
+	"meetpoly/internal/graph"
+	"meetpoly/internal/sched"
+	"meetpoly/internal/uxs"
+)
+
+// TestMachineMatchesProcedure is the package-level differential proof
+// that the pull-based Machine (direct-dispatch core) and the blocking
+// Procedure (goroutine core) realize the same ESST program: the same
+// instances driven through both execution cores must produce identical
+// results, traces and scheduler summaries.
+func TestMachineMatchesProcedure(t *testing.T) {
+	cat := uxs.NewVerified(uxs.DefaultFamily(7), 1)
+	cases := []*graph.Graph{
+		graph.Path(2),
+		graph.Path(5),
+		graph.Ring(4),
+		graph.Ring(7),
+		graph.Star(6),
+		graph.Complete(5),
+		graph.BinaryTree(7),
+	}
+	advs := map[string]func() sched.Adversary{
+		"round-robin": func() sched.Adversary { return &sched.RoundRobin{} },
+		"random":      func() sched.Adversary { return sched.NewRandom(11) },
+		"biased":      func() sched.Adversary { return &sched.Biased{Weights: []int{1, 5}} },
+	}
+	for _, g := range cases {
+		if !cat.Covers(g) {
+			cat.Extend(g)
+		}
+		for name, mk := range advs {
+			run := func(force bool) *Result {
+				res, err := ExploreWith(sched.RunOpts{ForceBlocking: force},
+					g, 1%g.N(), 0, cat, mk(), 5_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			fast, slow := run(false), run(true)
+			if fast.Done != slow.Done || fast.Phase != slow.Phase || fast.Cost != slow.Cost ||
+				fast.EUpper != slow.EUpper || fast.Covered != slow.Covered {
+				t.Fatalf("%s/%s: cores diverge: fast %+v, slow %+v", g, name, fast, slow)
+			}
+			if !reflect.DeepEqual(fast.Summary, slow.Summary) {
+				t.Fatalf("%s/%s: summaries diverge:\nfast %+v\nslow %+v", g, name, fast.Summary, slow.Summary)
+			}
+			if !fast.Done {
+				t.Fatalf("%s/%s: ESST did not terminate", g, name)
+			}
+		}
+	}
+}
+
+// TestMachineTraceMatchesProcedureTrace drives Machine and Procedure
+// directly (no scheduler) over the same synchronous walk and compares
+// the recorded traces move for move, including a MaxPhase abort.
+func TestMachineTraceMatchesProcedureTrace(t *testing.T) {
+	cat := uxs.NewVerified(uxs.DefaultFamily(6), 1)
+	for _, tc := range []struct {
+		g        *graph.Graph
+		maxPhase int
+	}{
+		{graph.Ring(5), 0},
+		{graph.Path(4), 0},
+		{graph.Star(5), 0},
+		{graph.Ring(6), 3}, // forced MaxPhase abort
+	} {
+		if !cat.Covers(tc.g) {
+			cat.Extend(tc.g)
+		}
+		tokenAt := 0
+		// Synchronous single-agent walk: the token is parked at a node,
+		// sightings happen exactly on arrival there.
+		pr := &Procedure{Cat: cat, MaxPhase: tc.maxPhase}
+		cur := 1
+		pr.Hooks = Hooks{
+			Move: func(port int) (sched.Observation, bool) {
+				to, entry := tc.g.Succ(cur, port)
+				cur = to
+				return sched.Observation{Degree: tc.g.Degree(to), Entry: entry}, to == tokenAt
+			},
+			Degree:    func() int { return tc.g.Degree(cur) },
+			WithToken: func() bool { return cur == tokenAt },
+		}
+		prDone := pr.Run()
+
+		m := &Machine{Cat: cat, MaxPhase: tc.maxPhase}
+		mcur := 1
+		deg, entry, sighted := tc.g.Degree(mcur), -1, false
+		for {
+			port, running := m.Step(deg, entry, sighted, mcur == tokenAt)
+			if !running {
+				break
+			}
+			to, in := tc.g.Succ(mcur, port)
+			mcur = to
+			deg, entry, sighted = tc.g.Degree(to), in, to == tokenAt
+		}
+		if m.Done != prDone || m.Done != pr.Done || m.Phase != pr.Phase || m.Cost != pr.Cost {
+			t.Fatalf("%s: machine (done=%v phase=%d cost=%d) vs procedure (done=%v phase=%d cost=%d)",
+				tc.g, m.Done, m.Phase, m.Cost, pr.Done, pr.Phase, pr.Cost)
+		}
+		if !reflect.DeepEqual(m.Trace, pr.Trace) {
+			t.Fatalf("%s: traces diverge after %d vs %d moves", tc.g, len(m.Trace), len(pr.Trace))
+		}
+	}
+}

@@ -72,4 +72,8 @@ func (f *FuncObserver) OnPhase(agent int, phase string) {
 type RunOpts struct {
 	Ctx      context.Context
 	Observer Observer
+	// ForceBlocking runs every agent on the goroutine core even when it
+	// implements Stepper (see Config.ForceBlocking); the differential
+	// test suite uses it to compare the two execution cores.
+	ForceBlocking bool
 }

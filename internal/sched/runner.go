@@ -10,10 +10,14 @@
 //   - two agents are simultaneously inside the same edge travelling in
 //     opposite directions (continuous walks must cross).
 //
-// Agent programs run in goroutines, but exactly one goroutine is runnable
-// at any time: the runner and the active agent hand control back and
-// forth over unbuffered channels, so executions are fully deterministic
-// given the adversary.
+// Agent programs come in two observationally identical flavours
+// (DESIGN.md §2.2, "execution model"). A Stepper is an explicit
+// resumable state machine the runner drives inline on its own goroutine
+// — the zero-handoff fast path. A plain Agent runs its blocking program
+// in its own goroutine, but exactly one goroutine is runnable at any
+// time: the runner and the active agent hand control back and forth
+// over unbuffered channels. Either way executions are fully
+// deterministic given the adversary.
 package sched
 
 import (
@@ -54,6 +58,10 @@ type Encounter struct {
 // remains physically present and meetable). OnMeet and Publish are always
 // invoked while the agent's goroutine is suspended, so they may touch the
 // same state as Run without synchronization.
+//
+// Agents that additionally implement Stepper are dispatched inline
+// without a goroutine (see Stepper); Run is then only used when the
+// fast path is disabled via Config.ForceBlocking.
 type Agent interface {
 	Run(p *Proc)
 	// Publish returns the payload shared with peers at a meeting.
@@ -67,20 +75,17 @@ type Agent interface {
 // runner shuts down; Proc.Move never returns after it.
 var ErrStopped = errors.New("sched: runner stopped")
 
-// Proc is the handle through which an agent program moves.
+// Proc is the handle through which an agent program moves. Direct-
+// dispatch steppers receive the same handle (for Proc.Phase) but never
+// block in Move: the act/obs channels exist only on the goroutine core.
 type Proc struct {
 	r  *Runner
 	id int
 
 	cur  Observation
-	act  chan action
+	act  chan Action
 	obs  chan Observation
 	done chan struct{}
-}
-
-type action struct {
-	halt bool
-	port int
 }
 
 // Obs returns the current observation (the node the agent occupies).
@@ -103,7 +108,7 @@ func (p *Proc) Phase(name string) {
 // simply never runs.
 func (p *Proc) Move(port int) Observation {
 	select {
-	case p.act <- action{port: port}:
+	case p.act <- Action{Port: port}:
 	case <-p.done:
 		panic(ErrStopped)
 	}
@@ -158,10 +163,11 @@ type Position struct {
 
 // agentState is the runner's bookkeeping for one agent.
 type agentState struct {
-	agent  Agent
-	proc   *Proc
-	status Status
-	pos    Position
+	agent   Agent
+	stepper Stepper // non-nil selects the direct-dispatch fast path
+	proc    *Proc
+	status  Status
+	pos     Position
 
 	pendingPort int  // committed exit port when hasPending
 	hasPending  bool // an un-executed Move request exists
@@ -217,6 +223,11 @@ type Config struct {
 	Context context.Context
 	// Observer, if non-nil, receives execution events (see Observer).
 	Observer Observer
+	// ForceBlocking disables the direct-dispatch fast path: every agent,
+	// Stepper or not, runs its blocking program on the goroutine core.
+	// The differential test suite and the scheduler benchmarks use it to
+	// compare the two execution cores; production callers leave it off.
+	ForceBlocking bool
 }
 
 // Runner executes a simulation.
@@ -227,7 +238,6 @@ type Runner struct {
 
 	steps    int
 	meetings []Meeting
-	contacts map[[2]int]bool // symmetric pair contact set, i < j
 
 	stopWhen    func(r *Runner) bool
 	maxSteps    int
@@ -239,6 +249,25 @@ type Runner struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed bool
+
+	// Hot-path scratch, reused across events so the per-half-step cost
+	// is allocation-free (see detectMeetings and view).
+	viewBuf     View
+	contacts    []bool      // pair contact bits after the previous event, i*k+j with i<j
+	curContacts []bool      // pair contact bits being assembled
+	grouped     []bool      // per-agent: already claimed by a node group
+	edgeGroup   []int32     // per graph.EdgeIndex: 1+group slot of the crossing group
+	edgeTouched []int32     // edge indices written in edgeGroup this check
+	groups      []meetGroup // group slot pool
+	nGroups     int
+}
+
+// meetGroup is one co-located agent group found by detectMeetings.
+type meetGroup struct {
+	members []int
+	inEdge  bool
+	node    int
+	edge    [2]int
 }
 
 // Adversary chooses the schedule. Next returns ok=false to end the run
@@ -277,7 +306,6 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 		maxSteps: cfg.MaxSteps,
 		ctx:      cfg.Context,
 		obs:      cfg.Observer,
-		contacts: make(map[[2]int]bool),
 		done:     make(chan struct{}),
 	}
 	for i, a := range cfg.Agents {
@@ -286,11 +314,14 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 			status: StatusDormant,
 			pos:    Position{Kind: AtNode, Node: cfg.Starts[i]},
 		}
-		st.proc = &Proc{
-			r: r, id: i,
-			act:  make(chan action),
-			obs:  make(chan Observation),
-			done: r.done,
+		if !cfg.ForceBlocking {
+			st.stepper, _ = a.(Stepper)
+		}
+		st.proc = &Proc{r: r, id: i, done: r.done}
+		if st.stepper == nil {
+			// Hand-off channels exist only on the goroutine core.
+			st.proc.act = make(chan Action)
+			st.proc.obs = make(chan Observation)
 		}
 		r.agents = append(r.agents, st)
 	}
@@ -300,6 +331,11 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 		}
 	}
 	r.initialWake = append(r.initialWake, cfg.InitiallyAwake...)
+	k := len(r.agents)
+	r.contacts = make([]bool, k*k)
+	r.curContacts = make([]bool, k*k)
+	r.grouped = make([]bool, k)
+	r.viewBuf = View{g: r.g, Agents: make([]AgentView, 0, k)}
 	return r, nil
 }
 
@@ -361,7 +397,8 @@ func (r *Runner) anyActionable() bool {
 	return false
 }
 
-// wake launches a dormant agent's program and records its first decision.
+// wake activates a dormant agent and records its first decision: inline
+// for steppers, via a fresh goroutine for blocking programs.
 func (r *Runner) wake(i int) {
 	st := r.agents[i]
 	if st.status != StatusDormant {
@@ -369,6 +406,10 @@ func (r *Runner) wake(i int) {
 	}
 	st.status = StatusActive
 	st.proc.cur = Observation{Degree: r.g.Degree(st.pos.Node), Entry: -1}
+	if st.stepper != nil {
+		r.commit(st, st.stepper.Step(st.proc, st.proc.cur))
+		return
+	}
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
@@ -379,26 +420,32 @@ func (r *Runner) wake(i int) {
 		}()
 		st.agent.Run(st.proc)
 		select {
-		case st.proc.act <- action{halt: true}:
+		case st.proc.act <- Action{Halt: true}:
 		case <-r.done:
 		}
 	}()
 	r.receiveDecision(st)
 }
 
-// receiveDecision blocks until the agent commits its next action.
+// receiveDecision blocks until the agent goroutine commits its next
+// action (goroutine core only).
 func (r *Runner) receiveDecision(st *agentState) {
-	a := <-st.proc.act
-	if a.halt {
+	r.commit(st, <-st.proc.act)
+}
+
+// commit validates and records one agent decision, whichever core
+// produced it.
+func (r *Runner) commit(st *agentState, a Action) {
+	if a.Halt {
 		st.status = StatusHalted
 		st.hasPending = false
 		return
 	}
 	deg := r.g.Degree(st.pos.Node)
-	if a.port < 0 || a.port >= deg {
-		panic(fmt.Sprintf("sched: agent chose invalid port %d at degree-%d node", a.port, deg))
+	if a.Port < 0 || a.Port >= deg {
+		panic(fmt.Sprintf("sched: agent chose invalid port %d at degree-%d node", a.Port, deg))
 	}
-	st.pendingPort = a.port
+	st.pendingPort = a.Port
 	st.hasPending = true
 }
 
@@ -439,6 +486,11 @@ func (r *Runner) apply(ev Event) bool {
 		// agent decides its next action.
 		r.detectMeetings()
 		obs := Observation{Degree: r.g.Degree(to), Entry: entry}
+		st.proc.cur = obs
+		if st.stepper != nil {
+			r.commit(st, st.stepper.Step(st.proc, obs))
+			return true
+		}
 		st.proc.obs <- obs
 		r.receiveDecision(st)
 		return true
@@ -457,73 +509,121 @@ func arrivalEntry(g *graph.Graph, from, to, port int) (int, int) {
 	return t, entry
 }
 
+// pairBit returns the index of the (i, j) contact bit in the k*k pair
+// bitset (order-normalized).
+func pairBit(i, j, k int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return i*k + j
+}
+
+// newGroup claims a group slot from the reusable pool.
+func (r *Runner) newGroup() int {
+	if r.nGroups == len(r.groups) {
+		r.groups = append(r.groups, meetGroup{})
+	}
+	g := r.nGroups
+	r.nGroups++
+	members := r.groups[g].members[:0]
+	r.groups[g] = meetGroup{members: members}
+	return g
+}
+
 // detectMeetings fires encounters for every co-located group that gained
 // a new contact pair since the last check, and wakes dormant
-// participants.
+// participants. It runs after every adversary event, so it works on
+// reused dense buffers — pair bitsets and an edge-indexed group table —
+// instead of allocating maps.
 func (r *Runner) detectMeetings() {
-	// Current contact pairs.
-	current := make(map[[2]int]bool)
-	type group struct {
-		members []int
-		inEdge  bool
-		node    int
-		edge    [2]int
+	k := len(r.agents)
+	cur := r.curContacts
+	for i := range cur {
+		cur[i] = false
 	}
-	groups := make(map[string]*group)
+	r.nGroups = 0
 
-	// Node groups.
-	byNode := make(map[int][]int)
-	for i, st := range r.agents {
-		if st.pos.Kind == AtNode {
-			byNode[st.pos.Node] = append(byNode[st.pos.Node], i)
-		}
+	// Node groups, in ascending lowest-member order.
+	grouped := r.grouped
+	for i := range grouped {
+		grouped[i] = false
 	}
-	for node, members := range byNode {
-		if len(members) < 2 {
+	for i := 0; i < k; i++ {
+		si := r.agents[i]
+		if si.pos.Kind != AtNode || grouped[i] {
 			continue
 		}
-		key := fmt.Sprintf("n%d", node)
-		groups[key] = &group{members: members, node: node}
-		for x := 0; x < len(members); x++ {
-			for y := x + 1; y < len(members); y++ {
-				current[pairKey(members[x], members[y])] = true
+		gi := -1
+		for j := i + 1; j < k; j++ {
+			sj := r.agents[j]
+			if sj.pos.Kind != AtNode || sj.pos.Node != si.pos.Node {
+				continue
+			}
+			if gi < 0 {
+				gi = r.newGroup()
+				r.groups[gi].node = si.pos.Node
+				r.groups[gi].members = append(r.groups[gi].members, i)
+			}
+			r.groups[gi].members = append(r.groups[gi].members, j)
+			grouped[j] = true
+		}
+		if gi >= 0 {
+			ms := r.groups[gi].members
+			for x := 0; x < len(ms); x++ {
+				for y := x + 1; y < len(ms); y++ {
+					cur[pairBit(ms[x], ms[y], k)] = true
+				}
 			}
 		}
 	}
-	// Crossing groups: same edge, opposite directions.
-	for i := 0; i < len(r.agents); i++ {
+
+	// Crossing groups: same edge, opposite directions, keyed by the
+	// dense graph.EdgeIndex of the occupied edge.
+	for i := 0; i < k; i++ {
 		si := r.agents[i]
 		if si.pos.Kind != InEdge {
 			continue
 		}
-		for j := i + 1; j < len(r.agents); j++ {
+		for j := i + 1; j < k; j++ {
 			sj := r.agents[j]
 			if sj.pos.Kind != InEdge {
 				continue
 			}
 			if si.pos.From == sj.pos.To && si.pos.To == sj.pos.From {
-				e := canonEdge(si.pos.From, si.pos.To)
-				key := fmt.Sprintf("e%d-%d", e[0], e[1])
-				gr, ok := groups[key]
-				if !ok {
-					gr = &group{inEdge: true, edge: e}
-					groups[key] = gr
+				if r.edgeGroup == nil {
+					r.edgeGroup = make([]int32, r.g.M())
 				}
-				gr.members = appendUnique(gr.members, i)
-				gr.members = appendUnique(gr.members, j)
-				current[pairKey(i, j)] = true
+				e := r.g.EdgeIndex(si.pos.From, si.pendingPort)
+				gi := int(r.edgeGroup[e]) - 1
+				if gi < 0 {
+					gi = r.newGroup()
+					r.groups[gi].inEdge = true
+					r.groups[gi].edge = canonEdge(si.pos.From, si.pos.To)
+					r.edgeGroup[e] = int32(gi) + 1
+					r.edgeTouched = append(r.edgeTouched, int32(e))
+				}
+				r.groups[gi].members = appendUnique(r.groups[gi].members, i)
+				r.groups[gi].members = appendUnique(r.groups[gi].members, j)
+				cur[pairBit(i, j, k)] = true
 			}
 		}
 	}
+	for _, e := range r.edgeTouched {
+		r.edgeGroup[e] = 0
+	}
+	r.edgeTouched = r.edgeTouched[:0]
 
-	// Which groups contain a newly-in-contact pair?
-	for _, gr := range groups {
+	// Which groups contain a newly-in-contact pair? Fire those, in group
+	// discovery order (node groups by lowest member, then crossings).
+	for gi := 0; gi < r.nGroups; gi++ {
+		gr := &r.groups[gi]
 		isNew := false
-		for x := 0; x < len(gr.members); x++ {
+		for x := 0; x < len(gr.members) && !isNew; x++ {
 			for y := x + 1; y < len(gr.members); y++ {
-				k := pairKey(gr.members[x], gr.members[y])
-				if current[k] && !r.contacts[k] {
+				b := pairBit(gr.members[x], gr.members[y], k)
+				if cur[b] && !r.contacts[b] {
 					isNew = true
+					break
 				}
 			}
 		}
@@ -532,7 +632,7 @@ func (r *Runner) detectMeetings() {
 		}
 		r.fireMeeting(gr.members, gr.inEdge, gr.node, gr.edge)
 	}
-	r.contacts = current
+	r.contacts, r.curContacts = cur, r.contacts
 }
 
 // fireMeeting publishes payloads, delivers OnMeet to every participant
@@ -572,13 +672,6 @@ func (r *Runner) fireMeeting(members []int, inEdge bool, node int, edge [2]int) 
 			r.wake(id)
 		}
 	}
-}
-
-func pairKey(i, j int) [2]int {
-	if i > j {
-		i, j = j, i
-	}
-	return [2]int{i, j}
 }
 
 func canonEdge(u, v int) [2]int {

@@ -14,6 +14,11 @@ type AgentView struct {
 }
 
 // View is the adversary's snapshot of the execution.
+//
+// The runner reuses one View (and its Agents slice) for the whole run,
+// refreshed before every Adversary.Next call: strategies may read it
+// freely during Next but must not retain it, or slices derived from it,
+// across calls. Copy what you need to keep.
 type View struct {
 	Steps  int
 	Agents []AgentView
@@ -22,7 +27,9 @@ type View struct {
 }
 
 func (r *Runner) view() *View {
-	v := &View{Steps: r.steps, g: r.g}
+	v := &r.viewBuf
+	v.Steps = r.steps
+	v.Agents = v.Agents[:0]
 	for _, st := range r.agents {
 		v.Agents = append(v.Agents, AgentView{
 			Status:      st.status,

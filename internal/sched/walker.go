@@ -2,10 +2,12 @@ package sched
 
 import "meetpoly/internal/trajectory"
 
-// Walker adapts a trajectory.Stepper to a sched.Agent: the standard shape
+// Walker adapts a trajectory.Stepper to a sched agent: the standard shape
 // of a rendezvous agent, which follows a predetermined (label-dependent)
 // trajectory until it meets someone. Decisions depend only on the agent's
-// own observations, exactly as the model demands.
+// own observations, exactly as the model demands. Walker is a native
+// sched.Stepper, so runners dispatch it on the zero-handoff fast path;
+// its blocking Run is the canonical RunStepper loop over the same Step.
 type Walker struct {
 	// Stepper supplies the route. The Walker halts when it is exhausted.
 	Stepper trajectory.Stepper
@@ -18,24 +20,26 @@ type Walker struct {
 	metCount int
 }
 
-var _ Agent = (*Walker)(nil)
+var _ Stepper = (*Walker)(nil)
 
-// Run implements Agent.
-func (w *Walker) Run(p *Proc) {
-	obs := p.Obs()
-	entry := 0 // fresh-start convention for the trajectory
-	for {
-		if w.StopAtMeeting && w.metCount > 0 {
-			return
-		}
-		port, ok := w.Stepper.Next(obs.Degree, entry)
-		if !ok {
-			return
-		}
-		obs = p.Move(port)
-		entry = obs.Entry
+// Step implements Stepper: one route decision per invocation.
+func (w *Walker) Step(_ *Proc, o Observation) Action {
+	if w.StopAtMeeting && w.metCount > 0 {
+		return Action{Halt: true}
 	}
+	entry := o.Entry
+	if entry < 0 {
+		entry = 0 // fresh-start convention for the trajectory
+	}
+	port, ok := w.Stepper.Next(o.Degree, entry)
+	if !ok {
+		return Action{Halt: true}
+	}
+	return Action{Port: port}
 }
+
+// Run implements Agent for the goroutine core.
+func (w *Walker) Run(p *Proc) { RunStepper(w, p) }
 
 // Publish implements Agent.
 func (w *Walker) Publish() any { return w.Payload }

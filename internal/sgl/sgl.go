@@ -159,6 +159,19 @@ type agent struct {
 	failure     string
 
 	finalState State // recorded at halt for reports
+
+	// Direct-dispatch core state (agent.Step in step.go); the blocking
+	// program in Run never touches these.
+	ss         stepState
+	mach       *esst.Machine
+	eBound     int // ESST-derived size bound E(n)
+	p2budget   int
+	btIdx      int // backtrack index (phase-1 trace or sweep record)
+	sweepSeq   []int
+	sweepIdx   int
+	sweepEntry int
+	sweepRec   []esst.MoveRec
+	lastExit   int
 }
 
 var _ sched.Agent = (*agent)(nil)
@@ -535,6 +548,9 @@ type Config struct {
 	// Observer, if non-nil, receives execution events, including each
 	// agent's state and phase transitions.
 	Observer sched.Observer
+	// ForceBlocking runs the agents on the scheduler's goroutine core
+	// instead of the direct-dispatch fast path (sched.Config).
+	ForceBlocking bool
 }
 
 // Run executes Algorithm SGL and reports every agent's outcome.
@@ -605,8 +621,9 @@ func Run(cfg Config) (*Result, error) {
 			}
 			return true
 		},
-		Context:  cfg.Context,
-		Observer: cfg.Observer,
+		Context:       cfg.Context,
+		Observer:      cfg.Observer,
+		ForceBlocking: cfg.ForceBlocking,
 	}, adv)
 	if err != nil {
 		return nil, fmt.Errorf("sgl: %w", err)

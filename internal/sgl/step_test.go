@@ -1,0 +1,62 @@
+package sgl
+
+import (
+	"reflect"
+	"testing"
+
+	"meetpoly/internal/graph"
+	"meetpoly/internal/labels"
+	"meetpoly/internal/sched"
+)
+
+// TestStepMatchesRun is the package-level differential proof that the
+// state-machine program (agent.Step, direct-dispatch core) and the
+// blocking program (agent.Run, goroutine core) are the same algorithm:
+// identical instances driven through both cores must produce identical
+// reports and scheduler summaries, including traversal counts.
+func TestStepMatchesRun(t *testing.T) {
+	env := testEnv(t)
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		starts []int
+		labs   []labels.Label
+		adv    func() sched.Adversary
+	}{
+		{"path4/rr", graph.Path(4), []int{0, 3}, []labels.Label{2, 5}, func() sched.Adversary { return &sched.RoundRobin{} }},
+		{"ring5/random", graph.Ring(5), []int{0, 2, 4}, []labels.Label{3, 1, 6}, func() sched.Adversary { return sched.NewRandom(5) }},
+		{"star5/biased", graph.Star(5), []int{1, 2, 3}, []labels.Label{7, 4, 2}, func() sched.Adversary { return &sched.Biased{Weights: []int{1, 5, 9}} }},
+		{"clique4/avoider", graph.Complete(4), []int{0, 1, 2, 3}, []labels.Label{9, 3, 5, 1}, func() sched.Adversary { return &sched.Avoider{} }},
+	}
+	for _, tc := range cases {
+		run := func(force bool) *Result {
+			res, err := Run(Config{
+				Graph:         tc.g,
+				Starts:        tc.starts,
+				Labels:        tc.labs,
+				Env:           env,
+				Adversary:     tc.adv(),
+				MaxSteps:      20_000_000,
+				ForceBlocking: force,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			return res
+		}
+		fast, slow := run(false), run(true)
+		if !reflect.DeepEqual(fast.Summary, slow.Summary) {
+			t.Fatalf("%s: summaries diverge:\nfast %+v\nslow %+v", tc.name, fast.Summary, slow.Summary)
+		}
+		if !reflect.DeepEqual(fast.Agents, slow.Agents) {
+			t.Fatalf("%s: agent reports diverge:\nfast %+v\nslow %+v", tc.name, fast.Agents, slow.Agents)
+		}
+		if fast.AllOutput != slow.AllOutput || fast.TotalCost != slow.TotalCost {
+			t.Fatalf("%s: outcomes diverge: fast (%v, %d) slow (%v, %d)",
+				tc.name, fast.AllOutput, fast.TotalCost, slow.AllOutput, slow.TotalCost)
+		}
+		if !fast.AllOutput {
+			t.Fatalf("%s: SGL incomplete on both cores", tc.name)
+		}
+	}
+}

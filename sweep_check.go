@@ -1,0 +1,37 @@
+package meetpoly
+
+import (
+	"context"
+	"fmt"
+
+	"meetpoly/internal/campaign"
+)
+
+// CrossCheckOracle returns the cross-core sweep oracle: it re-executes
+// every completed cell on ref — an engine configured with the other
+// execution core, typically NewEngine(WithCatalog(cat),
+// WithDirectDispatch(false)) sharing the sweeping engine's catalog —
+// and fails unless the two cores produced identical outcomes (goal,
+// cost, per-agent maximum, committed traversals and how the run ended).
+//
+// This is the standing form of the differential equivalence argument of
+// DESIGN.md §2.2: wiring it into a sweep's oracle suite makes every
+// future campaign cross-check the direct-dispatch fast path against the
+// goroutine core. Canceled and invalid cells verified nothing and are
+// skipped, as is certify (it never touches the scheduler's cores).
+func CrossCheckOracle(ref *Engine) SweepOracle {
+	return campaign.OracleFunc{ID: "cross-core", F: func(c SweepCell, o SweepOutcome) error {
+		if o.Canceled || o.Invalid || c.Kind == campaign.KindCertify {
+			return nil
+		}
+		sc := CellScenario(c)
+		res, err := ref.Run(context.Background(), sc)
+		ro := sweepOutcome(c, BatchResult{Index: c.Index, Scenario: sc, Result: res, Err: err})
+		if ro.Met != o.Met || ro.Cost != o.Cost || ro.MaxPerAgent != o.MaxPerAgent ||
+			ro.Committed != o.Committed || ro.Exhausted != o.Exhausted ||
+			ro.EndedEarly != o.EndedEarly || ro.Consistent != o.Consistent {
+			return fmt.Errorf("execution cores diverge: this core %+v, reference core %+v", o, ro)
+		}
+		return nil
+	}}
+}
