@@ -10,6 +10,8 @@ package meetpoly
 // doubles as a results table.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -269,6 +271,97 @@ func BenchmarkAblationAdversary(b *testing.B) {
 			b.ReportMetric(float64(cost), "meet-cost")
 		})
 	}
+}
+
+// BenchmarkEngineRunPrepared measures one engine-run of a rendezvous
+// scenario on the warm prepared-scenario cache (graph, coverage and
+// routes amortized — the sweep steady state) against the uncached path
+// (WithPreparedCache(false): every run re-builds, re-covers and
+// re-derives its trajectories).
+func BenchmarkEngineRunPrepared(b *testing.B) {
+	ctx := context.Background()
+	sc := Scenario{
+		Kind:      ScenarioRendezvous,
+		Graph:     GraphSpec{Kind: "ring", N: 5},
+		Starts:    []int{0, 2},
+		Labels:    []Label{2, 5},
+		Adversary: "avoider",
+		Budget:    10_000,
+	}
+	b.Run("warm-cache", func(b *testing.B) {
+		eng := NewEngine()
+		if _, err := eng.Run(ctx, sc); err == nil || errors.Is(err, ErrBudgetExhausted) {
+			// warmed; exhaustion is the expected outcome under the avoider
+		} else {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(ctx, sc); err != nil && !errors.Is(err, ErrBudgetExhausted) {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold-cache", func(b *testing.B) {
+		eng := NewEngine(WithPreparedCache(false))
+		if _, err := eng.Run(ctx, sc); err != nil && !errors.Is(err, ErrBudgetExhausted) {
+			b.Fatal(err) // catalog warm-up only; preparation stays cold
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(ctx, sc); err != nil && !errors.Is(err, ErrBudgetExhausted) {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepThroughput measures end-to-end campaign throughput in
+// cells/sec — the quantity BENCH_sched.json's prep/run split records —
+// on the warm and uncached engines.
+func BenchmarkSweepThroughput(b *testing.B) {
+	ctx := context.Background()
+	spec := SweepSpec{
+		Name:  "bench-sweep",
+		Seed:  "bench-sweep-v1",
+		Kinds: []string{"rendezvous"},
+		Graphs: []SweepGraphAxis{
+			{Kind: "path", Sizes: []int{4, 5}},
+			{Kind: "ring", Sizes: []int{4, 5}},
+		},
+		Adversaries: []string{"", "avoider", "random"},
+		Budget:      20_000,
+	}
+	cells, err := CountSweep(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, eng *Engine) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := eng.Sweep(ctx, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.OK() {
+				b.Fatalf("oracle failures:\n%s", rep.Table())
+			}
+		}
+		b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+	}
+	b.Run("warm-cache", func(b *testing.B) {
+		eng := NewEngine()
+		if _, err := eng.Sweep(ctx, spec); err != nil {
+			b.Fatal(err) // fill the prepared-scenario cache
+		}
+		run(b, eng)
+	})
+	b.Run("cold-cache", func(b *testing.B) {
+		run(b, NewEngine(WithPreparedCache(false)))
+	})
 }
 
 // BenchmarkRunnerThroughput measures raw scheduler half-steps per second

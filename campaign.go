@@ -67,7 +67,9 @@ func CellScenario(c SweepCell) Scenario {
 }
 
 // ExpandSweep expands a sweep spec into its cells and the scenarios
-// they execute, index-aligned.
+// they execute, index-aligned. It materializes both slices; callers
+// that only need to iterate or count use WalkSweep/CountSweep, which
+// expand in bounded memory.
 func ExpandSweep(spec SweepSpec) ([]SweepCell, []Scenario, error) {
 	cells, err := campaign.Expand(spec)
 	if err != nil {
@@ -78,6 +80,46 @@ func ExpandSweep(spec SweepSpec) ([]SweepCell, []Scenario, error) {
 		scs[i] = CellScenario(c)
 	}
 	return cells, scs, nil
+}
+
+// WalkSweep streams the spec's cells to yield in expansion order
+// (identical to ExpandSweep's), holding one cell at a time: the
+// bounded-memory path Engine.Sweep and `rvsweep -expand` use. yield
+// returning false stops the walk early.
+func WalkSweep(spec SweepSpec, yield func(SweepCell) bool) error {
+	if err := campaign.Walk(spec, yield); err != nil {
+		return fmt.Errorf("%v: %w", err, ErrInvalidScenario)
+	}
+	return nil
+}
+
+// CountSweep returns how many cells the spec expands to, by axis
+// arithmetic alone — no cells are derived.
+func CountSweep(spec SweepSpec) (int, error) {
+	n, err := campaign.Count(spec)
+	if err != nil {
+		return 0, fmt.Errorf("%v: %w", err, ErrInvalidScenario)
+	}
+	return n, nil
+}
+
+// sweepGraphSpecs resolves the spec's unique graph cells into the
+// GraphSpecs their scenarios build — the engine's sweep pre-pass warms
+// exactly these through the prepared-scenario cache.
+func sweepGraphSpecs(spec SweepSpec) ([]GraphSpec, error) {
+	gps, err := campaign.Graphs(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrInvalidScenario)
+	}
+	out := make([]GraphSpec, len(gps))
+	for i, gp := range gps {
+		out[i] = GraphSpec{
+			Kind: gp.Kind, N: gp.N,
+			Rows: gp.Rows, Cols: gp.Cols,
+			P: gp.P, Seed: gp.Seed, Shuffle: gp.Shuffle,
+		}
+	}
+	return out, nil
 }
 
 // sweepOutcome classifies one batch result into the engine-agnostic
@@ -114,6 +156,7 @@ func sweepOutcome(cell SweepCell, br BatchResult) SweepOutcome {
 	}
 	fill := func(sum Summary) {
 		o.Cost = sum.TotalCost
+		o.Steps = sum.Steps
 		o.MaxPerAgent = sum.Account.MaxPerAgent
 		o.Committed = sum.Account.Committed
 	}

@@ -11,7 +11,8 @@
 //	rvsweep -spec campaign.json -replay 'seed#index'
 //
 // The process exits non-zero when any oracle fails, so a sweep doubles
-// as a CI gate.
+// as a CI gate. -cpuprofile/-memprofile write pprof profiles of the
+// sweep for performance work.
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"meetpoly"
 )
@@ -30,10 +33,13 @@ func main() {
 		specPath    = flag.String("spec", "", "path to the sweep spec JSON (required)")
 		replay      = flag.String("replay", "", "replay a single cell from its seed string instead of sweeping")
 		expand      = flag.Bool("expand", false, "expand the spec and list cells without running them")
+		count       = flag.Bool("count", false, "print only the cell count the spec expands to")
 		maxN        = flag.Int("maxn", 6, "size ceiling of the engine's verified catalog family")
 		seed        = flag.Int64("seed", 1, "seed of the engine's verified catalog")
 		parallelism = flag.Int("parallelism", 0, "worker pool size (0 = GOMAXPROCS)")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON instead of a table")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -46,26 +52,63 @@ func main() {
 		fatal(err)
 	}
 
-	if *expand {
-		cells, _, err := meetpoly.ExpandSweep(spec)
+	if *count {
+		n, err := meetpoly.CountSweep(spec)
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Println(n)
+		return
+	}
+
+	if *expand {
+		// Cells stream straight from the expansion iterator: listing a
+		// million-cell campaign holds one cell at a time (-json included,
+		// via a streaming array encoding).
 		if *jsonOut {
-			out, err := json.MarshalIndent(cells, "", "  ")
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(string(out))
+			fmt.Println("[")
+			first := true
+			err = meetpoly.WalkSweep(spec, func(c meetpoly.SweepCell) bool {
+				out, jerr := json.MarshalIndent(c, "  ", "  ")
+				if jerr != nil {
+					err = jerr
+					return false
+				}
+				if !first {
+					fmt.Println(",")
+				}
+				first = false
+				fmt.Print("  ", string(out))
+				return true
+			})
+			fmt.Println("\n]")
 		} else {
-			for _, c := range cells {
+			err = meetpoly.WalkSweep(spec, func(c meetpoly.SweepCell) bool {
 				fmt.Printf("%-6s %s\n", c.Seed, c.ID)
-			}
+				return true
+			})
+		}
+		if err != nil {
+			fatal(err)
 		}
 		// The count is progress chatter, not data: keep stdout (cell
-		// list or JSON) machine-parseable.
-		fmt.Fprintf(os.Stderr, "%d cells\n", len(cells))
+		// list or JSON) machine-parseable. CountSweep projects it from
+		// the axes without re-deriving cells.
+		if n, cerr := meetpoly.CountSweep(spec); cerr == nil {
+			fmt.Fprintf(os.Stderr, "%d cells\n", n)
+		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	opts := []meetpoly.Option{meetpoly.WithMaxN(*maxN), meetpoly.WithSeed(*seed)}
@@ -75,6 +118,24 @@ func main() {
 	eng := meetpoly.NewEngine(opts...)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	exit := func(code int) {
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(code)
+	}
 
 	if *replay != "" {
 		cr, err := eng.ReplayCell(ctx, spec, *replay)
@@ -90,12 +151,12 @@ func main() {
 		// runs by design, so a clean verdict here would be a lie.
 		if cr.Outcome.Canceled {
 			fmt.Fprintln(os.Stderr, "rvsweep: replay interrupted before completing")
-			os.Exit(1)
+			exit(1)
 		}
 		if cr.Failed() {
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	rep, err := eng.Sweep(ctx, spec)
@@ -117,8 +178,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rvsweep: sweep interrupted: %d of %d cells canceled\n", rep.Canc, rep.Cells)
 	}
 	if !rep.OK() {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
 
 func fatal(err error) {

@@ -3,8 +3,10 @@ package meetpoly
 import (
 	"context"
 	"fmt"
+	"math/big"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"meetpoly/internal/baseline"
 	"meetpoly/internal/campaign"
@@ -24,19 +26,131 @@ import (
 type Catalog = uxs.Catalog
 
 // Engine executes Scenarios. Build one with NewEngine and share it: the
-// engine owns a single verified exploration-sequence catalog behind a
-// mutex, so concurrent runs reuse verified sequences instead of
-// re-verifying them per call. The zero value is not usable.
+// engine owns a single verified exploration-sequence catalog (lock-free
+// snapshot reads, so concurrent runs reuse verified sequences without
+// contending) and a prepared-scenario cache that amortizes graph
+// builds, coverage checks and deterministic agent routes across every
+// run that shares a declarative spec (DESIGN.md §3.1). The zero value
+// is not usable.
 type Engine struct {
 	env           *trajectory.Env
 	obs           Observer
 	parallelism   int
 	autoExtend    bool
 	forceBlocking bool
+	usePrepCache  bool
 
 	// mu guards catalog coverage checks and extensions; sequence reads
 	// are internally synchronized by the catalog itself.
 	mu sync.Mutex
+
+	// The prepared-scenario cache (DESIGN.md, "preparation & caching
+	// layers"): a content-addressed map from a GraphSpec fingerprint —
+	// the spec struct itself, whose builders are deterministic — to one
+	// immutable built graph with its edge index pre-built, its catalog
+	// coverage verdict memoized, and a route book amortizing the
+	// deterministic walks of rendezvous/baseline/certify instances. A
+	// 10k-cell sweep builds and coverage-checks each unique graph exactly
+	// once, and derives each (start, label) trajectory once.
+	prepCache    sync.Map // GraphSpec -> *preparedGraph
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	catalogEpoch atomic.Int64 // bumped on catalog extension: route books expire
+	boundModel   atomic.Pointer[boundModelEpoch]
+}
+
+// preparedGraph is one cache entry of the engine's prepared-scenario
+// cache. The build (graph construction plus edge-index prebuild) and
+// the catalog coverage verdict each run exactly once per fingerprint —
+// as two stages, so scenario validation keeps its place between them
+// and error precedence matches the uncached path. The route book is
+// replaced when the catalog epoch moves (an extension changes sequence
+// lengths, and with them every master trajectory).
+type preparedGraph struct {
+	buildOnce sync.Once
+	g         *Graph
+	buildErr  error
+
+	coverOnce sync.Once
+	coverErr  error
+
+	routes atomic.Pointer[routeEpoch]
+}
+
+// routeEpoch pins a route book to the catalog epoch its trajectories
+// were derived under.
+type routeEpoch struct {
+	epoch int64
+	book  *trajectory.RouteBook
+}
+
+// build constructs the entry's graph and eagerly builds its edge index
+// (every downstream consumer — meeting detection, coverage bitsets —
+// wants it, and building it here keeps it off the runs' critical path).
+func (pg *preparedGraph) build(spec GraphSpec) {
+	g, err := spec.Build()
+	if err != nil {
+		pg.buildErr = err
+		return
+	}
+	if g.M() > 0 {
+		g.EdgeIndex(0, 0)
+	}
+	pg.g = g
+}
+
+// cover memoizes the catalog coverage verdict (including any family
+// extension the engine's policy allows).
+func (pg *preparedGraph) cover(e *Engine) error {
+	pg.coverOnce.Do(func() { pg.coverErr = e.ensureCovered(pg.g) })
+	return pg.coverErr
+}
+
+// book returns the entry's route book for the current catalog epoch,
+// discarding books whose trajectories were derived under a smaller
+// family.
+func (pg *preparedGraph) book(e *Engine) *trajectory.RouteBook {
+	epoch := e.catalogEpoch.Load()
+	for {
+		re := pg.routes.Load()
+		if re != nil && re.epoch == epoch {
+			return re.book
+		}
+		next := &routeEpoch{epoch: epoch, book: trajectory.NewRouteBook(pg.g)}
+		if pg.routes.CompareAndSwap(re, next) {
+			return next.book
+		}
+	}
+}
+
+// preparedFor returns the cache entry for spec, building it on first
+// use. Concurrent callers for the same fingerprint share one build.
+func (e *Engine) preparedFor(spec GraphSpec) *preparedGraph {
+	v, loaded := e.prepCache.Load(spec)
+	if !loaded {
+		v, loaded = e.prepCache.LoadOrStore(spec, &preparedGraph{})
+	}
+	if loaded {
+		e.cacheHits.Add(1)
+	} else {
+		e.cacheMisses.Add(1)
+	}
+	pg := v.(*preparedGraph)
+	pg.buildOnce.Do(func() { pg.build(spec) })
+	return pg
+}
+
+// CacheStats reports the engine's prepared-scenario cache traffic. A
+// miss is a fingerprint's first preparation (graph build + coverage
+// check); every other preparation of the same spec is a hit.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// CacheStats returns a snapshot of the prepared-scenario cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{Hits: e.cacheHits.Load(), Misses: e.cacheMisses.Load()}
 }
 
 // engineConfig collects option state before construction.
@@ -48,6 +162,7 @@ type engineConfig struct {
 	parallelism    int
 	autoExtend     bool
 	directDispatch bool
+	preparedCache  bool
 }
 
 // Option configures NewEngine.
@@ -90,12 +205,23 @@ func WithAutoExtend(on bool) Option { return func(c *engineConfig) { c.autoExten
 // fast path off exists for exactly those comparisons.
 func WithDirectDispatch(on bool) Option { return func(c *engineConfig) { c.directDispatch = on } }
 
+// WithPreparedCache controls the engine's prepared-scenario cache (on
+// by default): declaratively specified graphs are built, edge-indexed
+// and coverage-checked once per unique GraphSpec, and the deterministic
+// agent routes of rendezvous, baseline and certify scenarios are
+// materialized once per (graph, start, label) and replayed thereafter.
+// Cached and uncached execution are observationally identical (the
+// differential sweep test enforces byte-identical reports); turning the
+// cache off exists for exactly that comparison, and for engines fed
+// unbounded streams of distinct specs where the cache could only grow.
+func WithPreparedCache(on bool) Option { return func(c *engineConfig) { c.preparedCache = on } }
+
 // NewEngine builds an engine. With no options it verifies a compact
 // exploration catalog on the standard graph families up to 6 nodes,
 // exactly like NewEnv(6, 1).
 func NewEngine(opts ...Option) *Engine {
 	cfg := engineConfig{maxN: 6, seed: 1, parallelism: runtime.GOMAXPROCS(0), autoExtend: true,
-		directDispatch: true}
+		directDispatch: true, preparedCache: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -110,6 +236,7 @@ func NewEngine(opts ...Option) *Engine {
 		parallelism:   cfg.parallelism,
 		autoExtend:    cfg.autoExtend,
 		forceBlocking: !cfg.directDispatch,
+		usePrepCache:  cfg.preparedCache,
 	}
 	if cfg.obs != nil {
 		e.obs = &lockedObserver{inner: cfg.obs}
@@ -147,6 +274,11 @@ func (e *Engine) ensureCovered(g *Graph) error {
 			g, g.N(), v.MaxN(), ErrCatalogUncovered)
 	}
 	v.Extend(g)
+	// Extension re-verifies sequences over the grown family, which can
+	// change their lengths — and with them every derived trajectory.
+	// Moving the epoch expires the cached route books so no run replays
+	// a route from the previous catalog state.
+	e.catalogEpoch.Add(1)
 	return nil
 }
 
@@ -161,24 +293,46 @@ type Result struct {
 	Cert       *CertResult
 }
 
-// prepare builds, validates and catalog-covers a scenario exactly once,
-// returning the resolved graph and adversary for execution.
-func (e *Engine) prepare(sc Scenario) (*Graph, Adversary, error) {
+// prepare builds, validates and catalog-covers a scenario, returning
+// the resolved graph, adversary and (for cached declarative specs) the
+// graph's route book. Declarative graphs go through the prepared-
+// scenario cache: the build and coverage check run once per unique
+// GraphSpec, and repeated preparations are two lock-free map reads.
+// Pre-built GraphInstance scenarios bypass the cache — the engine
+// cannot fingerprint an arbitrary caller-owned graph.
+func (e *Engine) prepare(sc Scenario) (*Graph, Adversary, *trajectory.RouteBook, error) {
+	if sc.GraphInstance == nil && e.usePrepCache {
+		pg := e.preparedFor(sc.Graph)
+		if pg.buildErr != nil {
+			return nil, nil, nil, pg.buildErr
+		}
+		if err := sc.validateWith(pg.g); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := pg.cover(e); err != nil {
+			return nil, nil, nil, err
+		}
+		adv, err := sc.resolveAdversary()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return pg.g, adv, pg.book(e), nil
+	}
 	g, err := sc.BuildGraph()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := sc.validateWith(g); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := e.ensureCovered(g); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	adv, err := sc.resolveAdversary()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return g, adv, nil
+	return g, adv, nil, nil
 }
 
 // Run validates and executes one scenario. The context cancels the run
@@ -187,16 +341,19 @@ func (e *Engine) prepare(sc Scenario) (*Graph, Adversary, error) {
 // consumes its whole budget before reaching its goal returns the
 // partial result alongside an error wrapping ErrBudgetExhausted.
 func (e *Engine) Run(ctx context.Context, sc Scenario) (*Result, error) {
-	g, adv, err := e.prepare(sc)
+	g, adv, routes, err := e.prepare(sc)
 	if err != nil {
 		return nil, err
 	}
-	return e.runPrepared(ctx, sc, g, adv)
+	return e.runPrepared(ctx, sc, g, adv, routes)
 }
 
 // runPrepared executes a scenario whose graph, validity and catalog
-// coverage prepare has already resolved.
-func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adversary) (*Result, error) {
+// coverage prepare has already resolved. A non-nil routes book (cached
+// declarative specs) makes the deterministic kinds — rendezvous,
+// baseline, certify — replay materialized routes instead of re-deriving
+// their trajectories.
+func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adversary, routes *trajectory.RouteBook) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -230,16 +387,21 @@ func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adv
 
 	switch sc.Kind {
 	case ScenarioRendezvous:
-		r, err := core.RendezvousWith(opts, g, sc.Starts[0], sc.Starts[1],
-			sc.Labels[0], sc.Labels[1], e.env, adv, sc.Budget)
+		s1 := e.masterStepper(routes, g, sc.Starts[0], sc.Labels[0])
+		s2 := e.masterStepper(routes, g, sc.Starts[1], sc.Labels[1])
+		r, err := core.RendezvousSteppers(opts, g, sc.Starts[0], sc.Starts[1],
+			sc.Labels[0], sc.Labels[1], e.env, adv, sc.Budget, s1, s2,
+			e.piBound(g.N(), sc.Labels[0], sc.Labels[1]))
 		if err != nil {
 			return nil, err
 		}
 		res.Rendezvous = r
 		return res, finish(r.Summary, r.Met, "no meeting")
 	case ScenarioBaseline:
-		r, err := baseline.RendezvousWith(opts, g, sc.Starts[0], sc.Starts[1],
-			sc.Labels[0], sc.Labels[1], e.env, adv, sc.Budget)
+		s1 := e.baselineStepper(routes, g, sc.Starts[0], sc.Labels[0])
+		s2 := e.baselineStepper(routes, g, sc.Starts[1], sc.Labels[1])
+		r, err := baseline.RendezvousSteppers(opts, g, sc.Starts[0], sc.Starts[1],
+			sc.Labels[0], sc.Labels[1], e.env, adv, sc.Budget, s1, s2)
 		if err != nil {
 			return nil, err
 		}
@@ -272,6 +434,19 @@ func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adv
 		res.SGL = r
 		return res, finish(r.Summary, r.AllOutput, "not all agents output")
 	case ScenarioCertify:
+		if routes != nil {
+			// The certifier consumes the same master trajectories the
+			// rendezvous agents walk, as node-route prefixes; the cached
+			// routes serve both.
+			ra := e.masterRoute(routes, sc.Starts[0], sc.Labels[0], sc.Moves)
+			rb := e.masterRoute(routes, sc.Starts[1], sc.Labels[1], sc.Moves)
+			r, err := core.CertifyRoutes(opts, ra, rb, sc.Labels[0], sc.Labels[1])
+			if err != nil {
+				return nil, err
+			}
+			res.Cert = &r
+			return res, nil
+		}
 		r, err := core.CertifyInstanceWith(opts, g, sc.Starts[0], sc.Starts[1],
 			sc.Labels[0], sc.Labels[1], e.env, sc.Moves)
 		if err != nil {
@@ -283,6 +458,36 @@ func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adv
 		// Unreachable: Validate rejects unknown kinds.
 		return nil, fmt.Errorf("scenario %q: unknown kind %q: %w", sc.Name, sc.Kind, ErrInvalidScenario)
 	}
+}
+
+// masterStepper returns the rendezvous master trajectory for (start,
+// label): a cached route replay when the graph has a route book, a
+// fresh composite stepper otherwise.
+func (e *Engine) masterStepper(routes *trajectory.RouteBook, g *Graph, start int, l Label) trajectory.Stepper {
+	if routes == nil {
+		return core.NewStepper(l, e.env)
+	}
+	return routes.Stepper(trajectory.RouteKey{Start: start, Kind: 'R', Param: uint64(l)},
+		func() trajectory.Stepper { return core.NewStepper(l, e.env) })
+}
+
+// baselineStepper is masterStepper for the exponential baseline
+// trajectory (which additionally depends on the graph size — fixed per
+// route book, so the same key shape works).
+func (e *Engine) baselineStepper(routes *trajectory.RouteBook, g *Graph, start int, l Label) trajectory.Stepper {
+	if routes == nil {
+		return baseline.NewStepper(e.env, g.N(), l)
+	}
+	n := g.N()
+	return routes.Stepper(trajectory.RouteKey{Start: start, Kind: 'B', Param: uint64(l)},
+		func() trajectory.Stepper { return baseline.NewStepper(e.env, n, l) })
+}
+
+// masterRoute materializes the first moves of the cached master
+// trajectory as a node route for the certifier.
+func (e *Engine) masterRoute(routes *trajectory.RouteBook, start int, l Label, moves int) []int {
+	return routes.NodeRoute(trajectory.RouteKey{Start: start, Kind: 'R', Param: uint64(l)},
+		func() trajectory.Stepper { return core.NewStepper(l, e.env) }, moves)
 }
 
 // BatchResult pairs one scenario of a RunBatch with its outcome.
@@ -312,20 +517,21 @@ func (e *Engine) RunBatch(ctx context.Context, scs []Scenario) []BatchResult {
 	// Pre-flight sequentially: validation, graph builds and catalog
 	// coverage happen once per scenario, before any run is in flight.
 	type prepared struct {
-		idx int
-		g   *Graph
-		adv Adversary
+		idx    int
+		g      *Graph
+		adv    Adversary
+		routes *trajectory.RouteBook
 	}
 	runnable := make([]prepared, 0, len(scs))
 	for i, sc := range scs {
 		out[i] = BatchResult{Index: i, Scenario: sc}
-		g, adv, err := e.prepare(sc)
+		g, adv, routes, err := e.prepare(sc)
 		if err != nil {
 			out[i].Err = err
 			continue
 		}
 		out[i].Graph = g
-		runnable = append(runnable, prepared{idx: i, g: g, adv: adv})
+		runnable = append(runnable, prepared{idx: i, g: g, adv: adv, routes: routes})
 	}
 	workers := e.parallelism
 	if workers > len(runnable) {
@@ -341,7 +547,7 @@ func (e *Engine) RunBatch(ctx context.Context, scs []Scenario) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for p := range jobs {
-				res, err := e.runPrepared(ctx, scs[p.idx], p.g, p.adv)
+				res, err := e.runPrepared(ctx, scs[p.idx], p.g, p.adv, p.routes)
 				out[p.idx].Result = res
 				out[p.idx].Err = err
 			}
@@ -358,9 +564,41 @@ func (e *Engine) RunBatch(ctx context.Context, scs []Scenario) []BatchResult {
 // BoundModel returns the paper's cost model bound to the concrete
 // exploration-sequence lengths of the engine's catalog: the Π(n, ℓ) this
 // model evaluates is the exact guarantee for scenarios this engine runs.
-// Campaign oracles are parameterized by it.
+// Campaign oracles are parameterized by it. The model is memoized per
+// catalog epoch — its internal recurrence tables amortize across every
+// run and oracle of the engine's lifetime, and a catalog extension
+// (which changes sequence lengths) swaps in a fresh one.
 func (e *Engine) BoundModel() *costmodel.Model {
-	return costmodel.NewFromLengths(func(k int) int { return e.env.Catalog().P(k) })
+	epoch := e.catalogEpoch.Load()
+	for {
+		bm := e.boundModel.Load()
+		if bm != nil && bm.epoch == epoch {
+			return bm.m
+		}
+		next := &boundModelEpoch{epoch: epoch,
+			m: costmodel.NewFromLengths(func(k int) int { return e.env.Catalog().P(k) })}
+		if e.boundModel.CompareAndSwap(bm, next) {
+			return next.m
+		}
+	}
+}
+
+// boundModelEpoch pins a memoized cost model to a catalog epoch.
+type boundModelEpoch struct {
+	epoch int64
+	m     *costmodel.Model
+}
+
+// piBound returns Π(n, min(|l1|, |l2|)) for an instance, as a copy:
+// the memoized model hands out its internal big.Ints by pointer, and
+// the value ends up in the public Result.Bound, where a caller's
+// in-place big.Int arithmetic must not corrupt the engine-wide memo.
+func (e *Engine) piBound(n int, l1, l2 Label) *big.Int {
+	mLen := l1.Len()
+	if l := l2.Len(); l < mLen {
+		mLen = l
+	}
+	return new(big.Int).Set(e.BoundModel().Pi(n, mLen))
 }
 
 // Sweep expands a campaign spec into scenarios, executes them over the
@@ -373,47 +611,100 @@ func (e *Engine) BoundModel() *costmodel.Model {
 // The error is non-nil only for a malformed spec; per-run failures are
 // data, not errors.
 func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepReport, error) {
-	return e.SweepWithOracles(ctx, spec, campaign.DefaultOracles(e.BoundModel())...)
+	// The default suite is resolved lazily, after the sweep's graph
+	// pre-pass: a pre-pass that extends the catalog changes sequence
+	// lengths, and the bound oracles must judge against the catalog
+	// state the cells actually run under.
+	return e.sweepStream(ctx, spec, func() []SweepOracle {
+		return campaign.DefaultOracles(e.BoundModel())
+	})
 }
 
 // SweepWithOracles is Sweep with an explicit oracle suite, for callers
 // that add domain-specific predicates (or inject failing ones to test
 // the replay loop).
+//
+// The sweep streams: cells are expanded one at a time into a bounded
+// channel, and each worker prepares (through the prepared-scenario
+// cache), executes and oracle-judges its cell inline before folding the
+// result into the running aggregate — a million-cell campaign runs in
+// memory proportional to the worker pool and the report, not the cell
+// count. A pre-pass resolves every unique graph's build and catalog
+// coverage before the first run, so no catalog extension lands
+// mid-flight (the invariant RunBatch establishes with its sequential
+// pre-flight).
 func (e *Engine) SweepWithOracles(ctx context.Context, spec SweepSpec, oracles ...SweepOracle) (*SweepReport, error) {
-	cells, scs, err := ExpandSweep(spec)
+	return e.sweepStream(ctx, spec, func() []SweepOracle { return oracles })
+}
+
+// sweepStream is the streaming sweep pipeline behind Sweep and
+// SweepWithOracles. mkOracles runs after the graph pre-pass, so suites
+// derived from the engine's catalog (Sweep's default) bind to the
+// catalog state every cell executes under.
+func (e *Engine) sweepStream(ctx context.Context, spec SweepSpec, mkOracles func() []SweepOracle) (*SweepReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	total, err := CountSweep(spec)
 	if err != nil {
 		return nil, err
 	}
-	brs := e.RunBatch(ctx, scs)
-	results := make([]SweepCellResult, len(cells))
-	// Judging fans out over the worker pool too: oracle suites may
-	// re-execute cells (CrossCheckOracle), so sequential judging would
-	// serialize work RunBatch just parallelized. Oracles are documented
-	// to be safe for concurrent Check calls.
+	// Pre-pass: warm build + coverage for each unique graph, in axis
+	// order. Build failures are not errors here — the cells of a broken
+	// axis each report Invalid, judged by the termination oracle.
+	if gspecs, err := sweepGraphSpecs(spec); err == nil {
+		for _, gs := range gspecs {
+			if e.usePrepCache {
+				if pg := e.preparedFor(gs); pg.buildErr == nil {
+					pg.cover(e) //nolint:errcheck // memoized; cells report it
+				}
+			} else if g, err := gs.Build(); err == nil {
+				e.ensureCovered(g) //nolint:errcheck // re-derived per cell
+			}
+		}
+	}
+	oracles := mkOracles()
 	workers := e.parallelism
-	if workers > len(cells) {
-		workers = len(cells)
+	if workers > total {
+		workers = total
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	idx := make(chan int)
+	agg := campaign.NewAggregator(spec, nil)
+	var aggMu sync.Mutex
+	cellCh := make(chan SweepCell, 2*workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				results[i] = e.judge(cells[i], brs[i], oracles)
+			for cell := range cellCh {
+				sc := CellScenario(cell)
+				br := BatchResult{Index: cell.Index, Scenario: sc}
+				g, adv, routes, err := e.prepare(sc)
+				if err != nil {
+					br.Err = err
+				} else {
+					br.Graph = g
+					br.Result, br.Err = e.runPrepared(ctx, sc, g, adv, routes)
+				}
+				cr := e.judge(cell, br, oracles)
+				aggMu.Lock()
+				agg.Add(cr)
+				aggMu.Unlock()
 			}
 		}()
 	}
-	for i := range cells {
-		idx <- i
-	}
-	close(idx)
+	// The producer streams the expansion directly into the channel; the
+	// walk only fails on validation errors, which CountSweep ruled out.
+	WalkSweep(spec, func(c SweepCell) bool { //nolint:errcheck // validated above
+		cellCh <- c
+		return true
+	})
+	close(cellCh)
 	wg.Wait()
-	return campaign.BuildReport(spec, results, nil), nil
+	return agg.Report(), nil
 }
 
 // judge classifies one batch result and runs the oracle suite over it.
@@ -434,17 +725,26 @@ func (e *Engine) judge(cell SweepCell, br BatchResult, oracles []SweepOracle) Sw
 // sweep failures. Use ReplayCellWithOracles to reproduce a failure of a
 // custom suite.
 func (e *Engine) ReplayCell(ctx context.Context, spec SweepSpec, seed string) (*SweepCellResult, error) {
-	return e.ReplayCellWithOracles(ctx, spec, seed, campaign.DefaultOracles(e.BoundModel())...)
+	// Like Sweep, the default suite binds after the run's preparation:
+	// replaying a cell whose graph extends the catalog must judge
+	// against the post-extension sequence lengths the run used.
+	return e.replayCell(ctx, spec, seed, func() []SweepOracle {
+		return campaign.DefaultOracles(e.BoundModel())
+	})
 }
 
 // ReplayCellWithOracles is ReplayCell with an explicit oracle suite.
 func (e *Engine) ReplayCellWithOracles(ctx context.Context, spec SweepSpec, seed string, oracles ...SweepOracle) (*SweepCellResult, error) {
+	return e.replayCell(ctx, spec, seed, func() []SweepOracle { return oracles })
+}
+
+func (e *Engine) replayCell(ctx context.Context, spec SweepSpec, seed string, mkOracles func() []SweepOracle) (*SweepCellResult, error) {
 	cell, err := campaign.Replay(spec, seed)
 	if err != nil {
 		return nil, fmt.Errorf("%v: %w", err, ErrInvalidScenario)
 	}
 	sc := CellScenario(cell)
 	res, runErr := e.Run(ctx, sc)
-	cr := e.judge(cell, BatchResult{Index: cell.Index, Scenario: sc, Result: res, Err: runErr}, oracles)
+	cr := e.judge(cell, BatchResult{Index: cell.Index, Scenario: sc, Result: res, Err: runErr}, mkOracles())
 	return &cr, nil
 }

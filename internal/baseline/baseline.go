@@ -71,22 +71,33 @@ func Rendezvous(g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
 // (context cancellation and an execution observer).
 func RendezvousWith(opts sched.RunOpts, g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
 	env *trajectory.Env, adv sched.Adversary, budget int) (*Result, error) {
+	n := g.N()
+	return RendezvousSteppers(opts, g, start1, start2, l1, l2, env, adv, budget,
+		NewStepper(env, n, l1), NewStepper(env, n, l2))
+}
+
+// RendezvousSteppers is RendezvousWith with the agents' trajectory
+// steppers supplied by the caller (the engine passes cached route
+// replays — see trajectory.RouteBook). The steppers must render exactly
+// the baseline trajectories of l1 and l2 at the graph's size.
+func RendezvousSteppers(opts sched.RunOpts, g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
+	env *trajectory.Env, adv sched.Adversary, budget int, s1, s2 trajectory.Stepper) (*Result, error) {
 	if l1 == l2 {
 		return nil, fmt.Errorf("baseline: agents must have distinct labels: %w", rverr.ErrInvalidScenario)
 	}
 	n := g.N()
-	a := &sched.Walker{Stepper: NewStepper(env, n, l1), StopAtMeeting: true, Payload: l1}
-	b := &sched.Walker{Stepper: NewStepper(env, n, l2), StopAtMeeting: true, Payload: l2}
+	a := &sched.Walker{Stepper: s1, StopAtMeeting: true, Payload: l1}
+	b := &sched.Walker{Stepper: s2, StopAtMeeting: true, Payload: l2}
 	r, err := sched.NewRunner(sched.Config{
-		Graph:          g,
-		Starts:         []int{start1, start2},
-		Agents:         []sched.Agent{a, b},
-		InitiallyAwake: []int{0, 1},
-		MaxSteps:       budget,
-		StopWhen:       func(r *sched.Runner) bool { return len(r.Meetings()) > 0 },
-		Context:        opts.Ctx,
-		Observer:       opts.Observer,
-		ForceBlocking:  opts.ForceBlocking,
+		Graph:              g,
+		Starts:             []int{start1, start2},
+		Agents:             []sched.Agent{a, b},
+		InitiallyAwake:     []int{0, 1},
+		MaxSteps:           budget,
+		StopAtFirstMeeting: true,
+		Context:            opts.Ctx,
+		Observer:           opts.Observer,
+		ForceBlocking:      opts.ForceBlocking,
 	}, adv)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)

@@ -441,68 +441,134 @@ func labeledKind(kind string) bool { return kind != KindESST }
 // pair, then label pair, then adversary. Certify cells skip the
 // adversary axis (the certifier ranges over all schedules), and ESST
 // cells skip the label axis (its agents are anonymous).
+//
+// Expand materializes the full cell slice; Walk streams the same cells
+// one at a time in the same order, and Count projects how many there
+// are, both without the O(cells) allocation — the shapes Engine.Sweep
+// and `rvsweep -expand` consume.
 func Expand(spec Spec) ([]Cell, error) {
-	if err := spec.Validate(); err != nil {
+	n, err := Count(spec)
+	if err != nil {
 		return nil, err
 	}
-	spec = spec.normalized()
-	var cells []Cell
-	add := func(kind string, gp GraphParams, sp, lp int, adversary string) {
-		idx := len(cells)
-		seed := CellSeed(spec.Seed, idx)
-		c := Cell{
-			Index: idx,
-			Seed:  seed,
-			Kind:  kind,
-			Graph: gp,
-		}
-		// Instance derivation is keyed on the graph cell and the sp/lp
-		// axis indices — NOT on the cell index — so cells that differ
-		// only in kind, label pair or adversary run the SAME placement
-		// (and, per placement, the same labels). That is what makes the
-		// ByAdversary and ByKind groupings compare like against like,
-		// and what the s<sp>/l<lp> components of the cell ID assert.
-		startRng := rand.New(rand.NewSource(hash64(
-			fmt.Sprintf("%s/%s/start%d", spec.Seed, gp.axisLabel(), sp))))
-		s1 := startRng.Intn(gp.Nodes)
-		s2 := startRng.Intn(gp.Nodes - 1)
-		if s2 >= s1 {
-			s2++
-		}
-		c.Starts = []int{s1, s2}
-		if labeledKind(kind) {
-			labelRng := rand.New(rand.NewSource(hash64(
-				fmt.Sprintf("%s/%s/start%d/label%d", spec.Seed, gp.axisLabel(), sp, lp))))
-			l1 := uint64(1 + labelRng.Intn(64))
-			l2 := uint64(1 + labelRng.Intn(63))
-			if l2 >= l1 {
-				l2++
-			}
-			c.Labels = []uint64{l1, l2}
-		}
-		switch kind {
-		case KindCertify:
-			c.Moves = spec.Moves
-		default:
-			c.Budget = spec.Budget
-		}
-		if adversary == "random" {
-			// Specialize the bare spec per cell so cells differ.
-			adversary = fmt.Sprintf("random:%d", hash64(seed+"/adv"))
-		}
-		c.Adversary = adversary
-		advLabel := adversary
-		if advLabel == "" {
-			advLabel = "roundrobin"
-		}
-		c.ID = fmt.Sprintf("%s/%s/s%d/l%d/%s", kind, gp.axisLabel(), sp, lp, advLabel)
+	cells := make([]Cell, 0, n)
+	if err := Walk(spec, func(c Cell) bool {
 		cells = append(cells, c)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// expander carries the streaming expansion state: the cell counter and
+// the per-expansion memo of derived instance draws. The memo exists
+// because placements and label assignments are shared across every cell
+// with the same (graph, sp[, lp]) key — re-seeding a math/rand source
+// per cell to re-derive an identical pair was a measurable slice of
+// sweep expansion.
+type expander struct {
+	spec  Spec
+	index int
+
+	startMemo map[string][2]int
+	labelMemo map[string][2]uint64
+}
+
+// starts returns the (shared) start placement for (graph cell, sp).
+func (x *expander) starts(gp GraphParams, sp int) [2]int {
+	key := fmt.Sprintf("%s/%s/start%d", x.spec.Seed, gp.axisLabel(), sp)
+	if s, ok := x.startMemo[key]; ok {
+		return s
+	}
+	rng := rand.New(rand.NewSource(hash64(key)))
+	s1 := rng.Intn(gp.Nodes)
+	s2 := rng.Intn(gp.Nodes - 1)
+	if s2 >= s1 {
+		s2++
+	}
+	out := [2]int{s1, s2}
+	x.startMemo[key] = out
+	return out
+}
+
+// labels returns the (shared) label assignment for (graph cell, sp, lp).
+func (x *expander) labels(gp GraphParams, sp, lp int) [2]uint64 {
+	key := fmt.Sprintf("%s/%s/start%d/label%d", x.spec.Seed, gp.axisLabel(), sp, lp)
+	if l, ok := x.labelMemo[key]; ok {
+		return l
+	}
+	rng := rand.New(rand.NewSource(hash64(key)))
+	l1 := uint64(1 + rng.Intn(64))
+	l2 := uint64(1 + rng.Intn(63))
+	if l2 >= l1 {
+		l2++
+	}
+	out := [2]uint64{l1, l2}
+	x.labelMemo[key] = out
+	return out
+}
+
+// cell resolves one concrete cell of the cross product.
+func (x *expander) cell(kind string, gp GraphParams, sp, lp int, adversary string) Cell {
+	idx := x.index
+	x.index++
+	seed := CellSeed(x.spec.Seed, idx)
+	c := Cell{
+		Index: idx,
+		Seed:  seed,
+		Kind:  kind,
+		Graph: gp,
+	}
+	// Instance derivation is keyed on the graph cell and the sp/lp
+	// axis indices — NOT on the cell index — so cells that differ
+	// only in kind, label pair or adversary run the SAME placement
+	// (and, per placement, the same labels). That is what makes the
+	// ByAdversary and ByKind groupings compare like against like,
+	// and what the s<sp>/l<lp> components of the cell ID assert.
+	s := x.starts(gp, sp)
+	c.Starts = []int{s[0], s[1]}
+	if labeledKind(kind) {
+		l := x.labels(gp, sp, lp)
+		c.Labels = []uint64{l[0], l[1]}
+	}
+	switch kind {
+	case KindCertify:
+		c.Moves = x.spec.Moves
+	default:
+		c.Budget = x.spec.Budget
+	}
+	if adversary == "random" {
+		// Specialize the bare spec per cell so cells differ.
+		adversary = fmt.Sprintf("random:%d", hash64(seed+"/adv"))
+	}
+	c.Adversary = adversary
+	advLabel := adversary
+	if advLabel == "" {
+		advLabel = "roundrobin"
+	}
+	c.ID = fmt.Sprintf("%s/%s/s%d/l%d/%s", kind, gp.axisLabel(), sp, lp, advLabel)
+	return c
+}
+
+// Walk streams the spec's cells to yield in expansion order (identical
+// to Expand's), stopping early when yield returns false. It holds one
+// cell at a time: million-cell campaigns expand in bounded memory.
+func Walk(spec Spec, yield func(Cell) bool) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	spec = spec.normalized()
+	x := &expander{
+		spec:      spec,
+		startMemo: make(map[string][2]int),
+		labelMemo: make(map[string][2]uint64),
 	}
 	for _, kind := range spec.Kinds {
 		for _, ga := range spec.Graphs {
 			gps, err := ga.cells()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for _, gp := range gps {
 				for sp := 0; sp < spec.StartPairs; sp++ {
@@ -512,18 +578,70 @@ func Expand(spec Spec) ([]Cell, error) {
 					}
 					for lp := 0; lp < labelPairs; lp++ {
 						if kind == KindCertify {
-							add(kind, gp, sp, lp, "")
+							if !yield(x.cell(kind, gp, sp, lp, "")) {
+								return nil
+							}
 							continue
 						}
 						for _, adv := range spec.Adversaries {
-							add(kind, gp, sp, lp, adv)
+							if !yield(x.cell(kind, gp, sp, lp, adv)) {
+								return nil
+							}
 						}
 					}
 				}
 			}
 		}
 	}
-	return cells, nil
+	return nil
+}
+
+// Graphs returns the resolved graph cells of the spec's axes — the
+// unique graphs a sweep touches, which is what the engine's pre-pass
+// prepares (build + coverage) before any run is in flight, so catalog
+// extensions never happen mid-sweep.
+func Graphs(spec Spec) ([]GraphParams, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var out []GraphParams
+	for _, ga := range spec.Graphs {
+		gps, err := ga.cells()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gps...)
+	}
+	return out, nil
+}
+
+// Count returns how many cells the spec expands to, by axis arithmetic
+// alone — no cells are derived.
+func Count(spec Spec) (int, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	spec = spec.normalized()
+	graphCells := 0
+	for _, ga := range spec.Graphs {
+		cs, err := ga.cells()
+		if err != nil {
+			return 0, err
+		}
+		graphCells += len(cs)
+	}
+	perGraph := 0
+	for _, k := range spec.Kinds {
+		switch {
+		case k == KindCertify:
+			perGraph += spec.StartPairs * spec.LabelPairs
+		case !labeledKind(k):
+			perGraph += spec.StartPairs * len(spec.Adversaries)
+		default:
+			perGraph += spec.StartPairs * spec.LabelPairs * len(spec.Adversaries)
+		}
+	}
+	return graphCells * perGraph, nil
 }
 
 // Replay re-derives the single cell a replay seed string identifies.
@@ -537,12 +655,22 @@ func Replay(spec Spec, seed string) (Cell, error) {
 	if master != spec.Seed {
 		return Cell{}, fmt.Errorf("campaign: seed %q is from campaign %q, spec has %q", seed, master, spec.Seed)
 	}
-	cells, err := Expand(spec)
-	if err != nil {
+	var (
+		found Cell
+		ok    bool
+	)
+	if err := Walk(spec, func(c Cell) bool {
+		if c.Index == idx {
+			found, ok = c, true
+			return false // stop: replay needs exactly this cell
+		}
+		return true
+	}); err != nil {
 		return Cell{}, err
 	}
-	if idx >= len(cells) {
-		return Cell{}, fmt.Errorf("campaign: seed %q indexes cell %d of %d", seed, idx, len(cells))
+	if !ok {
+		n, _ := Count(spec)
+		return Cell{}, fmt.Errorf("campaign: seed %q indexes cell %d of %d", seed, idx, n)
 	}
-	return cells[idx], nil
+	return found, nil
 }

@@ -32,6 +32,11 @@ type Outcome struct {
 	// certifier's worst completed cost (certify). For runs that missed
 	// their goal it is the cost when the run ended.
 	Cost int `json:"cost"`
+	// Steps is the number of adversary events the run executed (0 for
+	// certify, which ranges over schedules instead of executing one).
+	// Reports sum it into Events, the denominator of steady-state
+	// allocation and throughput accounting.
+	Steps int `json:"steps,omitempty"`
 	// MaxPerAgent is the largest single agent's traversal count — the
 	// quantity Π(n, ℓ) bounds directly. Per-agent detail stays on the
 	// engine result's Summary.Traversals.

@@ -76,15 +76,18 @@ func (g GroupStats) MeanCost() float64 {
 
 // Report is the aggregate outcome of one campaign.
 type Report struct {
-	Name  string       `json:"name,omitempty"`
-	Seed  string       `json:"seed"`
-	Cells int          `json:"cells"`
-	Met   int          `json:"met"`
-	Ex    int          `json:"exhausted"`
-	Canc  int          `json:"canceled"`
-	Other int          `json:"other,omitempty"`
-	Fail  int          `json:"failed"`
-	Group []GroupStats `json:"groups"`
+	Name  string `json:"name,omitempty"`
+	Seed  string `json:"seed"`
+	Cells int    `json:"cells"`
+	Met   int    `json:"met"`
+	Ex    int    `json:"exhausted"`
+	Canc  int    `json:"canceled"`
+	Other int    `json:"other,omitempty"`
+	Fail  int    `json:"failed"`
+	// Events is the total number of adversary events executed across
+	// all cells — the work denominator behind cells/sec comparisons.
+	Events int64        `json:"events"`
+	Group  []GroupStats `json:"groups"`
 	// Failures lists every oracle-failing cell, replayable by seed.
 	Failures []CellResult `json:"failures,omitempty"`
 }
@@ -98,50 +101,89 @@ func (r *Report) OK() bool { return r.Fail == 0 && r.Canc == 0 }
 // BuildReport aggregates per-cell results under the given grouping
 // (ByKindGraph when key is nil).
 func BuildReport(spec Spec, results []CellResult, key GroupKey) *Report {
+	a := NewAggregator(spec, key)
+	for _, cr := range results {
+		a.Add(cr)
+	}
+	return a.Report()
+}
+
+// Aggregator folds cell results into a Report incrementally, in any
+// arrival order: the streaming half of Engine.Sweep feeds it from the
+// worker pool as cells finish, so a million-cell campaign aggregates in
+// memory proportional to its groups and failures, not its cells. The
+// final Report is byte-identical regardless of arrival order (groups
+// sort by name, failures by cell index). Add and Report are not safe
+// for concurrent use; callers serialize (the engine holds a mutex).
+type Aggregator struct {
+	key    GroupKey
+	r      *Report
+	groups map[string]*GroupStats
+}
+
+// NewAggregator returns an empty aggregator for one campaign
+// (ByKindGraph grouping when key is nil).
+func NewAggregator(spec Spec, key GroupKey) *Aggregator {
 	if key == nil {
 		key = ByKindGraph
 	}
-	r := &Report{Name: spec.Name, Seed: spec.Seed, Cells: len(results)}
-	groups := make(map[string]*GroupStats)
-	for _, cr := range results {
-		g, ok := groups[key(cr.Cell)]
-		if !ok {
-			g = &GroupStats{Group: key(cr.Cell)}
-			groups[key(cr.Cell)] = g
-		}
-		g.Runs++
-		o := cr.Outcome
-		switch {
-		case o.Met:
-			r.Met++
-			g.Met++
-			if g.Met == 1 || o.Cost < g.MinCost {
-				g.MinCost = o.Cost
-			}
-			if o.Cost > g.MaxCost {
-				g.MaxCost = o.Cost
-			}
-			g.CostSum += int64(o.Cost)
-		case o.Exhausted:
-			r.Ex++
-			g.Exhausted++
-		case o.Canceled:
-			r.Canc++
-			g.Canceled++
-		default:
-			r.Other++
-			g.Other++
-		}
-		if cr.Failed() {
-			r.Fail++
-			g.Failed++
-			r.Failures = append(r.Failures, cr)
-		}
+	return &Aggregator{
+		key:    key,
+		r:      &Report{Name: spec.Name, Seed: spec.Seed},
+		groups: make(map[string]*GroupStats),
 	}
-	for _, g := range groups {
+}
+
+// Add folds one cell result into the aggregate.
+func (a *Aggregator) Add(cr CellResult) {
+	r := a.r
+	r.Cells++
+	r.Events += int64(cr.Outcome.Steps)
+	k := a.key(cr.Cell)
+	g, ok := a.groups[k]
+	if !ok {
+		g = &GroupStats{Group: k}
+		a.groups[k] = g
+	}
+	g.Runs++
+	o := cr.Outcome
+	switch {
+	case o.Met:
+		r.Met++
+		g.Met++
+		if g.Met == 1 || o.Cost < g.MinCost {
+			g.MinCost = o.Cost
+		}
+		if o.Cost > g.MaxCost {
+			g.MaxCost = o.Cost
+		}
+		g.CostSum += int64(o.Cost)
+	case o.Exhausted:
+		r.Ex++
+		g.Exhausted++
+	case o.Canceled:
+		r.Canc++
+		g.Canceled++
+	default:
+		r.Other++
+		g.Other++
+	}
+	if cr.Failed() {
+		r.Fail++
+		g.Failed++
+		r.Failures = append(r.Failures, cr)
+	}
+}
+
+// Report finalizes and returns the aggregate. The aggregator must not
+// be used afterwards.
+func (a *Aggregator) Report() *Report {
+	r := a.r
+	for _, g := range a.groups {
 		r.Group = append(r.Group, *g)
 	}
 	sort.Slice(r.Group, func(i, j int) bool { return r.Group[i].Group < r.Group[j].Group })
+	sort.Slice(r.Failures, func(i, j int) bool { return r.Failures[i].Cell.Index < r.Failures[j].Cell.Index })
 	return r
 }
 

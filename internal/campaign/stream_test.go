@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func streamSpec() Spec {
+	return Spec{
+		Name: "stream-test",
+		Seed: "stream-v1",
+		Graphs: []GraphAxis{
+			{Kind: "path", Sizes: []int{4, 6}},
+			{Kind: "grid", Rows: 2, Cols: 3},
+		},
+		StartPairs:  2,
+		LabelPairs:  2,
+		Adversaries: []string{"", "random", "avoider"},
+		Budget:      1000,
+	}
+}
+
+// TestWalkCountMatchExpand pins the streaming expansion to the
+// materializing one: Walk yields exactly Expand's cells in exactly its
+// order, and Count projects exactly its length without deriving cells.
+func TestWalkCountMatchExpand(t *testing.T) {
+	spec := streamSpec()
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Count(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(cells) {
+		t.Fatalf("Count = %d, Expand produced %d cells", n, len(cells))
+	}
+	i := 0
+	if err := Walk(spec, func(c Cell) bool {
+		if i >= len(cells) {
+			t.Fatalf("Walk yielded more than %d cells", len(cells))
+		}
+		want, _ := json.Marshal(cells[i])
+		got, _ := json.Marshal(c)
+		if string(got) != string(want) {
+			t.Fatalf("cell %d differs:\nwalk:   %s\nexpand: %s", i, got, want)
+		}
+		i++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(cells) {
+		t.Fatalf("Walk yielded %d cells, Expand %d", i, len(cells))
+	}
+}
+
+// TestWalkEarlyStop asserts yield returning false stops the stream.
+func TestWalkEarlyStop(t *testing.T) {
+	seen := 0
+	if err := Walk(streamSpec(), func(Cell) bool {
+		seen++
+		return seen < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Fatalf("walk yielded %d cells after stop at 5", seen)
+	}
+}
+
+// TestAggregatorOrderIndependent feeds the same results in expansion
+// order and in a shuffled order: the reports must be byte-identical,
+// which is what lets the streaming sweep aggregate results as workers
+// finish them.
+func TestAggregatorOrderIndependent(t *testing.T) {
+	spec := streamSpec()
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]CellResult, len(cells))
+	rng := rand.New(rand.NewSource(7))
+	for i, c := range cells {
+		o := Outcome{N: 4, M: 5, Consistent: true, Steps: 100 + i}
+		switch rng.Intn(3) {
+		case 0:
+			o.Met = true
+			o.Cost = 10 + rng.Intn(90)
+		case 1:
+			o.Exhausted = true
+		default:
+			o.EndedEarly = true
+			o.Err = "ended early"
+		}
+		cr := CellResult{Cell: c, Outcome: o}
+		if !o.Met && !o.Exhausted {
+			cr.Failures = []OracleFailure{{Oracle: "termination", Err: "no goal, no sentinel"}}
+		}
+		results[i] = cr
+	}
+	ordered := BuildReport(spec, results, nil)
+
+	shuffled := append([]CellResult(nil), results...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	agg := NewAggregator(spec, nil)
+	for _, cr := range shuffled {
+		agg.Add(cr)
+	}
+	fromShuffled := agg.Report()
+
+	a, _ := json.Marshal(ordered)
+	b, _ := json.Marshal(fromShuffled)
+	if string(a) != string(b) {
+		t.Fatalf("aggregation is order-dependent:\nordered:  %s\nshuffled: %s", a, b)
+	}
+	if ordered.Events == 0 {
+		t.Error("report did not sum executed events")
+	}
+}

@@ -162,21 +162,34 @@ func Rendezvous(g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
 // execution's events.
 func RendezvousWith(opts sched.RunOpts, g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
 	env *trajectory.Env, adv sched.Adversary, budget int) (*Result, error) {
+	return RendezvousSteppers(opts, g, start1, start2, l1, l2, env, adv, budget,
+		NewStepper(l1, env), NewStepper(l2, env))
+}
+
+// RendezvousSteppers is RendezvousWith with the two agents' trajectory
+// steppers supplied by the caller. The steppers must emit exactly the
+// master trajectories of l1 and l2 — the engine passes cached route
+// replays here (trajectory.RouteBook), which are deterministic renditions
+// of the same walks, so repeated instances skip trajectory re-derivation.
+// bound, when non-nil, is the precomputed Π(n, min label length) for the
+// instance (the engine memoizes it across a sweep); nil derives it here.
+func RendezvousSteppers(opts sched.RunOpts, g *graph.Graph, start1, start2 int, l1, l2 labels.Label,
+	env *trajectory.Env, adv sched.Adversary, budget int, s1, s2 trajectory.Stepper, bound ...*big.Int) (*Result, error) {
 	if l1 == l2 {
 		return nil, fmt.Errorf("core: agents must have distinct labels: %w", rverr.ErrInvalidScenario)
 	}
-	a := &sched.Walker{Stepper: NewStepper(l1, env), StopAtMeeting: true, Payload: l1}
-	b := &sched.Walker{Stepper: NewStepper(l2, env), StopAtMeeting: true, Payload: l2}
+	a := &sched.Walker{Stepper: s1, StopAtMeeting: true, Payload: l1}
+	b := &sched.Walker{Stepper: s2, StopAtMeeting: true, Payload: l2}
 	r, err := sched.NewRunner(sched.Config{
-		Graph:          g,
-		Starts:         []int{start1, start2},
-		Agents:         []sched.Agent{a, b},
-		InitiallyAwake: []int{0, 1},
-		MaxSteps:       budget,
-		StopWhen:       func(r *sched.Runner) bool { return len(r.Meetings()) > 0 },
-		Context:        opts.Ctx,
-		Observer:       opts.Observer,
-		ForceBlocking:  opts.ForceBlocking,
+		Graph:              g,
+		Starts:             []int{start1, start2},
+		Agents:             []sched.Agent{a, b},
+		InitiallyAwake:     []int{0, 1},
+		MaxSteps:           budget,
+		StopAtFirstMeeting: true,
+		Context:            opts.Ctx,
+		Observer:           opts.Observer,
+		ForceBlocking:      opts.ForceBlocking,
 	}, adv)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -187,7 +200,11 @@ func RendezvousWith(opts sched.RunOpts, g *graph.Graph, start1, start2 int, l1, 
 		Met:     sum.FirstMeeting != nil,
 		Meeting: sum.FirstMeeting,
 		Summary: sum,
-		Bound:   PiBound(env, g.N(), l1, l2),
+	}
+	if len(bound) > 0 && bound[0] != nil {
+		res.Bound = bound[0]
+	} else {
+		res.Bound = PiBound(env, g.N(), l1, l2)
 	}
 	return res, nil
 }
@@ -222,5 +239,16 @@ func CertifyInstanceWith(opts sched.RunOpts, g *graph.Graph, start1, start2 int,
 	}
 	ra := Route(g, start1, l1, env, moves)
 	rb := Route(g, start2, l2, env, moves)
+	return sched.CertifyCtx(opts.Ctx, ra, rb)
+}
+
+// CertifyRoutes runs the exhaustive adversary on two pre-materialized
+// route prefixes (same shape as Route's result). The engine uses it
+// with cached routes so sweeps re-derive each certify route once per
+// (graph, start, label) instead of once per cell.
+func CertifyRoutes(opts sched.RunOpts, ra, rb []int, l1, l2 labels.Label) (sched.CertResult, error) {
+	if l1 == l2 {
+		return sched.CertResult{}, fmt.Errorf("core: agents must have distinct labels: %w", rverr.ErrInvalidScenario)
+	}
 	return sched.CertifyCtx(opts.Ctx, ra, rb)
 }

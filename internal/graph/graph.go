@@ -37,6 +37,12 @@ type Graph struct {
 	// one build serves every caller).
 	idxOnce sync.Once
 	edgeIdx [][]int32
+
+	// diam is the lazily computed diameter (see Diameter): immutability
+	// makes it a per-graph constant, and outcome classifiers and oracles
+	// may ask for it once per run, so the all-pairs BFS is paid once.
+	diamOnce sync.Once
+	diam     int
 }
 
 // Builder incrementally constructs a Graph. Nodes are added implicitly by
@@ -273,39 +279,53 @@ func (g *Graph) Connected() bool {
 // (-1 for unreachable nodes).
 func (g *Graph) BFSDistances(src int) []int {
 	dist := make([]int, g.N())
+	g.bfsInto(dist, make([]int32, 0, g.N()), src)
+	return dist
+}
+
+// bfsInto runs one BFS from src into the caller's dist buffer (resized
+// to N, -1 for unreachable) using queue as scratch, so repeated sweeps
+// — Diameter runs N of them — reuse two allocations instead of 2N.
+func (g *Graph) bfsInto(dist []int, queue []int32, src int) {
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	queue = append(queue[:0], int32(src))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
 		for _, h := range g.adj[v] {
 			if dist[h.to] == -1 {
-				dist[h.to] = dist[v] + 1
-				queue = append(queue, h.to)
+				dist[h.to] = dv + 1
+				queue = append(queue, int32(h.to))
 			}
 		}
 	}
-	return dist
 }
 
-// Diameter returns the largest pairwise hop distance. It panics if the
+// Diameter returns the largest pairwise hop distance, computed once per
+// graph (the value is memoized: graphs are immutable). It panics if the
 // graph is disconnected (validate first).
 func (g *Graph) Diameter() int {
-	diam := 0
-	for v := 0; v < g.N(); v++ {
-		for _, d := range g.BFSDistances(v) {
-			if d == -1 {
-				panic("graph: Diameter on disconnected graph")
-			}
-			if d > diam {
-				diam = d
+	g.diamOnce.Do(func() {
+		diam := 0
+		dist := make([]int, g.N())
+		queue := make([]int32, 0, g.N())
+		for v := 0; v < g.N(); v++ {
+			g.bfsInto(dist, queue, v)
+			for _, d := range dist {
+				if d == -1 {
+					panic("graph: Diameter on disconnected graph")
+				}
+				if d > diam {
+					diam = d
+				}
 			}
 		}
-	}
-	return diam
+		g.diam = diam
+	})
+	return g.diam
 }
 
 // String renders a compact adjacency summary, primarily for debugging.

@@ -14,17 +14,28 @@ type RoundRobin struct {
 
 // Next implements Adversary.
 func (rr *RoundRobin) Next(v *View) (Event, bool) {
-	for i := range v.Agents {
-		if v.CanWake(i) {
-			return Event{Kind: EventWake, Agent: i}, true
+	n := v.K()
+	if v.AnyDormant() {
+		for i := 0; i < n; i++ {
+			if v.CanWake(i) {
+				return Event{Kind: EventWake, Agent: i}, true
+			}
 		}
 	}
-	n := len(v.Agents)
+	// rr.next stays in [0, n); the wrap is a compare instead of a
+	// modulo, which costs an integer division in this per-event loop.
+	if rr.next >= n {
+		rr.next = 0
+	}
+	i := rr.next
 	for off := 0; off < n; off++ {
-		i := (rr.next + off) % n
 		if v.CanAdvance(i) {
 			rr.next = i + 1
 			return Event{Kind: EventAdvance, Agent: i}, true
+		}
+		i++
+		if i >= n {
+			i = 0
 		}
 	}
 	return Event{}, false
@@ -42,15 +53,17 @@ type Biased struct {
 
 // Next implements Adversary.
 func (b *Biased) Next(v *View) (Event, bool) {
-	if len(b.Weights) != len(v.Agents) {
-		panic(fmt.Sprintf("sched: Biased has %d weights for %d agents", len(b.Weights), len(v.Agents)))
+	n := v.K()
+	if len(b.Weights) != n {
+		panic(fmt.Sprintf("sched: Biased has %d weights for %d agents", len(b.Weights), n))
 	}
-	for i := range v.Agents {
-		if v.CanWake(i) {
-			return Event{Kind: EventWake, Agent: i}, true
+	if v.AnyDormant() {
+		for i := 0; i < n; i++ {
+			if v.CanWake(i) {
+				return Event{Kind: EventWake, Agent: i}, true
+			}
 		}
 	}
-	n := len(v.Agents)
 	for tries := 0; tries < 2*n+1; tries++ {
 		if b.left > 0 && v.CanAdvance(b.cur) {
 			b.left--
@@ -61,7 +74,7 @@ func (b *Biased) Next(v *View) (Event, bool) {
 	}
 	// All weighted agents stuck; advance anyone actionable (including
 	// zero-weight agents) to preserve progress.
-	for i := range v.Agents {
+	for i := 0; i < n; i++ {
 		if v.CanAdvance(i) {
 			return Event{Kind: EventAdvance, Agent: i}, true
 		}
@@ -100,6 +113,7 @@ func (l *LateWake) Next(v *View) (Event, bool) {
 // chaotic but reproducible speed variation.
 type Random struct {
 	rng *rand.Rand
+	buf []Event // candidate scratch, reused so Next allocates nothing
 }
 
 // NewRandom returns a Random adversary with the given seed.
@@ -109,15 +123,17 @@ func NewRandom(seed int64) *Random {
 
 // Next implements Adversary.
 func (r *Random) Next(v *View) (Event, bool) {
-	var candidates []Event
-	for i := range v.Agents {
-		if v.CanWake(i) {
+	candidates := r.buf[:0]
+	anyDormant := v.AnyDormant()
+	for i, n := 0, v.K(); i < n; i++ {
+		if anyDormant && v.CanWake(i) {
 			candidates = append(candidates, Event{Kind: EventWake, Agent: i})
 		}
 		if v.CanAdvance(i) {
 			candidates = append(candidates, Event{Kind: EventAdvance, Agent: i})
 		}
 	}
+	r.buf = candidates
 	if len(candidates) == 0 {
 		return Event{}, false
 	}
@@ -137,26 +153,40 @@ type Avoider struct {
 
 // Next implements Adversary.
 func (a *Avoider) Next(v *View) (Event, bool) {
-	for i := range v.Agents {
-		if v.CanWake(i) {
-			return Event{Kind: EventWake, Agent: i}, true
+	n := v.K()
+	if v.AnyDormant() {
+		for i := 0; i < n; i++ {
+			if v.CanWake(i) {
+				return Event{Kind: EventWake, Agent: i}, true
+			}
 		}
 	}
-	n := len(v.Agents)
-	// First pass: a contact-free advance.
+	if a.next >= n {
+		a.next = 0
+	}
+	// First pass: a contact-free advance. (Wrapping by compare, not
+	// modulo: this loop runs every adversary event.)
+	i := a.next
 	for off := 0; off < n; off++ {
-		i := (a.next + off) % n
-		if v.CanAdvance(i) && !v.AdvanceCreatesContact(i) {
+		if v.CanAdvance(i) && !v.advanceContact(i) {
 			a.next = i + 1
 			return Event{Kind: EventAdvance, Agent: i}, true
+		}
+		i++
+		if i >= n {
+			i = 0
 		}
 	}
 	// Forced: concede with any valid advance.
+	i = a.next
 	for off := 0; off < n; off++ {
-		i := (a.next + off) % n
 		if v.CanAdvance(i) {
 			a.next = i + 1
 			return Event{Kind: EventAdvance, Agent: i}, true
+		}
+		i++
+		if i >= n {
+			i = 0
 		}
 	}
 	return Event{}, false

@@ -42,7 +42,7 @@ type fuzzAdv struct {
 func (a *fuzzAdv) Next(v *View) (Event, bool) {
 	a.check(v)
 	var cands []Event
-	for i := range v.Agents {
+	for i, n := 0, v.K(); i < n; i++ {
 		if v.CanWake(i) {
 			cands = append(cands, Event{Kind: EventWake, Agent: i})
 		}
@@ -98,8 +98,8 @@ func (c *invariantChecker) check(v *View) {
 	t := c.t
 	if c.prevOK {
 		ev, has := c.adv.last, c.adv.has
-		for i := range v.Agents {
-			pa, ca := c.prev[i], v.Agents[i]
+		for i := 0; i < v.K(); i++ {
+			pa, ca := c.prev[i], v.Agent(i)
 			moved := has && ev.Agent == i && ev.Kind == EventAdvance
 			if !moved {
 				if ca.Pos != pa.Pos || ca.Traversals != pa.Traversals {
@@ -129,7 +129,7 @@ func (c *invariantChecker) check(v *View) {
 	// participants' (stable) positions...
 	for _, m := range c.meetings {
 		for _, p := range m.Participants {
-			pos := v.Agents[p].Pos
+			pos := v.Agent(p).Pos
 			if m.InEdge {
 				if pos.Kind != InEdge || canonEdge(pos.From, pos.To) != m.Edge {
 					c.t.Fatalf("in-edge meeting %+v but participant %d is at %+v", m, p, pos)
@@ -141,7 +141,7 @@ func (c *invariantChecker) check(v *View) {
 	}
 	// ...and every newly-formed contact pair must have fired a meeting
 	// covering it ("meetings fire exactly on the two conditions").
-	cur := c.contactsOf(v.Agents)
+	cur := c.contactsOf(c.snapshot(v))
 	if c.prevOK {
 		for pair := range cur {
 			if c.contacts[pair] {
@@ -167,8 +167,17 @@ func (c *invariantChecker) check(v *View) {
 	}
 	c.contacts = cur
 	c.meetings = c.meetings[:0]
-	c.prev = append(c.prev[:0], v.Agents...)
+	c.prev = c.snapshot(v)
 	c.prevOK = true
+}
+
+// snapshot copies the live per-agent views into the checker's buffer.
+func (c *invariantChecker) snapshot(v *View) []AgentView {
+	c.prev = c.prev[:0]
+	for i, n := 0, v.K(); i < n; i++ {
+		c.prev = append(c.prev, v.Agent(i))
+	}
+	return c.prev
 }
 
 // runFuzzSchedule executes one fuzzed schedule on the selected core and

@@ -166,12 +166,14 @@ type agentState struct {
 	agent   Agent
 	stepper Stepper // non-nil selects the direct-dispatch fast path
 	proc    *Proc
+	id      int
 	status  Status
 	pos     Position
 
-	pendingPort int  // committed exit port when hasPending
-	hasPending  bool // an un-executed Move request exists
-	traversals  int  // completed edge traversals
+	pendingPort  int  // committed exit port when hasPending
+	pendingEntry int  // arrival entry port of the pending traversal (set at half-step 1)
+	hasPending   bool // an un-executed Move request exists
+	traversals   int  // completed edge traversals
 }
 
 // EventKind enumerates adversary moves.
@@ -216,6 +218,10 @@ type Config struct {
 	// StopWhen, if non-nil, ends the run after any event for which it
 	// returns true. Typical: stop at first meeting.
 	StopWhen func(r *Runner) bool
+	// StopAtFirstMeeting ends the run once any meeting has fired: the
+	// rendezvous-shaped StopWhen, as a field so the hot loop tests a
+	// flag and a length instead of calling a closure per event.
+	StopAtFirstMeeting bool
 	// MaxSteps bounds the number of adversary events (safety net).
 	MaxSteps int
 	// Context, if non-nil, aborts the run between adversary events when
@@ -239,28 +245,76 @@ type Runner struct {
 	steps    int
 	meetings []Meeting
 
+	// Maintained aggregates: how many agents are still dormant and how
+	// many hold an uncommitted move. They turn the per-event liveness
+	// check (and the adversaries' wake scans, via View.AnyDormant) into
+	// two integer reads instead of per-agent loops.
+	dormantCount int
+	pendingCount int
+
 	stopWhen    func(r *Runner) bool
+	stopAtMeet  bool
 	maxSteps    int
 	initialWake []int
 	ctx         context.Context
 	obs         Observer
 	canceled    bool
 
+	// done exists only when some agent runs on the goroutine core; the
+	// stepper fast path never blocks, so it needs no shutdown channel.
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed bool
 
 	// Hot-path scratch, reused across events so the per-half-step cost
-	// is allocation-free (see detectMeetings and view).
+	// is allocation-free — and, via scratch, across runs, so steady-state
+	// sweeps allocate almost nothing per run (see runScratch).
+	scratch     *runScratch
 	viewBuf     View
-	contacts    []bool      // pair contact bits after the previous event, i*k+j with i<j
-	curContacts []bool      // pair contact bits being assembled
+	contacts    []bool      // pair contact bits, i*k+j with i<j, kept current
+	curContacts []bool      // pair contact bits assembled by a full detect
 	grouped     []bool      // per-agent: already claimed by a node group
 	edgeGroup   []int32     // per graph.EdgeIndex: 1+group slot of the crossing group
 	edgeTouched []int32     // edge indices written in edgeGroup this check
 	groups      []meetGroup // group slot pool
 	nGroups     int
 }
+
+// runScratch is the pooled per-run buffer set. Runners acquire one in
+// NewRunner and release it in Close, so a worker that executes runs
+// back-to-back (the sweep steady state) reuses the same memory instead
+// of re-allocating per-agent state, contact bitsets and view buffers
+// for every cell.
+type runScratch struct {
+	states      []agentState
+	ptrs        []*agentState
+	contacts    []bool
+	curContacts []bool
+	grouped     []bool
+	edgeGroup   []int32
+	edgeTouched []int32
+	groups      []meetGroup
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// boolBuf returns b resized to n cleared slots, reusing capacity.
+func boolBuf(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// ctxPollStride is how many adversary events pass between context
+// checks. Cancellation is documented to land "between events"; polling
+// every event made ctx.Err a measurable share of the half-step cost, so
+// the runner amortizes the check without changing the contract.
+const ctxPollStride = 64
 
 // meetGroup is one co-located agent group found by detectMeetings.
 type meetGroup struct {
@@ -300,30 +354,55 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 		return nil, fmt.Errorf("sched: MaxSteps must be positive: %w", rverr.ErrInvalidScenario)
 	}
 	r := &Runner{
-		g:        cfg.Graph,
-		adv:      adv,
-		stopWhen: cfg.StopWhen,
-		maxSteps: cfg.MaxSteps,
-		ctx:      cfg.Context,
-		obs:      cfg.Observer,
-		done:     make(chan struct{}),
+		g:          cfg.Graph,
+		adv:        adv,
+		stopWhen:   cfg.StopWhen,
+		stopAtMeet: cfg.StopAtFirstMeeting,
+		maxSteps:   cfg.MaxSteps,
+		ctx:        cfg.Context,
+		obs:        cfg.Observer,
 	}
+	k := len(cfg.Agents)
+	s := scratchPool.Get().(*runScratch)
+	r.scratch = s
+	if cap(s.states) < k {
+		s.states = make([]agentState, k)
+		s.ptrs = make([]*agentState, k)
+	} else {
+		s.states = s.states[:k]
+		s.ptrs = s.ptrs[:k]
+		clear(s.states)
+	}
+	blocking := false
 	for i, a := range cfg.Agents {
-		st := &agentState{
-			agent:  a,
-			status: StatusDormant,
-			pos:    Position{Kind: AtNode, Node: cfg.Starts[i]},
-		}
+		st := &s.states[i]
+		st.agent = a
+		st.id = i
+		st.status = StatusDormant
+		st.pos = Position{Kind: AtNode, Node: cfg.Starts[i]}
 		if !cfg.ForceBlocking {
 			st.stepper, _ = a.(Stepper)
 		}
-		st.proc = &Proc{r: r, id: i, done: r.done}
 		if st.stepper == nil {
-			// Hand-off channels exist only on the goroutine core.
+			blocking = true
+		}
+		s.ptrs[i] = st
+	}
+	r.agents = s.ptrs
+	if blocking {
+		// Shutdown and hand-off channels exist only on the goroutine
+		// core; a pure stepper team never blocks.
+		r.done = make(chan struct{})
+	}
+	for _, st := range r.agents {
+		// Procs are heap-allocated per run (not pooled): agent programs
+		// hold them across goroutine suspension points, so a pooled Proc
+		// could alias a later run's.
+		st.proc = &Proc{r: r, id: st.id, done: r.done}
+		if st.stepper == nil {
 			st.proc.act = make(chan Action)
 			st.proc.obs = make(chan Observation)
 		}
-		r.agents = append(r.agents, st)
 	}
 	for _, i := range cfg.InitiallyAwake {
 		if i < 0 || i >= len(r.agents) {
@@ -331,11 +410,15 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 		}
 	}
 	r.initialWake = append(r.initialWake, cfg.InitiallyAwake...)
-	k := len(r.agents)
-	r.contacts = make([]bool, k*k)
-	r.curContacts = make([]bool, k*k)
-	r.grouped = make([]bool, k)
-	r.viewBuf = View{g: r.g, Agents: make([]AgentView, 0, k)}
+	r.dormantCount = k
+	s.contacts = boolBuf(s.contacts, k*k)
+	s.curContacts = boolBuf(s.curContacts, k*k)
+	s.grouped = boolBuf(s.grouped, k)
+	r.contacts, r.curContacts, r.grouped = s.contacts, s.curContacts, s.grouped
+	r.edgeGroup = s.edgeGroup
+	r.edgeTouched = s.edgeTouched[:0]
+	r.groups = s.groups
+	r.viewBuf = View{r: r, agents: r.agents}
 	return r, nil
 }
 
@@ -345,11 +428,16 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 func (r *Runner) Run() Summary {
 	for _, i := range r.initialWake {
 		r.wake(i)
-		r.detectMeetings()
 	}
+	// Waking changes no positions, so one full detection pass after the
+	// initial wakes covers any configuration the validator admits.
+	r.detectMeetings()
 	for r.steps < r.maxSteps {
-		if r.ctx != nil && r.ctx.Err() != nil {
+		if r.ctx != nil && r.steps%ctxPollStride == 0 && r.ctx.Err() != nil {
 			r.canceled = true
+			break
+		}
+		if r.stopAtMeet && len(r.meetings) > 0 {
 			break
 		}
 		if r.stopWhen != nil && r.stopWhen(r) {
@@ -363,38 +451,55 @@ func (r *Runner) Run() Summary {
 		if !ok {
 			break
 		}
-		if !r.apply(ev) {
-			// Invalid event from the adversary is a programming error in
-			// the strategy; fail loudly.
-			panic(fmt.Sprintf("sched: adversary issued invalid event %+v", ev))
-		}
+		entered := r.apply(ev)
 		if r.obs != nil {
 			r.obs.OnEvent(r.steps, ev)
 		}
 		r.steps++
-		r.detectMeetings()
+		if entered {
+			// Half-step 1 (leaving a node) can create a crossing contact;
+			// arrivals already ran their detection inside apply, before
+			// the arriving agent's next decision, and wakes move nobody.
+			r.detectAfterMove(ev.Agent)
+		}
 	}
 	return r.summary()
 }
 
-// Close unblocks and joins all agent goroutines. Safe to call many times.
+// Close unblocks and joins all agent goroutines, then releases the
+// runner's pooled buffers. Safe to call many times. A closed runner's
+// Summary values remain valid (they are copies), but the live accessors
+// (Traversals, TotalCost, Meetings) must not be called after Close.
 func (r *Runner) Close() {
 	if r.closed {
 		return
 	}
 	r.closed = true
-	close(r.done)
+	if r.done != nil {
+		close(r.done)
+	}
 	r.wg.Wait()
+	s := r.scratch
+	if s == nil {
+		return
+	}
+	r.scratch = nil
+	// Store the (possibly grown) buffers back and drop every reference
+	// to caller-owned values before pooling.
+	s.contacts, s.curContacts, s.grouped = r.contacts, r.curContacts, r.grouped
+	s.edgeGroup, s.edgeTouched = r.edgeGroup, r.edgeTouched
+	s.groups = r.groups
+	clear(s.states)
+	r.agents = nil
+	r.viewBuf = View{}
+	r.contacts, r.curContacts, r.grouped = nil, nil, nil
+	r.edgeGroup, r.edgeTouched, r.groups = nil, nil, nil
+	scratchPool.Put(s)
 }
 
 // anyActionable reports whether some agent is dormant or has a pending move.
 func (r *Runner) anyActionable() bool {
-	for _, st := range r.agents {
-		if st.status == StatusDormant || (st.status == StatusActive && st.hasPending) {
-			return true
-		}
-	}
-	return false
+	return r.dormantCount > 0 || r.pendingCount > 0
 }
 
 // wake activates a dormant agent and records its first decision: inline
@@ -405,6 +510,7 @@ func (r *Runner) wake(i int) {
 		return
 	}
 	st.status = StatusActive
+	r.dormantCount--
 	st.proc.cur = Observation{Degree: r.g.Degree(st.pos.Node), Entry: -1}
 	if st.stepper != nil {
 		r.commit(st, st.stepper.Step(st.proc, st.proc.cur))
@@ -436,9 +542,10 @@ func (r *Runner) receiveDecision(st *agentState) {
 // commit validates and records one agent decision, whichever core
 // produced it.
 func (r *Runner) commit(st *agentState, a Action) {
+	// An agent deciding has no uncommitted move: commit runs right after
+	// a wake or an arrival, both of which leave hasPending false.
 	if a.Halt {
 		st.status = StatusHalted
-		st.hasPending = false
 		return
 	}
 	deg := r.g.Degree(st.pos.Node)
@@ -447,66 +554,123 @@ func (r *Runner) commit(st *agentState, a Action) {
 	}
 	st.pendingPort = a.Port
 	st.hasPending = true
+	r.pendingCount++
 }
 
-// apply executes an adversary event; false means the event was invalid.
-func (r *Runner) apply(ev Event) bool {
+// apply executes an adversary event and reports whether it was a
+// half-step 1 (the agent entered an edge), which is the one transition
+// whose meeting detection the Run loop still owes. An invalid event is a
+// programming error in the strategy and panics loudly.
+func (r *Runner) apply(ev Event) (enteredEdge bool) {
 	if ev.Agent < 0 || ev.Agent >= len(r.agents) {
-		return false
+		r.invalidEvent(ev)
 	}
 	st := r.agents[ev.Agent]
 	switch ev.Kind {
 	case EventWake:
 		if st.status != StatusDormant {
-			return false
+			r.invalidEvent(ev)
 		}
 		r.wake(ev.Agent)
-		return true
+		return false
 	case EventAdvance:
 		if st.status != StatusActive || !st.hasPending {
-			return false
+			r.invalidEvent(ev)
 		}
 		if st.pos.Kind == AtNode {
-			// Half-step 1: leave the node.
+			// Half-step 1: leave the node. The arrival entry port is
+			// resolved here, by the same Succ lookup, so the arrival
+			// half-step need not repeat it.
 			from := st.pos.Node
-			to, _ := r.g.Succ(from, st.pendingPort)
+			to, entry := r.g.Succ(from, st.pendingPort)
 			st.pos = Position{Kind: InEdge, From: from, To: to}
+			st.pendingEntry = entry
 			return true
 		}
 		// Half-step 2: arrive.
 		from, to := st.pos.From, st.pos.To
-		_, entry := arrivalEntry(r.g, from, to, st.pendingPort)
+		entry := st.pendingEntry
 		st.pos = Position{Kind: AtNode, Node: to}
 		st.traversals++
 		st.hasPending = false
+		r.pendingCount--
 		if r.obs != nil {
 			r.obs.OnTraversal(ev.Agent, from, to)
 		}
 		// Meetings caused by the arrival must be delivered before the
-		// agent decides its next action.
-		r.detectMeetings()
+		// agent decides its next action. (The adversary view is synced
+		// once per event by the Run loop; nothing here reads it.)
+		r.detectAfterMove(ev.Agent)
 		obs := Observation{Degree: r.g.Degree(to), Entry: entry}
 		st.proc.cur = obs
 		if st.stepper != nil {
 			r.commit(st, st.stepper.Step(st.proc, obs))
-			return true
+			return false
 		}
 		st.proc.obs <- obs
 		r.receiveDecision(st)
-		return true
+		return false
 	default:
+		r.invalidEvent(ev)
 		return false
 	}
 }
 
-// arrivalEntry resolves the entry port at to for the traversal that left
-// from by port.
-func arrivalEntry(g *graph.Graph, from, to, port int) (int, int) {
-	t, entry := g.Succ(from, port)
-	if t != to {
-		panic("sched: inconsistent traversal")
+// invalidEvent fails loudly on a malformed adversary event.
+func (r *Runner) invalidEvent(ev Event) {
+	panic(fmt.Sprintf("sched: adversary issued invalid event %+v", ev))
+}
+
+// inContact reports the position-level contact condition between two
+// agents: co-located at a node, or inside the same edge in opposite
+// directions. This is exactly the pair condition detectMeetings encodes
+// in its contact bitsets.
+func inContact(a, b *agentState) bool {
+	if a.pos.Kind == AtNode {
+		return b.pos.Kind == AtNode && a.pos.Node == b.pos.Node
 	}
-	return t, entry
+	return b.pos.Kind == InEdge && a.pos.From == b.pos.To && a.pos.To == b.pos.From
+}
+
+// detectAfterMove is the incremental fast path of meeting detection:
+// after agent i moved a half-step, only pairs involving i can change.
+// If i gained a new contact the full detector runs (it owns group
+// assembly and encounter delivery); otherwise the pair bits involving i
+// are refreshed in place and nothing fires. This removes the full
+// all-pairs rescan from the per-event cost without changing which
+// meetings fire or when.
+func (r *Runner) detectAfterMove(i int) {
+	k := len(r.agents)
+	si := r.agents[i]
+	if k == 2 {
+		// Two-agent fast path (the dominant shape): one opponent, and
+		// the (0,1) pair bit is index 1.
+		if inContact(si, r.agents[1-i]) {
+			if !r.contacts[1] {
+				r.detectMeetings()
+			}
+		} else {
+			r.contacts[1] = false
+		}
+		return
+	}
+	for j := 0; j < k; j++ {
+		if j == i {
+			continue
+		}
+		b := pairBit(i, j, k)
+		if inContact(si, r.agents[j]) {
+			if !r.contacts[b] {
+				// New contact: the full detector recomputes every group
+				// against the current bits and fires exactly the groups
+				// holding a fresh pair — all of which involve i.
+				r.detectMeetings()
+				return
+			}
+		} else {
+			r.contacts[b] = false
+		}
+	}
 }
 
 // pairBit returns the index of the (i, j) contact bit in the k*k pair
@@ -590,7 +754,7 @@ func (r *Runner) detectMeetings() {
 				continue
 			}
 			if si.pos.From == sj.pos.To && si.pos.To == sj.pos.From {
-				if r.edgeGroup == nil {
+				if len(r.edgeGroup) < r.g.M() {
 					r.edgeGroup = make([]int32, r.g.M())
 				}
 				e := r.g.EdgeIndex(si.pos.From, si.pendingPort)

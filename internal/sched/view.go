@@ -13,47 +13,61 @@ type AgentView struct {
 	Traversals  int
 }
 
-// View is the adversary's snapshot of the execution.
-//
-// The runner reuses one View (and its Agents slice) for the whole run,
-// refreshed before every Adversary.Next call: strategies may read it
-// freely during Next but must not retain it, or slices derived from it,
-// across calls. Copy what you need to keep.
+// View is the adversary's window onto the execution. It reads the
+// runner's live agent state directly — materializing a snapshot per
+// adversary event was the single largest line item of the half-step
+// cost — so strategies may query it freely during Next but must not
+// retain it, or AgentView values derived from it, across calls. Copy
+// what you need to keep.
 type View struct {
-	Steps  int
-	Agents []AgentView
+	Steps int
 
-	g *graph.Graph
+	r *Runner
+	// agents aliases r.agents: the per-event accessors (CanAdvance in
+	// every adversary's inner loop) save one pointer chase per call.
+	agents []*agentState
 }
 
 func (r *Runner) view() *View {
-	v := &r.viewBuf
-	v.Steps = r.steps
-	v.Agents = v.Agents[:0]
-	for _, st := range r.agents {
-		v.Agents = append(v.Agents, AgentView{
-			Status:      st.status,
-			Pos:         st.pos,
-			HasPending:  st.hasPending,
-			PendingPort: st.pendingPort,
-			Traversals:  st.traversals,
-		})
+	r.viewBuf.Steps = r.steps
+	return &r.viewBuf
+}
+
+// K returns the number of agents in the simulation.
+func (v *View) K() int { return len(v.agents) }
+
+// Agent returns the omniscient snapshot of agent i.
+func (v *View) Agent(i int) AgentView {
+	st := v.agents[i]
+	return AgentView{
+		Status:      st.status,
+		Pos:         st.pos,
+		HasPending:  st.hasPending,
+		PendingPort: st.pendingPort,
+		Traversals:  st.traversals,
 	}
-	return v
 }
 
 // Graph exposes the topology to adversary strategies.
-func (v *View) Graph() *graph.Graph { return v.g }
+func (v *View) Graph() *graph.Graph { return v.r.g }
+
+// AnyDormant reports whether any agent is still dormant, backed by a
+// runner-maintained counter: adversaries gate their wake scans on it so
+// the steady state (everyone awake) pays one integer read per event.
+func (v *View) AnyDormant() bool { return v.r.dormantCount > 0 }
 
 // CanWake reports whether agent i is dormant.
 func (v *View) CanWake(i int) bool {
-	return i >= 0 && i < len(v.Agents) && v.Agents[i].Status == StatusDormant
+	return i >= 0 && i < len(v.agents) && v.agents[i].status == StatusDormant
 }
 
 // CanAdvance reports whether agent i has a committed move to advance.
 func (v *View) CanAdvance(i int) bool {
-	return i >= 0 && i < len(v.Agents) &&
-		v.Agents[i].Status == StatusActive && v.Agents[i].HasPending
+	if i < 0 || i >= len(v.agents) {
+		return false
+	}
+	st := v.agents[i]
+	return st.status == StatusActive && st.hasPending
 }
 
 // AdvanceCreatesContact predicts whether advancing agent i one half-step
@@ -62,29 +76,32 @@ func (v *View) CanAdvance(i int) bool {
 // any agent currently occupies. This is the one-step lookahead avoider
 // strategies use.
 func (v *View) AdvanceCreatesContact(i int) bool {
-	if !v.CanAdvance(i) {
-		return false
-	}
-	a := v.Agents[i]
-	if a.Pos.Kind == AtNode {
-		from := a.Pos.Node
-		to, _ := v.g.Succ(from, a.PendingPort)
-		for j, b := range v.Agents {
+	return v.CanAdvance(i) && v.advanceContact(i)
+}
+
+// advanceContact is AdvanceCreatesContact without the CanAdvance
+// precondition re-check, for callers that just established it.
+func (v *View) advanceContact(i int) bool {
+	a := v.agents[i]
+	if a.pos.Kind == AtNode {
+		from := a.pos.Node
+		to, _ := v.r.g.Succ(from, a.pendingPort)
+		for j, b := range v.agents {
 			if j == i {
 				continue
 			}
-			if b.Pos.Kind == InEdge && b.Pos.From == to && b.Pos.To == from {
+			if b.pos.Kind == InEdge && b.pos.From == to && b.pos.To == from {
 				return true
 			}
 		}
 		return false
 	}
-	dest := a.Pos.To
-	for j, b := range v.Agents {
+	dest := a.pos.To
+	for j, b := range v.agents {
 		if j == i {
 			continue
 		}
-		if b.Pos.Kind == AtNode && b.Pos.Node == dest {
+		if b.pos.Kind == AtNode && b.pos.Node == dest {
 			return true
 		}
 	}

@@ -80,7 +80,7 @@ func (c *capture) Next(v *View) (Event, bool) {
 	c.n++
 	switch c.n {
 	case 1:
-		for i := range v.Agents {
+		for i, n := 0, v.K(); i < n; i++ {
 			if v.CanWake(i) {
 				return Event{Kind: EventWake, Agent: i}, true
 			}

@@ -125,7 +125,7 @@ var _ Adversary = (*ScheduleAdversary)(nil)
 
 // Next implements Adversary.
 func (s *ScheduleAdversary) Next(v *View) (Event, bool) {
-	for i := range v.Agents {
+	for i, n := 0, v.K(); i < n; i++ {
 		if v.CanWake(i) {
 			return Event{Kind: EventWake, Agent: i}, true
 		}

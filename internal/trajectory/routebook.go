@@ -1,0 +1,189 @@
+package trajectory
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"meetpoly/internal/graph"
+)
+
+// A deterministic trajectory walked in a fixed graph from a fixed start
+// is a pure function: the exit port of move i depends only on (graph,
+// start, trajectory program), never on the adversary's timing. Cells of
+// a sweep that differ only in adversary or schedule therefore walk
+// exactly the same routes — the paper's own amortization move (build
+// one exploration object, replay it from anywhere), applied to the
+// execution layer.
+//
+// RouteBook caches those routes per graph: the first run per (start,
+// trajectory key) materializes its exit-port prefix lazily, in batches,
+// as far as the run actually walks; every later run replays the flat
+// array. Replay turns the per-move cost from a descent through the
+// composite trajectory algebra (Chain → Repeat → Mirror → Interleave →
+// UXS, with allocation churn at every excursion) into one slice read.
+
+// RouteKey identifies one deterministic trajectory in a RouteBook's
+// graph. Kind tags the trajectory family ('R' for the rendezvous master
+// schedule, 'B' for the baseline), Param its parameter (the agent
+// label). Callers must guarantee that (Kind, Param) fully determines
+// the generator's move sequence in this graph.
+type RouteKey struct {
+	Start int
+	Kind  byte
+	Param uint64
+}
+
+// RouteBook caches materialized route prefixes of deterministic
+// trajectories in one fixed graph. It is safe for concurrent use: route
+// extension runs under a per-route lock while replays read immutable
+// published snapshots.
+type RouteBook struct {
+	g  *graph.Graph
+	mu sync.Mutex
+	m  map[RouteKey]*Route
+}
+
+// NewRouteBook returns an empty route cache over g.
+func NewRouteBook(g *graph.Graph) *RouteBook {
+	return &RouteBook{g: g, m: make(map[RouteKey]*Route)}
+}
+
+// Graph returns the graph the book's routes are walked in.
+func (b *RouteBook) Graph() *graph.Graph { return b.g }
+
+// route returns the cached route for key, creating it (with gen as the
+// trajectory generator factory) on first use.
+func (b *RouteBook) route(key RouteKey, gen func() Stepper) *Route {
+	b.mu.Lock()
+	r, ok := b.m[key]
+	if !ok {
+		r = &Route{g: b.g, cur: key.Start, mkGen: gen}
+		r.state.Store(&routeState{})
+		b.m[key] = r
+	}
+	b.mu.Unlock()
+	return r
+}
+
+// Stepper returns a single-use stepper replaying the route identified
+// by key, materializing it on demand via gen (called at most once, on
+// the route's first use). The replay emits exactly the move sequence
+// gen's stepper would produce when walked in this graph from key.Start.
+func (b *RouteBook) Stepper(key RouteKey, gen func() Stepper) Stepper {
+	return &routeStepper{rt: b.route(key, gen)}
+}
+
+// NodeRoute returns the node sequence of the route's first moves
+// (length moves+1 including the start, shorter if the trajectory
+// completes first) — the shape the exhaustive certifier consumes.
+func (b *RouteBook) NodeRoute(key RouteKey, gen func() Stepper, moves int) []int {
+	r := b.route(key, gen)
+	st := r.extendTo(moves)
+	n := moves
+	if len(st.nodes) < n {
+		n = len(st.nodes)
+	}
+	out := make([]int, 0, n+1)
+	out = append(out, key.Start)
+	for _, v := range st.nodes[:n] {
+		out = append(out, int(v))
+	}
+	return out
+}
+
+// Route is one materialized route prefix. Readers load the immutable
+// state snapshot; the extender appends under the route lock and
+// publishes a fresh snapshot.
+type Route struct {
+	g     *graph.Graph
+	mkGen func() Stepper
+
+	state atomic.Pointer[routeState]
+
+	mu    sync.Mutex
+	gen   Stepper // live generator, created on first extension
+	cur   int     // generator walk position
+	entry int     // entry-port context of the next generator move
+}
+
+// routeState is an immutable published prefix: ports[i] is the exit
+// port of move i, nodes[i] the node reached by it. done means the
+// trajectory completed (or got stuck on a degree-0 node) at len(ports)
+// moves.
+type routeState struct {
+	ports []int32
+	nodes []int32
+	done  bool
+}
+
+// extendBatch bounds how much route is generated per lock acquisition:
+// enough to amortize locking and snapshot publication, small enough
+// that short runs don't materialize far past what they walk.
+const extendBatch = 1024
+
+// extendTo returns a state holding at least n moves (or the completed
+// route, whichever is shorter).
+func (r *Route) extendTo(n int) *routeState {
+	st := r.state.Load()
+	if st.done || len(st.ports) >= n {
+		return st
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st = r.state.Load()
+	if st.done || len(st.ports) >= n {
+		return st
+	}
+	if r.gen == nil {
+		r.gen = r.mkGen()
+	}
+	target := len(st.ports) + extendBatch
+	if target < n {
+		target = n
+	}
+	// Append onto copies: published snapshots are immutable, so growth
+	// copies the prefix at most O(log) times over a route's lifetime.
+	ports := append(make([]int32, 0, target), st.ports...)
+	nodes := append(make([]int32, 0, target), st.nodes...)
+	done := false
+	for len(ports) < target {
+		deg := r.g.Degree(r.cur)
+		if deg == 0 {
+			done = true // stuck forever: a degree-0 start makes no moves
+			break
+		}
+		port, ok := r.gen.Next(deg, r.entry)
+		if !ok {
+			done = true
+			break
+		}
+		to, entry := r.g.Succ(r.cur, port)
+		ports = append(ports, int32(port))
+		nodes = append(nodes, int32(to))
+		r.cur, r.entry = to, entry
+	}
+	next := &routeState{ports: ports, nodes: nodes, done: done}
+	r.state.Store(next)
+	return next
+}
+
+// routeStepper replays a cached route. It ignores the caller-supplied
+// (deg, entry) observations: the route determines them, by the same
+// determinism argument that makes caching sound.
+type routeStepper struct {
+	rt  *Route
+	st  *routeState
+	idx int
+}
+
+func (s *routeStepper) Next(deg, entry int) (int, bool) {
+	if s.st == nil || s.idx >= len(s.st.ports) {
+		s.st = s.rt.extendTo(s.idx + 1) // extendTo itself over-shoots by a batch
+		if s.idx >= len(s.st.ports) {
+			return 0, false
+		}
+	}
+	p := s.st.ports[s.idx]
+	s.idx++
+	return int(p), true
+}

@@ -1,0 +1,104 @@
+package trajectory
+
+import (
+	"sync"
+	"testing"
+
+	"meetpoly/internal/graph"
+	"meetpoly/internal/uxs"
+)
+
+func routeTestEnv() *Env {
+	return NewEnv(uxs.NewVerified(uxs.DefaultFamily(6), 1))
+}
+
+// TestRouteStepperMatchesGenerator pins route replay to direct
+// generation: walking a cached route must visit exactly the nodes and
+// exits the composite trajectory stepper produces, across replays and
+// from a replay longer than any before (forcing lazy extension).
+func TestRouteStepperMatchesGenerator(t *testing.T) {
+	env := routeTestEnv()
+	for _, g := range []*graph.Graph{graph.Ring(6), graph.Grid(2, 3), graph.ShufflePorts(graph.Complete(5), 3)} {
+		book := NewRouteBook(g)
+		for start := 0; start < g.N(); start++ {
+			key := RouteKey{Start: start, Kind: 'Y', Param: 3}
+			gen := func() Stepper { return env.Y(3) }
+			want, _ := Run(g, start, env.Y(3), 5000)
+			for _, limit := range []int{10, 100, 5000} { // grow the prefix across replays
+				got, _ := Run(g, start, book.Stepper(key, gen), limit)
+				if got.Moves() != min(limit, want.Moves()) {
+					t.Fatalf("%v from %d: replay made %d moves, want %d", g, start, got.Moves(), min(limit, want.Moves()))
+				}
+				for i := 0; i < got.Moves(); i++ {
+					if got.Nodes[i] != want.Nodes[i] || got.Exits[i] != want.Exits[i] {
+						t.Fatalf("%v from %d: replay diverges at move %d: (%d,%d) vs (%d,%d)",
+							g, start, i, got.Nodes[i], got.Exits[i], want.Nodes[i], want.Exits[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteBookFiniteTrajectory asserts replay of a finite trajectory
+// halts at exactly the generator's end.
+func TestRouteBookFiniteTrajectory(t *testing.T) {
+	env := routeTestEnv()
+	g := graph.Ring(5)
+	book := NewRouteBook(g)
+	key := RouteKey{Start: 0, Kind: 'X', Param: 2}
+	gen := func() Stepper { return env.X(2) }
+	want, completed := Run(g, 0, env.X(2), 1<<20)
+	if !completed {
+		t.Fatal("X(2) did not complete (test needs a finite trajectory)")
+	}
+	got, completed := Run(g, 0, book.Stepper(key, gen), 1<<20)
+	if !completed || got.Moves() != want.Moves() {
+		t.Fatalf("replay: completed=%v moves=%d, want completed=true moves=%d",
+			completed, got.Moves(), want.Moves())
+	}
+	// NodeRoute past the end clamps to the completed route.
+	route := book.NodeRoute(key, gen, want.Moves()+100)
+	if len(route) != want.Moves()+1 || route[0] != 0 {
+		t.Fatalf("NodeRoute length %d, want %d", len(route), want.Moves()+1)
+	}
+	for i := 0; i < want.Moves(); i++ {
+		if route[i+1] != want.Nodes[i] {
+			t.Fatalf("NodeRoute[%d] = %d, want %d", i+1, route[i+1], want.Nodes[i])
+		}
+	}
+}
+
+// TestRouteBookConcurrentReplay races many replayers of one route (and
+// its lazy extension) under -race, all of which must observe the same
+// walk.
+func TestRouteBookConcurrentReplay(t *testing.T) {
+	env := routeTestEnv()
+	g := graph.Grid(2, 3)
+	book := NewRouteBook(g)
+	key := RouteKey{Start: 1, Kind: 'Y', Param: 3}
+	gen := func() Stepper { return env.Y(3) }
+	want, _ := Run(g, 1, env.Y(3), 4000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(limit int) {
+			defer wg.Done()
+			got, _ := Run(g, 1, book.Stepper(key, gen), limit)
+			for i := 0; i < got.Moves(); i++ {
+				if got.Nodes[i] != want.Nodes[i] {
+					t.Errorf("concurrent replay diverges at move %d", i)
+					return
+				}
+			}
+		}(500 + 500*w)
+	}
+	wg.Wait()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"meetpoly/internal/graph"
 )
@@ -211,14 +212,44 @@ var _ Catalog = (*Formula)(nil)
 // For k at or beyond the family's largest graph the verified graph set
 // stops growing, so P(k) becomes constant: still non-decreasing, and all
 // trajectories remain integral.
+//
+// Reads are lock-free once warm: the family and the sequence cache live
+// in an immutable snapshot behind an atomic pointer, replaced wholesale
+// by writers (copy-on-write). Trajectory composition re-reads Seq(k)
+// constantly on the execution hot path, and sweep workers hammer
+// Covers/CoversEqual concurrently; serializing every one of those reads
+// behind a mutex made the catalog a contention point for the whole
+// worker pool.
 type Verified struct {
 	seed   int64
-	family []*graph.Graph
 	greedy bool
 
-	mu    sync.Mutex
-	cache map[int]Sequence
-	maxN  int
+	// mu serializes writers (cache fills and Extend); readers go through
+	// snap alone.
+	mu   sync.Mutex
+	snap atomic.Pointer[verifiedSnap]
+}
+
+// verifiedSnap is one immutable state of a Verified catalog. Neither the
+// slices nor the map are mutated after publication.
+type verifiedSnap struct {
+	family []*graph.Graph
+	cache  map[int]Sequence
+	maxN   int
+}
+
+// withCache returns a copy of the snapshot with the extra sequences
+// merged into a fresh cache map.
+func (s *verifiedSnap) withCache(extra map[int]Sequence) *verifiedSnap {
+	n := &verifiedSnap{family: s.family, maxN: s.maxN,
+		cache: make(map[int]Sequence, len(s.cache)+len(extra))}
+	for k, v := range s.cache {
+		n.cache[k] = v
+	}
+	for k, v := range extra {
+		n.cache[k] = v
+	}
+	return n
 }
 
 // NewVerifiedGreedy returns a verified catalog whose sequences come from
@@ -237,16 +268,17 @@ func NewVerified(family []*graph.Graph, seed int64) *Verified {
 	if len(family) == 0 {
 		panic("uxs: NewVerified needs a non-empty family")
 	}
-	v := &Verified{
-		seed:   seed,
+	s := &verifiedSnap{
 		family: append([]*graph.Graph(nil), family...),
 		cache:  make(map[int]Sequence),
 	}
 	for _, g := range family {
-		if g.N() > v.maxN {
-			v.maxN = g.N()
+		if g.N() > s.maxN {
+			s.maxN = g.N()
 		}
 	}
+	v := &Verified{seed: seed}
+	v.snap.Store(s)
 	return v
 }
 
@@ -315,9 +347,8 @@ func DefaultFamily(maxN int) []*graph.Graph {
 
 // Family returns the graphs the catalog verifies against.
 func (v *Verified) Family() []*graph.Graph {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return append([]*graph.Graph(nil), v.family...)
+	s := v.snap.Load()
+	return append([]*graph.Graph(nil), s.family...)
 }
 
 // Extend adds graphs to the family and invalidates cached sequences, so
@@ -326,20 +357,23 @@ func (v *Verified) Family() []*graph.Graph {
 func (v *Verified) Extend(gs ...*graph.Graph) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	v.family = append(v.family, gs...)
+	old := v.snap.Load()
+	n := &verifiedSnap{
+		family: append(append([]*graph.Graph(nil), old.family...), gs...),
+		cache:  make(map[int]Sequence),
+		maxN:   old.maxN,
+	}
 	for _, g := range gs {
-		if g.N() > v.maxN {
-			v.maxN = g.N()
+		if g.N() > n.maxN {
+			n.maxN = g.N()
 		}
 	}
-	v.cache = make(map[int]Sequence)
+	v.snap.Store(n)
 }
 
 // Covers reports whether g is part of the verified family.
 func (v *Verified) Covers(g *graph.Graph) bool {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for _, f := range v.family {
+	for _, f := range v.snap.Load().family {
 		if f == g {
 			return true
 		}
@@ -353,9 +387,7 @@ func (v *Verified) Covers(g *graph.Graph) bool {
 // rebuilt family member is recognized here without extending the family
 // — which would needlessly invalidate every cached sequence.
 func (v *Verified) CoversEqual(g *graph.Graph) bool {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for _, f := range v.family {
+	for _, f := range v.snap.Load().family {
 		if graph.Equal(f, g) {
 			return true
 		}
@@ -364,11 +396,7 @@ func (v *Verified) CoversEqual(g *graph.Graph) bool {
 }
 
 // MaxN returns the size of the largest graph in the verified family.
-func (v *Verified) MaxN() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.maxN
-}
+func (v *Verified) MaxN() int { return v.snap.Load().maxN }
 
 // Seq returns a sequence verified to be integral on every family graph of
 // size at most k, from every start node. Sequences are found by seeded
@@ -376,38 +404,51 @@ func (v *Verified) MaxN() int {
 // non-decreasing. Seq panics if no sequence is found within a generous
 // search budget, which indicates a family far outside this catalog's
 // intended small-graph regime.
+//
+// The fast path is a single atomic load plus a map read; the search and
+// verification run under the writer lock and publish a new snapshot.
 func (v *Verified) Seq(k int) Sequence {
+	if s, ok := v.snap.Load().cache[k]; ok {
+		return s
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if s, ok := v.cache[k]; ok {
+	old := v.snap.Load()
+	if s, ok := old.cache[k]; ok { // raced with another filler
+		return s
+	}
+	fresh := make(map[int]Sequence)
+	s := v.seqInto(old, fresh, k)
+	v.snap.Store(old.withCache(fresh))
+	return s
+}
+
+// seqInto computes Seq(k) against the snapshot's family, reading
+// already-verified sequences from the snapshot and recording new ones in
+// fresh. Caller holds v.mu.
+func (v *Verified) seqInto(snap *verifiedSnap, fresh map[int]Sequence, k int) Sequence {
+	if s, ok := snap.cache[k]; ok {
+		return s
+	}
+	if s, ok := fresh[k]; ok {
 		return s
 	}
 	// Beyond the family's largest graph the constraint set no longer
 	// grows; reuse the maxN sequence so P plateaus.
-	if k > v.maxN {
-		s := v.seqLocked(v.maxN)
-		v.cache[k] = s
-		return s
-	}
-	s := v.seqLocked(k)
-	v.cache[k] = s
-	return s
-}
-
-func (v *Verified) seqLocked(k int) Sequence {
-	if s, ok := v.cache[k]; ok {
+	if k > snap.maxN {
+		s := v.seqInto(snap, fresh, snap.maxN)
+		fresh[k] = s
 		return s
 	}
 	var gs []*graph.Graph
-	for _, g := range v.family {
+	for _, g := range snap.family {
 		if g.N() <= k {
 			gs = append(gs, g)
 		}
 	}
 	minLen := 1
 	if k > 1 {
-		prev := v.seqLocked(k - 1)
-		minLen = len(prev)
+		minLen = len(v.seqInto(snap, fresh, k-1))
 	}
 	found := v.search(k, gs)
 	if len(found) < minLen {
@@ -416,7 +457,7 @@ func (v *Verified) seqLocked(k int) Sequence {
 		copy(pad, found)
 		found = pad
 	}
-	v.cache[k] = found
+	fresh[k] = found
 	return found
 }
 
