@@ -154,54 +154,14 @@ func sweepOutcome(cell SweepCell, br BatchResult) SweepOutcome {
 	if res == nil {
 		return o
 	}
-	fill := func(sum Summary) {
-		o.Cost = sum.TotalCost
-		o.Steps = sum.Steps
-		o.MaxPerAgent = sum.Account.MaxPerAgent
-		o.Committed = sum.Account.Committed
-	}
-	switch {
-	case res.Rendezvous != nil:
-		fill(res.Rendezvous.Summary)
-		if res.Rendezvous.Met && br.Err == nil {
-			o.Met = true
-			o.Cost = res.Rendezvous.Meeting.Cost
-		}
-	case res.Baseline != nil:
-		fill(res.Baseline.Summary)
-		if res.Baseline.Met && br.Err == nil {
-			o.Met = true
-			o.Cost = res.Baseline.Meeting.Cost
-		}
-	case res.ESST != nil:
-		fill(res.ESST.Summary)
-		if res.ESST.Done && br.Err == nil {
-			o.Met = true
-			o.Cost = res.ESST.Cost
-			if !res.ESST.Covered {
-				o.Consistent = false
-				o.Detail = "esst reported done without covering every edge"
-			}
-		}
-	case res.SGL != nil:
-		fill(res.SGL.Summary)
-		if res.SGL.AllOutput && br.Err == nil {
-			o.Met = true
-			o.Cost = res.SGL.TotalCost
-			if detail := sglInconsistency(res.SGL); detail != "" {
-				o.Consistent = false
-				o.Detail = detail
-			}
-		}
-	case res.Cert != nil:
-		if br.Err == nil {
-			o.Met = true
-			o.Cost = res.Cert.WorstCompleted
-			if res.Cert.Forced && res.Cert.WorstCommitted < res.Cert.WorstCompleted {
-				o.Consistent = false
-				o.Detail = "certifier committed cost below completed cost"
-			}
-		}
+	// Per-kind classification is the registered kind's Outcome hook —
+	// built-ins surface goal costs and scheduler accounting through
+	// theirs; a custom kind without one gets the generic reading that an
+	// error-free run met its goal.
+	if def, ok := lookupScenarioKind(br.Scenario.Kind); ok && def.Outcome != nil {
+		def.Outcome(res, br.Err, &o)
+	} else if br.Err == nil {
+		o.Met = true
 	}
 	return o
 }

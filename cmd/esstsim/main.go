@@ -32,7 +32,7 @@ func main() {
 	ex := flag.Int("explorer", 0, "explorer start node")
 	tok := flag.Int("token", -1, "token node (-1 = last node)")
 	advName := flag.String("adv", "roundrobin",
-		"roundrobin|avoider|random[:seed]|biased[:w1,w2]|latewake[:hold]")
+		"roundrobin|avoider|random[:seed]|biased[:w1,w2]|latewake[:hold[:agent]]|any registered family")
 	budget := flag.Int("budget", 50_000_000, "scheduler event budget")
 	table := flag.Bool("table", false, "print table E5 over the default instance suite")
 	famMax := flag.Int("family", 8, "catalog family max size")

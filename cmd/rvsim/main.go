@@ -53,7 +53,7 @@ func main() {
 	l1 := flag.Uint64("l1", 2, "label of agent 1")
 	l2 := flag.Uint64("l2", 5, "label of agent 2")
 	advName := flag.String("adv", "roundrobin",
-		"roundrobin|avoider|random[:seed]|biased[:w1,w2]|latewake[:hold]")
+		"roundrobin|avoider|random[:seed]|biased[:w1,w2]|latewake[:hold[:agent]]|any registered family")
 	budget := flag.Int("budget", 2_000_000, "adversary event budget")
 	certify := flag.Int("certify", 0, "if > 0, certify the worst case on route prefixes of this length")
 	replay := flag.Bool("replay", false, "with -certify: replay the reconstructed worst-case schedule")

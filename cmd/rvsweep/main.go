@@ -32,6 +32,7 @@ func main() {
 	var (
 		specPath    = flag.String("spec", "", "path to the sweep spec JSON (required)")
 		replay      = flag.String("replay", "", "replay a single cell from its seed string instead of sweeping")
+		stream      = flag.Bool("stream", false, "emit one NDJSON cell result per line as cells complete, instead of the aggregate report")
 		expand      = flag.Bool("expand", false, "expand the spec and list cells without running them")
 		count       = flag.Bool("count", false, "print only the cell count the spec expands to")
 		maxN        = flag.Int("maxn", 6, "size ceiling of the engine's verified catalog family")
@@ -154,6 +155,39 @@ func main() {
 			exit(1)
 		}
 		if cr.Failed() {
+			exit(1)
+		}
+		exit(0)
+	}
+
+	if *stream {
+		// NDJSON streaming over Engine.SweepStream: one judged cell
+		// result per line, written as each cell completes (completion
+		// order, not expansion order — every line carries its cell's
+		// index and replay seed). A million-cell campaign streams in
+		// bounded memory; pipe into `jq` or checkpoint incrementally.
+		enc := json.NewEncoder(os.Stdout)
+		cells, fails, canc := 0, 0, 0
+		for cr, serr := range eng.SweepStream(ctx, spec) {
+			if serr != nil {
+				fatal(serr)
+			}
+			cells++
+			if cr.Failed() {
+				fails++
+			}
+			if cr.Outcome.Canceled {
+				canc++
+			}
+			if err := enc.Encode(cr); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "rvsweep: %d cells, %d oracle failures, %d canceled\n", cells, fails, canc)
+		if canc > 0 {
+			fmt.Fprintf(os.Stderr, "rvsweep: sweep interrupted: %d of %d cells canceled\n", canc, cells)
+		}
+		if fails > 0 || canc > 0 {
 			exit(1)
 		}
 		exit(0)

@@ -47,7 +47,7 @@ func main() {
 	startsFlag := flag.String("starts", "1,2,3", "comma-separated start nodes")
 	labelsFlag := flag.String("labels", "4,2,7", "comma-separated labels")
 	advName := flag.String("adv", "roundrobin",
-		"roundrobin|avoider|random[:seed]|biased[:w1,w2]|latewake[:hold]")
+		"roundrobin|avoider|random[:seed]|biased[:w1,w2]|latewake[:hold[:agent]]|any registered family")
 	budget := flag.Int("budget", 40_000_000, "scheduler event budget")
 	table := flag.Bool("table", false, "print table E8 over the default instance suite")
 	famMax := flag.Int("family", 6, "catalog family max size")

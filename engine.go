@@ -3,6 +3,7 @@ package meetpoly
 import (
 	"context"
 	"fmt"
+	"iter"
 	"math/big"
 	"runtime"
 	"sync"
@@ -12,9 +13,7 @@ import (
 	"meetpoly/internal/campaign"
 	"meetpoly/internal/core"
 	"meetpoly/internal/costmodel"
-	"meetpoly/internal/esst"
-	"meetpoly/internal/sched"
-	"meetpoly/internal/sgl"
+	"meetpoly/internal/registry"
 	"meetpoly/internal/trajectory"
 	"meetpoly/internal/uxs"
 )
@@ -45,14 +44,17 @@ type Engine struct {
 	mu sync.Mutex
 
 	// The prepared-scenario cache (DESIGN.md, "preparation & caching
-	// layers"): a content-addressed map from a GraphSpec fingerprint —
-	// the spec struct itself, whose builders are deterministic — to one
+	// layers"): a content-addressed map from a graph fingerprint — the
+	// GraphSpec struct itself (builders are deterministic functions of
+	// it) plus the registered kind's builder fingerprint — to one
 	// immutable built graph with its edge index pre-built, its catalog
 	// coverage verdict memoized, and a route book amortizing the
 	// deterministic walks of rendezvous/baseline/certify instances. A
 	// 10k-cell sweep builds and coverage-checks each unique graph exactly
-	// once, and derives each (start, label) trajectory once.
-	prepCache    sync.Map // GraphSpec -> *preparedGraph
+	// once, and derives each (start, label) trajectory once. Custom
+	// registered kinds participate on the same terms; their Fingerprint
+	// is how a builder that closes over configuration keys its variants.
+	prepCache    sync.Map // prepKey -> *preparedGraph
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
 	catalogEpoch atomic.Int64 // bumped on catalog extension: route books expire
@@ -100,9 +102,11 @@ func (pg *preparedGraph) build(spec GraphSpec) {
 }
 
 // cover memoizes the catalog coverage verdict (including any family
-// extension the engine's policy allows).
-func (pg *preparedGraph) cover(e *Engine) error {
-	pg.coverOnce.Do(func() { pg.coverErr = e.ensureCovered(pg.g) })
+// extension the engine's policy allows). The spec is only rendered
+// into the failure message, inside the once, so the hot (hit) path
+// never formats it.
+func (pg *preparedGraph) cover(e *Engine, spec GraphSpec) error {
+	pg.coverOnce.Do(func() { pg.coverErr = e.ensureCovered(pg.g, spec.String()) })
 	return pg.coverErr
 }
 
@@ -123,12 +127,25 @@ func (pg *preparedGraph) book(e *Engine) *trajectory.RouteBook {
 	}
 }
 
+// prepKey is the content address of one prepared-scenario cache entry:
+// the declarative spec plus the registered kind's builder fingerprint,
+// so two builder revisions that accept the same spec fields can never
+// alias each other's cached graphs.
+type prepKey struct {
+	spec GraphSpec
+	fp   string
+}
+
 // preparedFor returns the cache entry for spec, building it on first
 // use. Concurrent callers for the same fingerprint share one build.
 func (e *Engine) preparedFor(spec GraphSpec) *preparedGraph {
-	v, loaded := e.prepCache.Load(spec)
+	key := prepKey{spec: spec}
+	if k, ok := registry.LookupGraph(spec.Kind); ok {
+		key.fp = k.Fingerprint
+	}
+	v, loaded := e.prepCache.Load(key)
 	if !loaded {
-		v, loaded = e.prepCache.LoadOrStore(spec, &preparedGraph{})
+		v, loaded = e.prepCache.LoadOrStore(key, &preparedGraph{})
 	}
 	if loaded {
 		e.cacheHits.Add(1)
@@ -255,11 +272,13 @@ func engineOver(env *Env) *Engine {
 func (e *Engine) Env() *Env { return e.env }
 
 // ensureCovered makes sure the catalog's integrality guarantee applies
-// to g. Verified catalogs recognize structurally identical family
+// to g; desc names the graph in the failure (the compact GraphSpec
+// string for declarative scenarios, the graph's own name for
+// instances). Verified catalogs recognize structurally identical family
 // members (so scenario-rebuilt graphs cost nothing); genuinely new
 // graphs either extend the family or fail, per WithAutoExtend. Formula
 // catalogs cover probabilistically and always pass.
-func (e *Engine) ensureCovered(g *Graph) error {
+func (e *Engine) ensureCovered(g *Graph, desc string) error {
 	v, ok := e.env.Catalog().(*uxs.Verified)
 	if !ok {
 		return nil
@@ -270,8 +289,8 @@ func (e *Engine) ensureCovered(g *Graph) error {
 		return nil
 	}
 	if !e.autoExtend {
-		return fmt.Errorf("graph %v (n=%d, family max %d): %w",
-			g, g.N(), v.MaxN(), ErrCatalogUncovered)
+		return fmt.Errorf("graph %s (n=%d, family max %d): %w",
+			desc, g.N(), v.MaxN(), ErrCatalogUncovered)
 	}
 	v.Extend(g)
 	// Extension re-verifies sequences over the grown family, which can
@@ -282,8 +301,9 @@ func (e *Engine) ensureCovered(g *Graph) error {
 	return nil
 }
 
-// Result is the outcome of one scenario execution. Exactly one of the
-// per-kind fields is non-nil, matching Scenario.Kind.
+// Result is the outcome of one scenario execution. For the built-in
+// kinds exactly one of the typed per-kind fields is non-nil, matching
+// Scenario.Kind; custom registered kinds report through Custom.
 type Result struct {
 	Scenario   Scenario
 	Rendezvous *RendezvousResult
@@ -291,6 +311,10 @@ type Result struct {
 	ESST       *ESSTResult
 	SGL        *SGLResult
 	Cert       *CertResult
+	// Custom carries the result of a kind registered with
+	// RegisterScenarioKind; its concrete type is whatever the kind's
+	// runner chose to return.
+	Custom any
 }
 
 // prepare builds, validates and catalog-covers a scenario, returning
@@ -309,7 +333,7 @@ func (e *Engine) prepare(sc Scenario) (*Graph, Adversary, *trajectory.RouteBook,
 		if err := sc.validateWith(pg.g); err != nil {
 			return nil, nil, nil, err
 		}
-		if err := pg.cover(e); err != nil {
+		if err := pg.cover(e, sc.Graph); err != nil {
 			return nil, nil, nil, err
 		}
 		adv, err := sc.resolveAdversary()
@@ -325,7 +349,11 @@ func (e *Engine) prepare(sc Scenario) (*Graph, Adversary, *trajectory.RouteBook,
 	if err := sc.validateWith(g); err != nil {
 		return nil, nil, nil, err
 	}
-	if err := e.ensureCovered(g); err != nil {
+	desc := g.String()
+	if sc.GraphInstance == nil {
+		desc = sc.Graph.String()
+	}
+	if err := e.ensureCovered(g, desc); err != nil {
 		return nil, nil, nil, err
 	}
 	adv, err := sc.resolveAdversary()
@@ -349,10 +377,11 @@ func (e *Engine) Run(ctx context.Context, sc Scenario) (*Result, error) {
 }
 
 // runPrepared executes a scenario whose graph, validity and catalog
-// coverage prepare has already resolved. A non-nil routes book (cached
-// declarative specs) makes the deterministic kinds — rendezvous,
-// baseline, certify — replay materialized routes instead of re-deriving
-// their trajectories.
+// coverage prepare has already resolved, by dispatching to the kind's
+// registered runner. A non-nil routes book (cached declarative specs)
+// makes the deterministic built-in kinds — rendezvous, baseline,
+// certify — replay materialized routes instead of re-deriving their
+// trajectories.
 func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adversary, routes *trajectory.RouteBook) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -360,104 +389,20 @@ func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adv
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("scenario %q: %w (%w)", sc.Name, ErrCanceled, err)
 	}
-	opts := sched.RunOpts{Ctx: ctx, Observer: e.obs, ForceBlocking: e.forceBlocking}
-	res := &Result{Scenario: sc}
-
-	// finish maps scheduler-level outcomes to the typed sentinels. A
-	// run that reached its goal succeeds even if the context fired just
-	// afterwards (the result is complete; cancellation only matters for
-	// work cut short). Only a run that actually consumed its budget
-	// reports ErrBudgetExhausted — a goal missed because the adversary
-	// rested or every agent halted would not be cured by a larger
-	// budget, so it gets a distinct error.
-	finish := func(sum Summary, goalMet bool, miss string) error {
-		if goalMet {
-			return nil
-		}
-		if sum.Canceled {
-			return fmt.Errorf("scenario %q: %w (%w)", sc.Name, ErrCanceled, ctx.Err())
-		}
-		if sum.Exhausted {
-			return fmt.Errorf("scenario %q: %s within %d events: %w",
-				sc.Name, miss, sc.Budget, ErrBudgetExhausted)
-		}
-		return fmt.Errorf("scenario %q: %s after %d of %d events: run ended early (adversary rested or agents halted)",
-			sc.Name, miss, sum.Steps, sc.Budget)
-	}
-
-	switch sc.Kind {
-	case ScenarioRendezvous:
-		s1 := e.masterStepper(routes, g, sc.Starts[0], sc.Labels[0])
-		s2 := e.masterStepper(routes, g, sc.Starts[1], sc.Labels[1])
-		r, err := core.RendezvousSteppers(opts, g, sc.Starts[0], sc.Starts[1],
-			sc.Labels[0], sc.Labels[1], e.env, adv, sc.Budget, s1, s2,
-			e.piBound(g.N(), sc.Labels[0], sc.Labels[1]))
-		if err != nil {
-			return nil, err
-		}
-		res.Rendezvous = r
-		return res, finish(r.Summary, r.Met, "no meeting")
-	case ScenarioBaseline:
-		s1 := e.baselineStepper(routes, g, sc.Starts[0], sc.Labels[0])
-		s2 := e.baselineStepper(routes, g, sc.Starts[1], sc.Labels[1])
-		r, err := baseline.RendezvousSteppers(opts, g, sc.Starts[0], sc.Starts[1],
-			sc.Labels[0], sc.Labels[1], e.env, adv, sc.Budget, s1, s2)
-		if err != nil {
-			return nil, err
-		}
-		res.Baseline = r
-		return res, finish(r.Summary, r.Met, "no meeting")
-	case ScenarioESST:
-		r, err := esst.ExploreWith(opts, g, sc.Starts[0], sc.Starts[1],
-			e.env.Catalog(), adv, sc.Budget)
-		if err != nil {
-			return nil, err
-		}
-		res.ESST = r
-		return res, finish(r.Summary, r.Done, "exploration did not terminate")
-	case ScenarioSGL:
-		r, err := sgl.Run(sgl.Config{
-			Graph:         g,
-			Starts:        sc.Starts,
-			Labels:        sc.Labels,
-			Values:        sc.Values,
-			Env:           e.env,
-			Adversary:     adv,
-			MaxSteps:      sc.Budget,
-			Context:       ctx,
-			Observer:      e.obs,
-			ForceBlocking: e.forceBlocking,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.SGL = r
-		return res, finish(r.Summary, r.AllOutput, "not all agents output")
-	case ScenarioCertify:
-		if routes != nil {
-			// The certifier consumes the same master trajectories the
-			// rendezvous agents walk, as node-route prefixes; the cached
-			// routes serve both.
-			ra := e.masterRoute(routes, sc.Starts[0], sc.Labels[0], sc.Moves)
-			rb := e.masterRoute(routes, sc.Starts[1], sc.Labels[1], sc.Moves)
-			r, err := core.CertifyRoutes(opts, ra, rb, sc.Labels[0], sc.Labels[1])
-			if err != nil {
-				return nil, err
-			}
-			res.Cert = &r
-			return res, nil
-		}
-		r, err := core.CertifyInstanceWith(opts, g, sc.Starts[0], sc.Starts[1],
-			sc.Labels[0], sc.Labels[1], e.env, sc.Moves)
-		if err != nil {
-			return nil, err
-		}
-		res.Cert = &r
-		return res, nil
-	default:
-		// Unreachable: Validate rejects unknown kinds.
+	def, ok := lookupScenarioKind(sc.Kind)
+	if !ok {
+		// Unreachable through prepare: Validate rejects unregistered
+		// kinds.
 		return nil, fmt.Errorf("scenario %q: unknown kind %q: %w", sc.Name, sc.Kind, ErrInvalidScenario)
 	}
+	return def.Run(&ScenarioRunContext{
+		Context:   ctx,
+		Engine:    e,
+		Scenario:  sc,
+		Graph:     g,
+		Adversary: adv,
+		routes:    routes,
+	})
 }
 
 // masterStepper returns the rendezvous master trajectory for (start,
@@ -608,6 +553,11 @@ func (e *Engine) piBound(n int, l1, l2 Label) *big.Int {
 // report is complete even when oracles fail — check Report.OK, and
 // replay any failure with ReplayCell and its reported seed string.
 //
+// Sweep is a fold over SweepStream: it consumes the same per-cell
+// results the streaming primitive yields and aggregates them
+// order-independently, so the two views of a campaign can never
+// disagree.
+//
 // The error is non-nil only for a malformed spec; per-run failures are
 // data, not errors.
 func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepReport, error) {
@@ -615,96 +565,181 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepReport, error
 	// pre-pass: a pre-pass that extends the catalog changes sequence
 	// lengths, and the bound oracles must judge against the catalog
 	// state the cells actually run under.
-	return e.sweepStream(ctx, spec, func() []SweepOracle {
-		return campaign.DefaultOracles(e.BoundModel())
-	})
+	return e.sweepReport(ctx, spec, e.defaultOracles)
 }
 
 // SweepWithOracles is Sweep with an explicit oracle suite, for callers
 // that add domain-specific predicates (or inject failing ones to test
 // the replay loop).
-//
-// The sweep streams: cells are expanded one at a time into a bounded
-// channel, and each worker prepares (through the prepared-scenario
-// cache), executes and oracle-judges its cell inline before folding the
-// result into the running aggregate — a million-cell campaign runs in
-// memory proportional to the worker pool and the report, not the cell
-// count. A pre-pass resolves every unique graph's build and catalog
-// coverage before the first run, so no catalog extension lands
-// mid-flight (the invariant RunBatch establishes with its sequential
-// pre-flight).
 func (e *Engine) SweepWithOracles(ctx context.Context, spec SweepSpec, oracles ...SweepOracle) (*SweepReport, error) {
-	return e.sweepStream(ctx, spec, func() []SweepOracle { return oracles })
+	return e.sweepReport(ctx, spec, func() []SweepOracle { return oracles })
 }
 
-// sweepStream is the streaming sweep pipeline behind Sweep and
-// SweepWithOracles. mkOracles runs after the graph pre-pass, so suites
-// derived from the engine's catalog (Sweep's default) bind to the
-// catalog state every cell executes under.
-func (e *Engine) sweepStream(ctx context.Context, spec SweepSpec, mkOracles func() []SweepOracle) (*SweepReport, error) {
-	if ctx == nil {
-		ctx = context.Background()
+// SweepStream executes a campaign and yields each cell's judged result
+// as it completes — the streaming primitive Sweep folds over. Use it to
+// consume, checkpoint, forward or abort a large campaign incrementally
+// instead of holding a full SweepReport's failure list in memory:
+//
+//	for cr, err := range eng.SweepStream(ctx, spec) {
+//		if err != nil {
+//			return err // malformed spec; nothing was executed
+//		}
+//		if cr.Failed() {
+//			log.Printf("cell %s failed: replay with %q", cr.Cell.ID, cr.Cell.Seed)
+//		}
+//	}
+//
+// Results arrive in completion order, not expansion order (cells carry
+// their Index for re-ordering); an order-independent fold over the
+// stream — campaign.Aggregator is one — reproduces Engine.Sweep's
+// report exactly. Breaking out of the range stops the sweep: in-flight
+// cells finish and are discarded, queued cells are never executed.
+// Cells are judged with the default paper-bound oracle suite; use
+// SweepStreamWithOracles to substitute another.
+//
+// The error is non-nil (and the stream ends) only for a malformed
+// spec; per-cell failures are data on the SweepCellResult.
+func (e *Engine) SweepStream(ctx context.Context, spec SweepSpec) iter.Seq2[SweepCellResult, error] {
+	return e.sweepSeq(ctx, spec, e.defaultOracles)
+}
+
+// SweepStreamWithOracles is SweepStream with an explicit oracle suite.
+func (e *Engine) SweepStreamWithOracles(ctx context.Context, spec SweepSpec, oracles ...SweepOracle) iter.Seq2[SweepCellResult, error] {
+	return e.sweepSeq(ctx, spec, func() []SweepOracle { return oracles })
+}
+
+// defaultOracles builds the paper-bound suite against the engine's
+// current catalog state — always called after the sweep pre-pass, so
+// the bounds judge the sequence lengths the cells actually ran under.
+func (e *Engine) defaultOracles() []SweepOracle {
+	return campaign.DefaultOracles(e.BoundModel())
+}
+
+// sweepReport folds the streaming sweep into an aggregate report (the
+// order-independent fold that makes Sweep and SweepStream agree).
+func (e *Engine) sweepReport(ctx context.Context, spec SweepSpec, mkOracles func() []SweepOracle) (*SweepReport, error) {
+	agg := campaign.NewAggregator(spec, nil)
+	for cr, err := range e.sweepSeq(ctx, spec, mkOracles) {
+		if err != nil {
+			return nil, err
+		}
+		agg.Add(cr)
 	}
-	total, err := CountSweep(spec)
+	return agg.Report(), nil
+}
+
+// sweepPrepass warms build + coverage for each unique graph of the
+// spec, in axis order, before any run is in flight — so no catalog
+// extension lands mid-sweep (the invariant RunBatch establishes with
+// its sequential pre-flight). Build failures are not errors here: the
+// cells of a broken axis each report Invalid, judged by the
+// termination oracle.
+func (e *Engine) sweepPrepass(spec SweepSpec) {
+	gspecs, err := sweepGraphSpecs(spec)
 	if err != nil {
-		return nil, err
+		return
 	}
-	// Pre-pass: warm build + coverage for each unique graph, in axis
-	// order. Build failures are not errors here — the cells of a broken
-	// axis each report Invalid, judged by the termination oracle.
-	if gspecs, err := sweepGraphSpecs(spec); err == nil {
-		for _, gs := range gspecs {
-			if e.usePrepCache {
-				if pg := e.preparedFor(gs); pg.buildErr == nil {
-					pg.cover(e) //nolint:errcheck // memoized; cells report it
+	for _, gs := range gspecs {
+		if e.usePrepCache {
+			if pg := e.preparedFor(gs); pg.buildErr == nil {
+				pg.cover(e, gs) //nolint:errcheck // memoized; cells report it
+			}
+		} else if g, err := gs.Build(); err == nil {
+			e.ensureCovered(g, gs.String()) //nolint:errcheck // re-derived per cell
+		}
+	}
+}
+
+// sweepSeq is the streaming sweep pipeline behind Sweep, SweepStream
+// and their WithOracles variants: cells are expanded one at a time into
+// a bounded channel, each worker prepares (through the prepared-
+// scenario cache), executes and oracle-judges its cell inline, and the
+// judged results are yielded to the consumer as they complete — a
+// million-cell campaign runs in memory proportional to the worker pool,
+// not the cell count. mkOracles runs after the graph pre-pass, so
+// suites derived from the engine's catalog (the default) bind to the
+// catalog state every cell executes under.
+func (e *Engine) sweepSeq(ctx context.Context, spec SweepSpec, mkOracles func() []SweepOracle) iter.Seq2[SweepCellResult, error] {
+	return func(yield func(SweepCellResult, error) bool) {
+		runCtx := ctx
+		if runCtx == nil {
+			runCtx = context.Background()
+		}
+		total, err := CountSweep(spec)
+		if err != nil {
+			yield(SweepCellResult{}, err)
+			return
+		}
+		e.sweepPrepass(spec)
+		oracles := mkOracles()
+		workers := e.parallelism
+		if workers > total {
+			workers = total
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		// stop tears the pipeline down when the consumer breaks out of
+		// the range early: the producer quits, and workers abandon
+		// results nobody will read.
+		stop := make(chan struct{})
+		defer close(stop)
+		cellCh := make(chan SweepCell, 2*workers)
+		resCh := make(chan SweepCellResult, 2*workers)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for cell := range cellCh {
+					cr := e.runCell(runCtx, cell, oracles)
+					select {
+					case resCh <- cr:
+					case <-stop:
+						return
+					}
 				}
-			} else if g, err := gs.Build(); err == nil {
-				e.ensureCovered(g) //nolint:errcheck // re-derived per cell
+			}()
+		}
+		go func() {
+			defer close(cellCh)
+			// The walk only fails on validation errors, which CountSweep
+			// ruled out above.
+			WalkSweep(spec, func(c SweepCell) bool { //nolint:errcheck // validated above
+				select {
+				case cellCh <- c:
+					return true
+				case <-stop:
+					return false
+				}
+			})
+		}()
+		go func() {
+			wg.Wait()
+			close(resCh)
+		}()
+		for cr := range resCh {
+			if !yield(cr, nil) {
+				return
 			}
 		}
 	}
-	oracles := mkOracles()
-	workers := e.parallelism
-	if workers > total {
-		workers = total
+}
+
+// runCell prepares, executes and oracle-judges one sweep cell — the
+// worker body of the streaming pipeline, and exactly the sequence
+// ReplayCell performs for one seed string.
+func (e *Engine) runCell(ctx context.Context, cell SweepCell, oracles []SweepOracle) SweepCellResult {
+	sc := CellScenario(cell)
+	br := BatchResult{Index: cell.Index, Scenario: sc}
+	g, adv, routes, err := e.prepare(sc)
+	if err != nil {
+		br.Err = err
+	} else {
+		br.Graph = g
+		br.Result, br.Err = e.runPrepared(ctx, sc, g, adv, routes)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	agg := campaign.NewAggregator(spec, nil)
-	var aggMu sync.Mutex
-	cellCh := make(chan SweepCell, 2*workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for cell := range cellCh {
-				sc := CellScenario(cell)
-				br := BatchResult{Index: cell.Index, Scenario: sc}
-				g, adv, routes, err := e.prepare(sc)
-				if err != nil {
-					br.Err = err
-				} else {
-					br.Graph = g
-					br.Result, br.Err = e.runPrepared(ctx, sc, g, adv, routes)
-				}
-				cr := e.judge(cell, br, oracles)
-				aggMu.Lock()
-				agg.Add(cr)
-				aggMu.Unlock()
-			}
-		}()
-	}
-	// The producer streams the expansion directly into the channel; the
-	// walk only fails on validation errors, which CountSweep ruled out.
-	WalkSweep(spec, func(c SweepCell) bool { //nolint:errcheck // validated above
-		cellCh <- c
-		return true
-	})
-	close(cellCh)
-	wg.Wait()
-	return agg.Report(), nil
+	return e.judge(cell, br, oracles)
 }
 
 // judge classifies one batch result and runs the oracle suite over it.
@@ -728,9 +763,7 @@ func (e *Engine) ReplayCell(ctx context.Context, spec SweepSpec, seed string) (*
 	// Like Sweep, the default suite binds after the run's preparation:
 	// replaying a cell whose graph extends the catalog must judge
 	// against the post-extension sequence lengths the run used.
-	return e.replayCell(ctx, spec, seed, func() []SweepOracle {
-		return campaign.DefaultOracles(e.BoundModel())
-	})
+	return e.replayCell(ctx, spec, seed, e.defaultOracles)
 }
 
 // ReplayCellWithOracles is ReplayCell with an explicit oracle suite.

@@ -1,0 +1,17 @@
+package main
+
+import "os"
+
+// Example executes the whole extension walkthrough — registration, a
+// custom-kind run, and a streamed sweep — so CI both compiles and runs
+// it on every push. The pinned output doubles as a determinism check:
+// registration, cache accounting and sweep outcomes may not drift.
+func Example() {
+	if err := run(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// pursuit on wheel/8: distance 2
+	// sweep: 8 cells, 7 met, 0 oracle failures
+	// cache: 2 graph builds, 9 preparations served from cache
+}

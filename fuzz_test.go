@@ -35,6 +35,15 @@ func FuzzScenarioFromJSON(f *testing.F) {
 	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"path","n":4},"starts":[0,0],"labels":[1,1],"budget":-5}`))
 	f.Add([]byte(`{"kind":"sgl","graph":{"kind":"path","n":4},"starts":[0,3],"labels":[1],"values":["a","b"],"budget":1}`))
 	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"path","n":4},"starts":[0,3],"labels":[2,5],"budget":9,"adversary":"biased:1,5,9"}`))
+	// Registered extensions (the test suite's custom kinds/adversaries)
+	// and the latewake agent parameter must hold the same contract.
+	f.Add([]byte(`{"kind":"testprobe","graph":{"kind":"testwheel","n":6},"starts":[1,3],"labels":[2,5],"budget":100}`))
+	f.Add([]byte(`{"kind":"testprobe","graph":{"kind":"testwheel","n":3},"starts":[0,1],"labels":[1,2],"budget":1}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"testwheel","n":2049},"starts":[0,1],"labels":[1,2],"budget":1}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"path","n":4},"starts":[0,3],"labels":[2,5],"budget":9,"adversary":"testfavor:1"}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"path","n":4},"starts":[0,3],"labels":[2,5],"budget":9,"adversary":"testflake:x"}`))
+	f.Add([]byte(`{"kind":"esst","graph":{"kind":"ring","n":4},"starts":[0,2],"budget":9,"adversary":"latewake:50:1"}`))
+	f.Add([]byte(`{"kind":"rendezvous","graph":{"kind":"path","n":4},"starts":[0,3],"labels":[2,5],"budget":9,"adversary":"latewake:50:9"}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc, err := ScenarioFromJSON(data)
 		if err != nil {
@@ -60,7 +69,12 @@ func FuzzParseAdversary(f *testing.F) {
 		"random", "random:7", "random:-9223372036854775808",
 		"biased", "biased:1,5", "biased:0,0", "biased:1,-2", "biased:,",
 		"latewake", "late-wake:200", "latewake:-1", "latewake:99999999999999999999",
+		"latewake:50:1", "late-wake:50:0", "latewake:5:-1", "latewake:1:2:3", "latewake::",
 		"chaos", ":", "random:", "biased:",
+		// Registered extensions parse through the same registry path and
+		// must hold the same typed-error contract as built-ins.
+		"testflake", "testflake:9", "testflake:nope",
+		"testfavor", "testfavor:1", "testfavor:-1", "testfavor:x",
 	} {
 		f.Add(s)
 	}

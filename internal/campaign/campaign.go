@@ -21,11 +21,14 @@ import (
 	"strconv"
 	"strings"
 
+	"meetpoly/internal/registry"
 	"meetpoly/internal/uxs"
 )
 
-// Scenario kind names, mirroring the root package's ScenarioKind values
-// (an internal package cannot import the root facade).
+// Scenario kind names of the built-in kinds, mirroring the root
+// package's ScenarioKind values (an internal package cannot import the
+// root facade). Custom kinds registered through the root package's
+// RegisterScenarioKind are sweepable by their registered name.
 const (
 	KindRendezvous = "rendezvous"
 	KindBaseline   = "baseline"
@@ -34,17 +37,21 @@ const (
 	KindCertify    = "certify"
 )
 
-// AllKinds lists every sweepable scenario kind.
+// AllKinds lists the built-in scenario kinds in canonical sweep order —
+// the default Kinds axis. Custom registered kinds are deliberately not
+// included (a spec that omits Kinds must expand identically on every
+// machine, regardless of which extensions are linked in); name them
+// explicitly to sweep them.
 func AllKinds() []string {
-	return []string{KindRendezvous, KindBaseline, KindESST, KindSGL, KindCertify}
+	return registry.BuiltinKinds()
 }
 
 // MaxSpecNodes caps the node count a declarative graph descriptor may
-// request. The root package's GraphSpec enforces the same cap (it
-// aliases this constant), so spec validation and scenario validation
-// agree: a Spec that passes Validate never expands into cells the
-// engine rejects for size.
-const MaxSpecNodes = 2048
+// request. The root package's GraphSpec and every registered graph
+// kind's sizing enforce the same cap (all alias the registry constant),
+// so spec validation and scenario validation agree: a Spec that passes
+// Validate never expands into cells the engine rejects for size.
+const MaxSpecNodes = registry.MaxSpecNodes
 
 // MaxCells caps the number of cells a spec may expand into. A sweep
 // spec is user input like any other declarative descriptor, and without
@@ -52,50 +59,16 @@ const MaxSpecNodes = 2048
 // 2^18 cells is two orders of magnitude beyond the acceptance campaign.
 const MaxCells = 1 << 18
 
-// maxHypercubeDim is the largest hypercube dimension under the cap
-// (2^11 = 2048).
-const maxHypercubeDim = 11
-
 // NodeCount resolves the node count a declarative graph descriptor of
-// the given kind requests, enforcing MaxSpecNodes (dimensions are
-// checked individually before multiplying, so oversized inputs cannot
-// overflow). It is the single sizing formula shared by campaign axis
-// validation and the root package's GraphSpec, so the two can never
-// disagree about which descriptors fit under the cap. Lower bounds
-// (path >= 2, grid rows >= 1, ...) remain with the builders and axis
-// validation; n < 1 for hypercube resolves to 0 and is left for them
-// to reject.
+// the given kind requests, through the kind's registered sizing
+// (registry.GraphNodeCount, which enforces MaxSpecNodes): one formula
+// shared by campaign axis validation, the root package's GraphSpec and
+// custom registered kinds, so the layers can never disagree about which
+// descriptors fit under the cap. Lower bounds (path >= 2, grid rows >=
+// 1, ...) remain with the kinds' axis checks; n < 1 for hypercube
+// resolves to 0 and is left for them to reject.
 func NodeCount(kind string, n, rows, cols int) (int, error) {
-	switch kind {
-	case "grid", "torus":
-		if rows < 0 || cols < 0 || rows > MaxSpecNodes || cols > MaxSpecNodes || rows*cols > MaxSpecNodes {
-			return 0, fmt.Errorf("%s %dx%d exceeds the %d-node spec cap", kind, rows, cols, MaxSpecNodes)
-		}
-		return rows * cols, nil
-	case "lollipop":
-		// Check each dimension before summing: the sum of two near-max
-		// ints overflows negative and would sneak past the cap.
-		if rows < 0 || cols < 0 || rows > MaxSpecNodes || cols > MaxSpecNodes || rows+cols > MaxSpecNodes {
-			return 0, fmt.Errorf("lollipop %d+%d exceeds the %d-node spec cap", rows, cols, MaxSpecNodes)
-		}
-		return rows + cols, nil
-	case "hypercube":
-		if n > maxHypercubeDim {
-			return 0, fmt.Errorf("hypercube dimension %d exceeds the cap of %d (2^%d = %d nodes)",
-				n, maxHypercubeDim, maxHypercubeDim, MaxSpecNodes)
-		}
-		if n < 1 {
-			return 0, nil
-		}
-		return 1 << n, nil
-	case "petersen":
-		return 10, nil
-	default:
-		if n > MaxSpecNodes {
-			return 0, fmt.Errorf("%s size %d exceeds the %d-node spec cap", kind, n, MaxSpecNodes)
-		}
-		return n, nil
-	}
+	return registry.GraphNodeCount(kind, n, rows, cols)
 }
 
 // Spec declaratively describes a campaign: the axes whose cross product
@@ -226,16 +199,13 @@ func (s Spec) Validate() error {
 	if len(s.Graphs) == 0 {
 		return fmt.Errorf("campaign: spec needs at least one graph axis")
 	}
-	known := make(map[string]bool)
-	for _, k := range AllKinds() {
-		known[k] = true
-	}
 	needsBudget := false
 	for _, k := range s.Kinds {
-		if !known[k] {
+		meta, ok := registry.LookupKindMeta(k)
+		if !ok {
 			return fmt.Errorf("campaign: unknown scenario kind %q", k)
 		}
-		if k != KindCertify {
+		if meta.UsesBudget {
 			needsBudget = true
 		}
 	}
@@ -254,17 +224,20 @@ func (s Spec) Validate() error {
 		graphCells += len(cs)
 	}
 	// Project the expanded cell count with saturating arithmetic so
-	// oversized axes cannot overflow their way past the cap.
+	// oversized axes cannot overflow their way past the cap. The axis
+	// shape comes from each kind's registered metadata: the label axis
+	// applies to labeled kinds, the adversary axis to scheduled ones.
 	perGraph := 0
 	for _, k := range s.Kinds {
-		switch k {
-		case KindESST:
-			perGraph = satAdd(perGraph, satMul(s.StartPairs, len(s.Adversaries)))
-		case KindCertify:
-			perGraph = satAdd(perGraph, satMul(s.StartPairs, s.LabelPairs))
-		default:
-			perGraph = satAdd(perGraph, satMul(satMul(s.StartPairs, s.LabelPairs), len(s.Adversaries)))
+		meta, _ := registry.LookupKindMeta(k)
+		per := s.StartPairs
+		if meta.Labeled {
+			per = satMul(per, s.LabelPairs)
 		}
+		if meta.UsesAdversary {
+			per = satMul(per, len(s.Adversaries))
+		}
+		perGraph = satAdd(perGraph, per)
 	}
 	if total := satMul(graphCells, perGraph); total > MaxCells {
 		return fmt.Errorf("campaign: spec expands to %d cells, over the %d-cell cap", total, MaxCells)
@@ -299,105 +272,81 @@ func satAdd(a, b int) int {
 	return s
 }
 
-// cells collapses the axis into resolved graph cells.
+// cells collapses the axis into resolved graph cells. The axis shape
+// (sized families vs fixed rows×cols descriptors), minimum sizes, and
+// derived defaults all come from the kind's registry entry, so a custom
+// registered kind sweeps exactly like a built-in.
 func (ga GraphAxis) cells() ([]GraphParams, error) {
+	k, ok := registry.LookupGraph(ga.Kind)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown graph kind %q", ga.Kind)
+	}
 	// finish applies the defaults every resolved cell shares: the
-	// family shuffle seed, so zero-seed shuffled cells are recognized
-	// by a default verified catalog without extending it.
+	// kind's own axis defaults (family seeds, edge probability), then
+	// the family shuffle seed, so zero-seed shuffled cells are
+	// recognized by a default verified catalog without extending it.
 	finish := func(p GraphParams) GraphParams {
+		if k.AxisDefaults != nil {
+			rp := p.registryParams()
+			k.AxisDefaults(&rp)
+			p.N, p.Rows, p.Cols, p.P, p.Seed = rp.N, rp.Rows, rp.Cols, rp.P, rp.Seed
+		}
 		if ga.Shuffle && p.Seed == 0 {
 			p.Seed = uxs.DefaultShuffleSeed(p.Nodes)
 		}
 		return p
 	}
-	sized := func(n int) (GraphParams, error) {
-		nodes, err := NodeCount(ga.Kind, n, 0, 0)
-		if err != nil {
-			return GraphParams{}, fmt.Errorf("campaign: %v", err)
-		}
-		p := GraphParams{Kind: ga.Kind, N: n, P: ga.P, Seed: ga.Seed, Shuffle: ga.Shuffle, Nodes: nodes}
-		switch ga.Kind {
-		case "path":
-			if n < 2 {
-				return p, fmt.Errorf("campaign: path needs size >= 2, got %d", n)
-			}
-		case "ring", "star", "clique", "complete", "bintree":
-			if n < 3 {
-				return p, fmt.Errorf("campaign: %s needs size >= 3, got %d", ga.Kind, n)
-			}
-		case "tree":
-			if n < 2 {
-				return p, fmt.Errorf("campaign: tree needs size >= 2, got %d", n)
-			}
-			if p.Seed == 0 {
-				p.Seed = uxs.DefaultTreeSeed(n)
-			}
-		case "random":
-			if n < 2 {
-				return p, fmt.Errorf("campaign: random needs size >= 2, got %d", n)
-			}
-			if p.P == 0 {
-				p.P = uxs.DefaultRandomP
-			}
-			if p.Seed == 0 {
-				p.Seed = uxs.DefaultRandomSeed(n)
-			}
-		case "hypercube":
-			if n < 1 {
-				return p, fmt.Errorf("campaign: hypercube dimension %d out of range", n)
-			}
-		default:
-			return p, fmt.Errorf("campaign: graph kind %q does not take sizes", ga.Kind)
-		}
-		return finish(p), nil
-	}
-	fixed := func() ([]GraphParams, error) {
-		nodes, err := NodeCount(ga.Kind, 0, ga.Rows, ga.Cols)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: %v", err)
-		}
-		p := GraphParams{Kind: ga.Kind, Rows: ga.Rows, Cols: ga.Cols,
-			P: ga.P, Seed: ga.Seed, Shuffle: ga.Shuffle, Nodes: nodes}
-		return []GraphParams{finish(p)}, nil
-	}
-	switch ga.Kind {
-	case "grid", "torus":
-		if ga.Rows < 1 || ga.Cols < 1 || ga.Rows*ga.Cols < 2 {
-			return nil, fmt.Errorf("campaign: %s needs rows and cols (got %dx%d)", ga.Kind, ga.Rows, ga.Cols)
-		}
-		return fixed()
-	case "lollipop":
-		if ga.Rows < 2 || ga.Cols < 1 {
-			return nil, fmt.Errorf("campaign: lollipop needs clique size (rows) >= 2 and tail (cols) >= 1")
-		}
-		return fixed()
-	case "petersen":
-		return fixed()
-	default:
+	if k.Sized {
 		if len(ga.Sizes) == 0 {
 			return nil, fmt.Errorf("campaign: graph axis %q needs sizes", ga.Kind)
 		}
 		out := make([]GraphParams, 0, len(ga.Sizes))
 		for _, n := range ga.Sizes {
-			p, err := sized(n)
+			nodes, err := k.NodeCount(n, 0, 0)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("campaign: %v", err)
 			}
-			out = append(out, p)
+			if k.CheckAxis != nil {
+				if err := k.CheckAxis(ga.Kind, n, 0, 0); err != nil {
+					return nil, fmt.Errorf("campaign: %v", err)
+				}
+			}
+			p := GraphParams{Kind: ga.Kind, N: n, P: ga.P, Seed: ga.Seed, Shuffle: ga.Shuffle, Nodes: nodes}
+			out = append(out, finish(p))
 		}
 		return out, nil
 	}
+	if k.CheckAxis != nil {
+		if err := k.CheckAxis(ga.Kind, 0, ga.Rows, ga.Cols); err != nil {
+			return nil, fmt.Errorf("campaign: %v", err)
+		}
+	}
+	nodes, err := k.NodeCount(0, ga.Rows, ga.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %v", err)
+	}
+	p := GraphParams{Kind: ga.Kind, Rows: ga.Rows, Cols: ga.Cols,
+		P: ga.P, Seed: ga.Seed, Shuffle: ga.Shuffle, Nodes: nodes}
+	return []GraphParams{finish(p)}, nil
 }
 
-// axisLabel renders the graph cell identity for cell IDs.
+// registryParams converts the resolved cell to the registry's shared
+// parameter form (for kind hooks).
+func (p GraphParams) registryParams() registry.GraphParams {
+	return registry.GraphParams{Kind: p.Kind, N: p.N, Rows: p.Rows, Cols: p.Cols,
+		P: p.P, Seed: p.Seed, Shuffle: p.Shuffle}
+}
+
+// axisLabel renders the graph cell identity for cell IDs. The shape is
+// registry-agnostic: rows×cols descriptors label as "-RxC", sized ones
+// as "-N", and dimensionless kinds (petersen) as the bare name.
 func (p GraphParams) axisLabel() string {
 	var sb strings.Builder
 	sb.WriteString(p.Kind)
-	switch p.Kind {
-	case "grid", "torus", "lollipop":
+	switch {
+	case p.Rows != 0 || p.Cols != 0:
 		fmt.Fprintf(&sb, "-%dx%d", p.Rows, p.Cols)
-	case "petersen":
-	default:
+	case p.N != 0:
 		fmt.Fprintf(&sb, "-%d", p.N)
 	}
 	if p.Shuffle {
@@ -433,8 +382,12 @@ func ParseCellSeed(seed string) (master string, index int, err error) {
 	return seed[:i], idx, nil
 }
 
-// labeledKind reports whether the kind takes agent labels.
-func labeledKind(kind string) bool { return kind != KindESST }
+// kindMeta resolves a kind's registered campaign metadata. Walk
+// validates the spec first, so lookups cannot miss.
+func kindMeta(kind string) registry.KindMeta {
+	m, _ := registry.LookupKindMeta(kind)
+	return m
+}
 
 // Expand resolves the spec's cross product into concrete cells, in a
 // deterministic order: kind, then graph axis, then size, then start
@@ -510,14 +463,14 @@ func (x *expander) labels(gp GraphParams, sp, lp int) [2]uint64 {
 }
 
 // cell resolves one concrete cell of the cross product.
-func (x *expander) cell(kind string, gp GraphParams, sp, lp int, adversary string) Cell {
+func (x *expander) cell(meta registry.KindMeta, gp GraphParams, sp, lp int, adversary string) Cell {
 	idx := x.index
 	x.index++
 	seed := CellSeed(x.spec.Seed, idx)
 	c := Cell{
 		Index: idx,
 		Seed:  seed,
-		Kind:  kind,
+		Kind:  meta.Name,
 		Graph: gp,
 	}
 	// Instance derivation is keyed on the graph cell and the sp/lp
@@ -528,26 +481,31 @@ func (x *expander) cell(kind string, gp GraphParams, sp, lp int, adversary strin
 	// and what the s<sp>/l<lp> components of the cell ID assert.
 	s := x.starts(gp, sp)
 	c.Starts = []int{s[0], s[1]}
-	if labeledKind(kind) {
+	if meta.Labeled {
 		l := x.labels(gp, sp, lp)
 		c.Labels = []uint64{l[0], l[1]}
 	}
-	switch kind {
-	case KindCertify:
-		c.Moves = x.spec.Moves
-	default:
+	if meta.UsesBudget {
 		c.Budget = x.spec.Budget
 	}
-	if adversary == "random" {
-		// Specialize the bare spec per cell so cells differ.
-		adversary = fmt.Sprintf("random:%d", hash64(seed+"/adv"))
+	if meta.UsesMoves {
+		c.Moves = x.spec.Moves
+	}
+	if name, hasParams := splitAdversary(adversary); !hasParams && name != "" {
+		// Families registered with per-cell seeding (the built-in
+		// "random") specialize a bare spec with a seed derived from the
+		// cell's replay string, so cells differ while each stays
+		// individually replayable.
+		if am, ok := registry.LookupAdversaryMeta(name); ok && am.PerCellSeed {
+			adversary = fmt.Sprintf("%s:%d", name, hash64(seed+"/adv"))
+		}
 	}
 	c.Adversary = adversary
 	advLabel := adversary
 	if advLabel == "" {
 		advLabel = "roundrobin"
 	}
-	c.ID = fmt.Sprintf("%s/%s/s%d/l%d/%s", kind, gp.axisLabel(), sp, lp, advLabel)
+	c.ID = fmt.Sprintf("%s/%s/s%d/l%d/%s", meta.Name, gp.axisLabel(), sp, lp, advLabel)
 	return c
 }
 
@@ -565,6 +523,7 @@ func Walk(spec Spec, yield func(Cell) bool) error {
 		labelMemo: make(map[string][2]uint64),
 	}
 	for _, kind := range spec.Kinds {
+		meta := kindMeta(kind)
 		for _, ga := range spec.Graphs {
 			gps, err := ga.cells()
 			if err != nil {
@@ -573,18 +532,18 @@ func Walk(spec Spec, yield func(Cell) bool) error {
 			for _, gp := range gps {
 				for sp := 0; sp < spec.StartPairs; sp++ {
 					labelPairs := spec.LabelPairs
-					if !labeledKind(kind) {
+					if !meta.Labeled {
 						labelPairs = 1
 					}
 					for lp := 0; lp < labelPairs; lp++ {
-						if kind == KindCertify {
-							if !yield(x.cell(kind, gp, sp, lp, "")) {
+						if !meta.UsesAdversary {
+							if !yield(x.cell(meta, gp, sp, lp, "")) {
 								return nil
 							}
 							continue
 						}
 						for _, adv := range spec.Adversaries {
-							if !yield(x.cell(kind, gp, sp, lp, adv)) {
+							if !yield(x.cell(meta, gp, sp, lp, adv)) {
 								return nil
 							}
 						}
@@ -594,6 +553,15 @@ func Walk(spec Spec, yield func(Cell) bool) error {
 		}
 	}
 	return nil
+}
+
+// splitAdversary splits an adversary spec string into its family name
+// and whether any ':'-separated parameters follow.
+func splitAdversary(spec string) (name string, hasParams bool) {
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		return spec[:i], true
+	}
+	return spec, false
 }
 
 // Graphs returns the resolved graph cells of the spec's axes — the
@@ -632,14 +600,15 @@ func Count(spec Spec) (int, error) {
 	}
 	perGraph := 0
 	for _, k := range spec.Kinds {
-		switch {
-		case k == KindCertify:
-			perGraph += spec.StartPairs * spec.LabelPairs
-		case !labeledKind(k):
-			perGraph += spec.StartPairs * len(spec.Adversaries)
-		default:
-			perGraph += spec.StartPairs * spec.LabelPairs * len(spec.Adversaries)
+		meta := kindMeta(k)
+		per := spec.StartPairs
+		if meta.Labeled {
+			per *= spec.LabelPairs
 		}
+		if meta.UsesAdversary {
+			per *= len(spec.Adversaries)
+		}
+		perGraph += per
 	}
 	return graphCells * perGraph, nil
 }

@@ -56,8 +56,17 @@
 // ErrInvalidScenario, ErrCatalogUncovered and ErrCanceled. Engine.Sweep
 // expands a declarative SweepSpec into thousands of scenarios and
 // checks every run against oracles derived from the paper's cost
-// bounds, with single-seed-string replay for failures. See examples/
-// for runnable programs.
+// bounds, with single-seed-string replay for failures; Engine.SweepStream
+// yields the same judged cells incrementally for campaigns too large to
+// hold as one report.
+//
+// The execution surface is an open world: RegisterGraphKind,
+// RegisterAdversary and RegisterScenarioKind add custom graph families,
+// schedule strategies and whole scenario kinds that flow through every
+// surface above on the same terms as the built-ins (which register
+// through the same calls) — declarative JSON, sweeps, replay seeds and
+// the prepared-scenario cache. See DESIGN.md §4 and examples/customkind
+// for the contracts. See examples/ for runnable programs.
 package meetpoly
 
 import (
@@ -230,6 +239,17 @@ func CostModel(c, d int) *costmodel.Model {
 // Graph builders re-exported for facade users; the full set (grids,
 // tori, hypercubes, lollipops, random graphs, port shuffling, ...) lives
 // in internal/graph.
+
+// GraphBuilder assembles a custom port-numbered graph edge by edge:
+// ports are numbered in insertion order at each endpoint, so a fixed
+// edge sequence always yields the same graph — the determinism custom
+// graph kinds registered with RegisterGraphKind must provide.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph on n nodes. Add edges
+// with AddEdge and finish with Graph(name); the result must be
+// connected to be a valid scenario network.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 
 // Ring returns the oriented cycle on n >= 3 nodes.
 func Ring(n int) *Graph { return graph.Ring(n) }

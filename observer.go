@@ -24,6 +24,24 @@ type FuncObserver = sched.FuncObserver
 // Event is one adversary decision (wake or advance of one agent).
 type Event = sched.Event
 
+// EventKind distinguishes the two adversary decisions.
+type EventKind = sched.EventKind
+
+// The adversary decision kinds, for custom Adversary implementations.
+const (
+	// EventWake starts a dormant agent.
+	EventWake = sched.EventWake
+	// EventAdvance progresses an active agent by one half-step.
+	EventAdvance = sched.EventAdvance
+)
+
+// View is the read-only execution state an Adversary decides from:
+// agent count, per-agent positions and actionability, and the event
+// counter. It is aliased here so custom adversaries registered with
+// RegisterAdversary can implement the Adversary interface from outside
+// this module, not just compose the built-in strategies.
+type View = sched.View
+
 // Meeting is a recorded meeting of two or more agents.
 type Meeting = sched.Meeting
 

@@ -4,13 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"meetpoly/internal/campaign"
 	"meetpoly/internal/graph"
+	"meetpoly/internal/registry"
 	"meetpoly/internal/sched"
-	"meetpoly/internal/uxs"
 )
 
 // ScenarioKind selects which of the paper's algorithms a Scenario runs.
@@ -37,10 +36,13 @@ const (
 // GraphSpec declaratively describes a graph so that scenarios round-trip
 // through JSON. Builders are deterministic: the same spec always yields
 // the same port-numbered graph, which is what lets a shared verified
-// catalog recognize rebuilt family members without re-verification.
+// catalog recognize rebuilt family members without re-verification, and
+// what lets the spec act as the content address of the engine's
+// prepared-scenario cache.
 type GraphSpec struct {
-	// Kind is one of path|ring|star|clique|bintree|tree|random|grid|
-	// torus|hypercube|lollipop|petersen.
+	// Kind names a registered graph kind: one of the built-ins
+	// (path|ring|star|clique|bintree|tree|random|grid|torus|hypercube|
+	// lollipop|petersen) or any kind added with RegisterGraphKind.
 	Kind string `json:"kind"`
 	// N is the node count (ignored for petersen; for hypercube it is
 	// the dimension; for grid/torus/lollipop see Rows/Cols).
@@ -67,125 +69,166 @@ type GraphSpec struct {
 // SweepSpec that validates never expands into cells this check rejects.
 const MaxSpecNodes = campaign.MaxSpecNodes
 
-// Build constructs the described graph. All failures wrap
-// ErrInvalidScenario.
+// String renders the spec compactly for error messages and logs:
+// "ring/64", "grid/3x4", "ring/64?shuffle=7", "random/12?p=0.4&seed=3".
+// Only meaningful fields appear — sized kinds print "/N", rows×cols
+// kinds "/RxC", dimensionless kinds just the name — so a failing spec
+// reads like the descriptor that was written, not a dump of every
+// zero-valued field.
+func (s GraphSpec) String() string {
+	var sb strings.Builder
+	sb.WriteString(s.Kind)
+	switch {
+	case s.Rows != 0 || s.Cols != 0:
+		fmt.Fprintf(&sb, "/%dx%d", s.Rows, s.Cols)
+	case s.N != 0:
+		fmt.Fprintf(&sb, "/%d", s.N)
+	}
+	sep := byte('?')
+	param := func(format string, args ...any) {
+		sb.WriteByte(sep)
+		sep = '&'
+		fmt.Fprintf(&sb, format, args...)
+	}
+	if s.P != 0 {
+		param("p=%g", s.P)
+	}
+	switch {
+	case s.Shuffle:
+		param("shuffle=%d", s.Seed)
+	case s.Seed != 0:
+		param("seed=%d", s.Seed)
+	}
+	return sb.String()
+}
+
+// Build constructs the described graph through the graph-kind registry.
+// All failures wrap ErrInvalidScenario.
 func (s GraphSpec) Build() (g *Graph, err error) {
-	// Size-cap the request before building: campaign.NodeCount is the
+	k, ok := registry.LookupGraph(s.Kind)
+	if !ok {
+		return nil, fmt.Errorf("unknown graph kind %q: %w", s.Kind, ErrInvalidScenario)
+	}
+	// Size-cap the request before building: the kind's NodeCount is the
 	// single sizing formula shared with sweep-spec validation, so a
 	// SweepSpec that validates never expands into cells rejected here.
-	if _, err := campaign.NodeCount(s.Kind, s.N, s.Rows, s.Cols); err != nil {
-		return nil, fmt.Errorf("graph spec %+v: %v: %w", s, err, ErrInvalidScenario)
+	if _, err := k.NodeCount(s.N, s.Rows, s.Cols); err != nil {
+		return nil, fmt.Errorf("graph spec %s: %v: %w", s, err, ErrInvalidScenario)
 	}
 	defer func() {
 		// The generators panic on out-of-range parameters (they are
 		// driven by trusted code); a declarative spec is user input, so
 		// convert panics into typed errors.
 		if rec := recover(); rec != nil {
-			g, err = nil, fmt.Errorf("graph spec %+v: %v: %w", s, rec, ErrInvalidScenario)
+			g, err = nil, fmt.Errorf("graph spec %s: %v: %w", s, rec, ErrInvalidScenario)
 		}
 	}()
-	switch s.Kind {
-	case "path":
-		g = graph.Path(s.N)
-	case "ring":
-		g = graph.Ring(s.N)
-	case "star":
-		g = graph.Star(s.N)
-	case "clique", "complete":
-		g = graph.Complete(s.N)
-	case "bintree":
-		g = graph.BinaryTree(s.N)
-	case "tree":
-		g = graph.RandomTree(s.N, s.Seed)
-	case "random":
-		p := s.P
-		if p == 0 {
-			p = uxs.DefaultRandomP
-		}
-		g = graph.RandomConnected(s.N, p, s.Seed)
-	case "grid":
-		g = graph.Grid(s.Rows, s.Cols)
-	case "torus":
-		g = graph.Torus(s.Rows, s.Cols)
-	case "hypercube":
-		g = graph.Hypercube(s.N)
-	case "lollipop":
-		g = graph.Lollipop(s.Rows, s.Cols)
-	case "petersen":
-		g = graph.Petersen()
-	default:
-		return nil, fmt.Errorf("unknown graph kind %q: %w", s.Kind, ErrInvalidScenario)
+	g, err = k.Build(s.registryParams())
+	if err != nil {
+		return nil, fmt.Errorf("graph spec %s: %v: %w", s, err, ErrInvalidScenario)
 	}
+	if g == nil {
+		return nil, fmt.Errorf("graph spec %s: builder returned no graph: %w", s, ErrInvalidScenario)
+	}
+	// Port shuffling is applied here, outside the builders, so every
+	// registered kind supports it without writing any code.
 	if s.Shuffle {
 		g = graph.ShufflePorts(g, s.Seed)
 	}
 	return g, nil
 }
 
-// ParseAdversary resolves a declarative adversary spec string to a
-// strategy, so serialized scenarios and command-line flags reach every
-// constructor the sched package exports:
-//
-//	""                   round-robin (the default)
-//	"roundrobin"         round-robin ("round-robin" also accepted)
-//	"avoider"            the strongest online meeting dodger
-//	"random"             seeded random schedule, seed 42
-//	"random:<seed>"      seeded random schedule
-//	"biased:<w1>,<w2>,…" per-agent speed weights
-//	"latewake:<hold>"    all but agent 0 dormant for <hold> events
-//	                     ("late-wake:<hold>" also accepted)
-//
-// Unknown or malformed specs wrap ErrInvalidScenario. Bare "biased"
-// needs an agent count and is therefore rejected here but accepted
-// inside a Scenario, where it defaults to the 1:5:9:... skew of
-// sched.Strategies.
-func ParseAdversary(spec string) (Adversary, error) {
-	name, arg := spec, ""
-	if i := strings.IndexByte(spec, ':'); i >= 0 {
-		name, arg = spec[:i], spec[i+1:]
+// GraphKindDef describes a custom graph kind for RegisterGraphKind.
+type GraphKindDef struct {
+	// Kind is the name GraphSpec.Kind and campaign axes select the
+	// builder by; Aliases are additional accepted spellings.
+	Kind    string
+	Aliases []string
+	// Sized declares the campaign axis shape: a sized kind sweeps over
+	// GraphAxis.Sizes (one graph cell per size, spec.N carries it), a
+	// fixed kind resolves to one cell from Rows/Cols (or from nothing).
+	Sized bool
+	// NodeCount deterministically resolves the node count a spec
+	// requests and enforces the MaxSpecNodes cap. nil defaults to "N,
+	// capped". It is consulted by scenario validation, campaign axis
+	// validation and sweep expansion, so sizing can never disagree
+	// across layers.
+	NodeCount func(n, rows, cols int) (int, error)
+	// CheckAxis validates campaign axis parameters (minimum sizes,
+	// required dimensions). nil accepts everything NodeCount accepts.
+	CheckAxis func(n, rows, cols int) error
+	// AxisDefaults fills derived defaults (family seeds, probabilities)
+	// on each resolved campaign cell. Build must apply the same value
+	// defaults itself: direct scenarios bypass axis resolution.
+	AxisDefaults func(spec *GraphSpec)
+	// Build deterministically constructs the graph from the spec. Port
+	// shuffling (spec.Shuffle) is applied by the caller. The builder
+	// must be a pure function of the spec fields — that is what lets
+	// the spec act as the content address of the prepared-scenario
+	// cache and what makes sweep cells replayable.
+	Build func(spec GraphSpec) (*Graph, error)
+	// Fingerprint versions the builder for the prepared-scenario cache:
+	// the cache keys on (spec, fingerprint), so a builder that closes
+	// over external configuration must encode that configuration here.
+	Fingerprint string
+}
+
+// RegisterGraphKind adds a graph kind to the open world: registered
+// kinds build everywhere a built-in does — Scenario and SweepSpec JSON,
+// campaign graph axes, CLI flags — and participate in the engine's
+// prepared-scenario cache and route-book reuse exactly like built-ins
+// (one build + coverage check per unique spec, cached deterministic
+// trajectories per catalog epoch). The built-ins go through the same
+// underlying registry at init. Duplicate names are rejected.
+func RegisterGraphKind(def GraphKindDef) error {
+	if def.Kind == "" {
+		return fmt.Errorf("meetpoly: graph kind needs a name")
 	}
-	switch name {
-	case "", "roundrobin", "round-robin":
-		return &sched.RoundRobin{}, nil
-	case "avoider":
-		return &sched.Avoider{}, nil
-	case "random":
-		seed := int64(42)
-		if arg != "" {
-			v, err := strconv.ParseInt(arg, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("adversary %q: bad seed: %w", spec, ErrInvalidScenario)
-			}
-			seed = v
-		}
-		return sched.NewRandom(seed), nil
-	case "biased":
-		if arg == "" {
-			return nil, fmt.Errorf("adversary %q: biased needs weights: %w", spec, ErrInvalidScenario)
-		}
-		parts := strings.Split(arg, ",")
-		ws := make([]int, len(parts))
-		for i, p := range parts {
-			v, err := strconv.Atoi(strings.TrimSpace(p))
-			if err != nil || v < 0 {
-				return nil, fmt.Errorf("adversary %q: bad weight %q: %w", spec, p, ErrInvalidScenario)
-			}
-			ws[i] = v
-		}
-		return &sched.Biased{Weights: ws}, nil
-	case "latewake", "late-wake":
-		hold := 200
-		if arg != "" {
-			v, err := strconv.Atoi(arg)
-			if err != nil || v < 0 {
-				return nil, fmt.Errorf("adversary %q: bad hold: %w", spec, ErrInvalidScenario)
-			}
-			hold = v
-		}
-		return &sched.LateWake{Primary: 0, Hold: hold}, nil
-	default:
-		return nil, fmt.Errorf("unknown adversary %q: %w", spec, ErrInvalidScenario)
+	if def.Build == nil {
+		return fmt.Errorf("meetpoly: graph kind %q needs a Build function", def.Kind)
 	}
+	rk := registry.GraphKind{
+		Name:        def.Kind,
+		Aliases:     def.Aliases,
+		Sized:       def.Sized,
+		NodeCount:   def.NodeCount,
+		Fingerprint: def.Fingerprint,
+		Build: func(p registry.GraphParams) (*graph.Graph, error) {
+			return def.Build(graphSpecFromParams(p))
+		},
+	}
+	if def.CheckAxis != nil {
+		check := def.CheckAxis
+		rk.CheckAxis = func(_ string, n, rows, cols int) error { return check(n, rows, cols) }
+	}
+	if def.AxisDefaults != nil {
+		defaults := def.AxisDefaults
+		rk.AxisDefaults = func(p *registry.GraphParams) {
+			spec := graphSpecFromParams(*p)
+			defaults(&spec)
+			*p = spec.registryParams()
+		}
+	}
+	if err := registry.RegisterGraph(rk); err != nil {
+		return fmt.Errorf("meetpoly: %v", err)
+	}
+	return nil
+}
+
+// graphSpecFromParams and GraphSpec.registryParams are the single
+// conversion pair between the public spec and the registry's shared
+// parameter form. Keep them inverse: a field added to GraphSpec must be
+// threaded through BOTH, or builders silently receive its zero value
+// while the prepared cache (keyed on the full spec) treats it as
+// significant.
+func graphSpecFromParams(p registry.GraphParams) GraphSpec {
+	return GraphSpec{Kind: p.Kind, N: p.N, Rows: p.Rows, Cols: p.Cols,
+		P: p.P, Seed: p.Seed, Shuffle: p.Shuffle}
+}
+
+func (s GraphSpec) registryParams() registry.GraphParams {
+	return registry.GraphParams{Kind: s.Kind, N: s.N, Rows: s.Rows, Cols: s.Cols,
+		P: s.P, Seed: s.Seed, Shuffle: s.Shuffle}
 }
 
 // Scenario is a declarative, JSON-serializable description of one
@@ -231,22 +274,16 @@ func (s Scenario) BuildGraph() (*Graph, error) {
 	return s.Graph.Build()
 }
 
-// resolveAdversary returns the scenario's adversary strategy. Bare
-// "biased" (no weights) is resolved here rather than in ParseAdversary
-// because the default 1:5:9:... skew of sched.Strategies needs the
-// agent count, which only the scenario knows.
+// resolveAdversary returns the scenario's adversary strategy. The spec
+// string is parsed with the scenario's agent count in scope, so family
+// parsers can apply agent-dependent defaults (bare "biased" becomes the
+// 1:5:9:... skew) and validate agent-dependent parameters (weight
+// counts, latewake agent indices) that ParseAdversary alone cannot.
 func (s Scenario) resolveAdversary() (Adversary, error) {
 	if s.AdversaryInstance != nil {
 		return s.AdversaryInstance, nil
 	}
-	if s.Adversary == "biased" {
-		ws := make([]int, len(s.Starts))
-		for i := range ws {
-			ws[i] = 1 + 4*i
-		}
-		return &sched.Biased{Weights: ws}, nil
-	}
-	return ParseAdversary(s.Adversary)
+	return parseAdversarySpec(s.Adversary, len(s.Starts))
 }
 
 // Validate checks the scenario against the model's requirements. All
@@ -260,19 +297,18 @@ func (s Scenario) Validate() error {
 }
 
 // validateWith is Validate against an already-built graph, so callers
-// that need the graph anyway (the engine) build it exactly once.
+// that need the graph anyway (the engine) build it exactly once. The
+// generic model requirements (starts in range and distinct, a
+// resolvable adversary) are checked here; everything kind-specific is
+// the registered kind's validator.
 func (s Scenario) validateWith(g *Graph) error {
-	fail := func(format string, args ...any) error {
-		msg := fmt.Sprintf(format, args...)
-		return fmt.Errorf("scenario %q: %s: %w", s.Name, msg, ErrInvalidScenario)
-	}
 	seen := make(map[int]bool, len(s.Starts))
 	for _, v := range s.Starts {
 		if v < 0 || v >= g.N() {
-			return fail("start node %d out of range [0,%d)", v, g.N())
+			return scenarioFail(s, "start node %d out of range [0,%d)", v, g.N())
 		}
 		if seen[v] {
-			return fail("duplicate start node %d", v)
+			return scenarioFail(s, "duplicate start node %d", v)
 		}
 		seen[v] = true
 	}
@@ -280,73 +316,23 @@ func (s Scenario) validateWith(g *Graph) error {
 	if err != nil {
 		return err
 	}
-	// A biased schedule panics inside the runner on a weight/agent
-	// mismatch (it is a programming error there); from a declarative
-	// descriptor it is user input, so reject it here.
-	if b, ok := adv.(*sched.Biased); ok && len(b.Weights) != len(s.Starts) {
-		return fail("biased adversary has %d weights for %d agents", len(b.Weights), len(s.Starts))
+	// Spec-string adversaries validate agent-dependent parameters in
+	// their parsers; a caller-supplied instance bypasses parsing, so
+	// the one mismatch that would panic inside the runner (it is a
+	// programming error there) is re-checked here.
+	if s.AdversaryInstance != nil {
+		if b, ok := adv.(*sched.Biased); ok && len(b.Weights) != len(s.Starts) {
+			return scenarioFail(s, "biased adversary has %d weights for %d agents", len(b.Weights), len(s.Starts))
+		}
 	}
-	distinctPositive := func(ls []Label) error {
-		got := make(map[Label]bool, len(ls))
-		for _, l := range ls {
-			if l == 0 {
-				return fail("labels must be positive")
-			}
-			if got[l] {
-				return fail("duplicate label %d", l)
-			}
-			got[l] = true
-		}
-		return nil
+	def, ok := lookupScenarioKind(s.Kind)
+	if !ok {
+		return scenarioFail(s, "unknown kind %q", s.Kind)
 	}
-	switch s.Kind {
-	case ScenarioRendezvous, ScenarioBaseline:
-		if len(s.Starts) != 2 || len(s.Labels) != 2 {
-			return fail("%s needs exactly 2 starts and 2 labels", s.Kind)
-		}
-		if err := distinctPositive(s.Labels); err != nil {
-			return err
-		}
-		if s.Budget <= 0 {
-			return fail("budget must be positive")
-		}
-	case ScenarioCertify:
-		if len(s.Starts) != 2 || len(s.Labels) != 2 {
-			return fail("certify needs exactly 2 starts and 2 labels")
-		}
-		if err := distinctPositive(s.Labels); err != nil {
-			return err
-		}
-		if s.Moves <= 0 {
-			return fail("certify needs positive moves")
-		}
-	case ScenarioESST:
-		if len(s.Starts) != 2 {
-			return fail("esst needs exactly 2 starts (explorer, token)")
-		}
-		if s.Budget <= 0 {
-			return fail("budget must be positive")
-		}
-	case ScenarioSGL:
-		if len(s.Starts) < 2 {
-			return fail("sgl needs at least 2 agents")
-		}
-		if len(s.Labels) != len(s.Starts) {
-			return fail("sgl needs one label per start (%d vs %d)", len(s.Labels), len(s.Starts))
-		}
-		if err := distinctPositive(s.Labels); err != nil {
-			return err
-		}
-		if s.Values != nil && len(s.Values) != len(s.Labels) {
-			return fail("sgl values must match labels (%d vs %d)", len(s.Values), len(s.Labels))
-		}
-		if s.Budget <= 0 {
-			return fail("budget must be positive")
-		}
-	default:
-		return fail("unknown kind %q", s.Kind)
+	if def.Validate != nil {
+		return def.Validate(s, g)
 	}
-	return nil
+	return defaultKindValidate(def, s)
 }
 
 // JSON renders the scenario as indented JSON.

@@ -1,0 +1,164 @@
+package meetpoly
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"meetpoly/internal/campaign"
+)
+
+// streamSpec is a mid-sized campaign for stream/fold comparisons.
+func streamSpec() SweepSpec {
+	return SweepSpec{
+		Name:  "stream",
+		Seed:  "stream-v1",
+		Kinds: []string{"rendezvous", "esst", "certify"},
+		Graphs: []SweepGraphAxis{
+			{Kind: "path", Sizes: []int{3, 4}},
+			{Kind: "ring", Sizes: []int{4, 5}},
+			{Kind: "grid", Rows: 2, Cols: 3},
+		},
+		StartPairs:  2,
+		LabelPairs:  2,
+		Adversaries: []string{"", "avoider"},
+		Budget:      3000,
+		Moves:       60,
+	}
+}
+
+// TestSweepStreamFoldEquality proves SweepStream yields exactly the
+// cells Sweep reports: folding the stream through the same
+// order-independent aggregator reproduces Engine.Sweep's report
+// byte-identically, and the yielded index set is a bijection with the
+// expansion.
+func TestSweepStreamFoldEquality(t *testing.T) {
+	ctx := context.Background()
+	spec := streamSpec()
+	total, err := CountSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	swept, err := NewEngine(WithMaxN(6), WithSeed(1)).Sweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agg := campaign.NewAggregator(spec, nil)
+	seen := make(map[int]bool, total)
+	for cr, serr := range NewEngine(WithMaxN(6), WithSeed(1)).SweepStream(ctx, spec) {
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if seen[cr.Cell.Index] {
+			t.Fatalf("cell %d yielded twice", cr.Cell.Index)
+		}
+		seen[cr.Cell.Index] = true
+		agg.Add(cr)
+	}
+	if len(seen) != total {
+		t.Fatalf("stream yielded %d cells, expansion has %d", len(seen), total)
+	}
+	folded := agg.Report()
+
+	got, err := json.Marshal(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(swept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("stream fold diverges from Sweep:\nfold  %s\nsweep %s", got, want)
+	}
+}
+
+// TestSweepStreamEarlyBreak: breaking out of the range stops the sweep
+// without leaking the pipeline's goroutines, and a second sweep on the
+// same engine still works.
+func TestSweepStreamEarlyBreak(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine(WithMaxN(6), WithSeed(1))
+	before := runtime.NumGoroutine()
+
+	got := 0
+	for cr, err := range eng.SweepStream(ctx, streamSpec()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = cr
+		if got++; got >= 5 {
+			break
+		}
+	}
+	if got != 5 {
+		t.Fatalf("consumed %d results, want 5", got)
+	}
+
+	// The workers, producer and closer must all wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked after early break: %d -> %d", before, n)
+	}
+
+	// The engine is still fully usable.
+	rep, err := eng.Sweep(ctx, streamSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("post-break sweep failed:\n%s", rep.Table())
+	}
+}
+
+// TestSweepStreamInvalidSpec: a malformed spec yields exactly one
+// (zero value, error) pair and executes nothing.
+func TestSweepStreamInvalidSpec(t *testing.T) {
+	eng := NewEngine(WithMaxN(4), WithSeed(1))
+	bad := streamSpec()
+	bad.Seed = ""
+	yields := 0
+	for cr, err := range eng.SweepStream(context.Background(), bad) {
+		yields++
+		if err == nil {
+			t.Fatalf("invalid spec yielded a result without error: %+v", cr)
+		}
+	}
+	if yields != 1 {
+		t.Fatalf("invalid spec yielded %d pairs, want exactly 1", yields)
+	}
+	if stats := eng.CacheStats(); stats.Hits+stats.Misses != 0 {
+		t.Errorf("invalid spec touched the prepared cache: %+v", stats)
+	}
+}
+
+// TestSweepStreamCancellation: a canceled context surfaces as canceled
+// cell outcomes (data, not a stream error), matching Sweep's contract.
+func TestSweepStreamCancellation(t *testing.T) {
+	eng := NewEngine(WithMaxN(6), WithSeed(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	canceled, total := 0, 0
+	for cr, err := range eng.SweepStream(ctx, streamSpec()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if cr.Outcome.Canceled {
+			canceled++
+		}
+	}
+	if want, _ := CountSweep(streamSpec()); total != want {
+		t.Fatalf("canceled stream yielded %d of %d cells", total, want)
+	}
+	if canceled != total {
+		t.Errorf("%d of %d cells report canceled under a dead context", canceled, total)
+	}
+}
