@@ -1,0 +1,86 @@
+// Command rvlint runs the repo's go/analysis suite (package
+// internal/analysis) over Go packages.
+//
+// It is one binary with two faces:
+//
+//   - invoked by hand (rvlint [flags] ./packages...), it re-executes
+//     itself through the go vet driver, which handles loading, export
+//     data and dependency analysis:
+//
+//     go vet -vettool=<rvlint> [flags] ./packages...
+//
+//     All flags are forwarded, so -json emits vet's machine-readable
+//     diagnostics and -<analyzer>.<flag> reaches individual analyzers
+//     (e.g. -determinism.pkgs='^mypkg$'). With no package arguments it
+//     defaults to ./...;
+//
+//   - invoked by go vet itself (with a *.cfg unit file, or the -V /
+//     -flags protocol probes), it behaves as a standard unitchecker
+//     tool. This also means each analyzer can be run standalone:
+//
+//     go vet -vettool=$(command -v rvlint) -determinism ./...
+//
+// The exit status is go vet's: 0 when clean, non-zero when any
+// diagnostic is reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	rvlint "meetpoly/internal/analysis"
+)
+
+func main() {
+	if invokedByVet(os.Args[1:]) {
+		unitchecker.Main(rvlint.All()...) // never returns
+	}
+	os.Exit(drive(os.Args[1:]))
+}
+
+// invokedByVet detects the unitchecker protocol: go vet probes the tool
+// with -V=full and -flags, then invokes it once per package with a
+// *.cfg file describing the compilation unit.
+func invokedByVet(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V") || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// drive re-executes the binary under go vet and returns the exit code.
+func drive(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvlint: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	hasPattern := false
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") {
+			hasPattern = true
+			break
+		}
+	}
+	if !hasPattern {
+		args = append(args, "./...")
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "rvlint: %v\n", err)
+		return 2
+	}
+	return 0
+}

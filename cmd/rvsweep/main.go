@@ -10,20 +10,36 @@
 //
 //	rvsweep -spec campaign.json -replay 'seed#index'
 //
+// Adding -against with a recorded sweep artifact (the NDJSON of
+// -stream, or the JSON report of -json) compares the replayed outcome
+// with the recorded one: every cell is a pure function of its seed
+// string, so any divergence means the replay environment differs from
+// the sweep (catalog -maxn/-seed, code revision) — not that the cell is
+// flaky.
+//
+// Exit codes: 0 all oracles passed; 1 an oracle failed, the run was
+// interrupted, or an error occurred; 2 usage error; 3 the replayed
+// outcome diverged from the -against record.
+//
 // The process exits non-zero when any oracle fails, so a sweep doubles
 // as a CI gate. -cpuprofile/-memprofile write pprof profiles of the
 // sweep for performance work.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 
 	"meetpoly"
 )
@@ -32,6 +48,7 @@ func main() {
 	var (
 		specPath    = flag.String("spec", "", "path to the sweep spec JSON (required)")
 		replay      = flag.String("replay", "", "replay a single cell from its seed string instead of sweeping")
+		against     = flag.String("against", "", "with -replay: compare the outcome against a recorded sweep (NDJSON stream or JSON report); exit 3 on divergence")
 		stream      = flag.Bool("stream", false, "emit one NDJSON cell result per line as cells complete, instead of the aggregate report")
 		expand      = flag.Bool("expand", false, "expand the spec and list cells without running them")
 		count       = flag.Bool("count", false, "print only the cell count the spec expands to")
@@ -154,10 +171,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rvsweep: replay interrupted before completing")
 			exit(1)
 		}
+		if *against != "" {
+			if diverged := checkAgainst(*against, *cr, exit); diverged {
+				exit(3)
+			}
+		}
 		if cr.Failed() {
 			exit(1)
 		}
 		exit(0)
+	}
+	if *against != "" {
+		fmt.Fprintln(os.Stderr, "rvsweep: -against requires -replay")
+		exit(2)
 	}
 
 	if *stream {
@@ -215,6 +241,108 @@ func main() {
 		exit(1)
 	}
 	exit(0)
+}
+
+// checkAgainst compares a replayed cell with its record in a sweep
+// artifact and reports whether they diverge. Read errors and a record
+// that cannot contain the cell terminate through exit.
+func checkAgainst(path string, cr meetpoly.SweepCellResult, exit func(int)) bool {
+	rec, found, fromReport, err := recordedCell(path, cr.Cell.Seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvsweep:", err)
+		exit(1)
+	}
+	if !found {
+		if !fromReport {
+			fmt.Fprintf(os.Stderr, "rvsweep: seed %q not present in stream record %s (was it produced by -stream over the same spec?)\n", cr.Cell.Seed, path)
+			exit(1)
+		}
+		// The aggregate report records only failing cells: absence means
+		// the sweep saw this cell pass every oracle.
+		if cr.Failed() {
+			printDivergence(path, "recorded as passing every oracle", describeFailures(cr))
+			return true
+		}
+		return false
+	}
+	recJSON, _ := json.Marshal(rec.Outcome)
+	gotJSON, _ := json.Marshal(cr.Outcome)
+	if !bytes.Equal(recJSON, gotJSON) {
+		printDivergence(path, string(recJSON), string(gotJSON))
+		return true
+	}
+	if rf, gf := describeFailures(rec), describeFailures(cr); rf != gf {
+		printDivergence(path, rf, gf)
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "rvsweep: replay matches the recorded outcome in %s\n", path)
+	return false
+}
+
+// printDivergence emits the divergence report and the diagnosis hint.
+func printDivergence(path, recorded, replayed string) {
+	fmt.Fprintf(os.Stderr, "rvsweep: replayed outcome diverges from the sweep recorded in %s\n", path)
+	fmt.Fprintf(os.Stderr, "  recorded: %s\n", recorded)
+	fmt.Fprintf(os.Stderr, "  replayed: %s\n", replayed)
+	fmt.Fprintln(os.Stderr, "rvsweep: hint: a cell is a pure function of its seed string, so divergence means the replay environment differs from the sweep — check that -maxn and -seed match the swept catalog and that this binary is built from the same revision")
+}
+
+// describeFailures canonicalizes a cell's oracle verdict for comparison
+// and display.
+func describeFailures(cr meetpoly.SweepCellResult) string {
+	if len(cr.Failures) == 0 {
+		return "passed every oracle"
+	}
+	names := make([]string, len(cr.Failures))
+	for i, f := range cr.Failures {
+		names[i] = f.Oracle
+	}
+	sort.Strings(names)
+	return "failed oracles: " + strings.Join(names, ", ")
+}
+
+// recordedCell looks a seed up in a recorded sweep artifact. It accepts
+// both artifact shapes rvsweep itself emits: the aggregate JSON report
+// of -json (which records only failing cells — fromReport is true) and
+// the NDJSON stream of -stream (which records every cell).
+func recordedCell(path, seed string) (rec meetpoly.SweepCellResult, found, fromReport bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return rec, false, false, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	var first json.RawMessage
+	if err := dec.Decode(&first); err != nil {
+		return rec, false, false, fmt.Errorf("reading record %s: %w", path, err)
+	}
+	// An aggregate report is a single object with campaign-level fields;
+	// a stream line is a cell result (whose "cell" object never gives
+	// Report a cell count).
+	var rep meetpoly.SweepReport
+	if err := json.Unmarshal(first, &rep); err == nil && (rep.Cells > 0 || len(rep.Group) > 0) {
+		for _, cand := range rep.Failures {
+			if cand.Cell.Seed == seed {
+				return cand, true, true, nil
+			}
+		}
+		return rec, false, true, nil
+	}
+	for {
+		var cand meetpoly.SweepCellResult
+		if err := json.Unmarshal(first, &cand); err != nil {
+			return rec, false, false, fmt.Errorf("parsing record %s: %w", path, err)
+		}
+		if cand.Cell.Seed == seed {
+			return cand, true, false, nil
+		}
+		if err := dec.Decode(&first); err != nil {
+			if errors.Is(err, io.EOF) {
+				return rec, false, false, nil
+			}
+			return rec, false, false, fmt.Errorf("reading record %s: %w", path, err)
+		}
+	}
 }
 
 func fatal(err error) {

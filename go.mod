@@ -1,3 +1,11 @@
 module meetpoly
 
 go 1.24
+
+// rvlint's analyzers build on go/analysis. The dependency is pinned to
+// the exact snapshot vendored under third_party/ (the version the Go
+// 1.24 toolchain itself ships), so analyzer behavior is reproducible
+// and offline builds need no module proxy.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

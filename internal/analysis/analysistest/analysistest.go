@@ -1,0 +1,248 @@
+// Package analysistest is a minimal offline re-implementation of
+// golang.org/x/tools/go/analysis/analysistest, sized to what rvlint's
+// tests need. The real package depends on go/packages and a module
+// proxy; this one type-checks fixture packages from testdata/src with
+// the pure go/types source importer, so the suite runs hermetically
+// against the vendored x/tools snapshot in third_party/.
+//
+// Supported surface:
+//
+//   - fixture packages live under <testdata>/src/<importpath>/;
+//     fixtures may import one another by that path (stdlib imports
+//     resolve from GOROOT source);
+//   - expectations are `// want "regexp"` comments (one or more quoted
+//     or backquoted regexps) on the line a diagnostic is reported;
+//   - analyzer Requires are resolved transitively (facts are not
+//     supported — rvlint's analyzers use none).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes each fixture package under dir/src with a and checks
+// reported diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := &loader{
+		fset: token.NewFileSet(),
+		src:  filepath.Join(dir, "src"),
+		pkgs: make(map[string]*fixturePkg),
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	for _, path := range pkgpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		checkPackage(t, ld.fset, a, pkg)
+	}
+}
+
+// fixturePkg is one type-checked testdata package.
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture import paths from testdata/src, falling back
+// to the GOROOT source importer for everything else.
+type loader struct {
+	fset     *token.FileSet
+	src      string
+	pkgs     map[string]*fixturePkg
+	fallback types.Importer
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if fp, err := ld.load(path); err == nil {
+		return fp.pkg, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return ld.fallback.Import(path)
+}
+
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := ld.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture %s: no .go files in %s", path, dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	fp := &fixturePkg{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = fp
+	return fp, nil
+}
+
+// checkPackage runs a (and its Requires, transitively) over one fixture
+// package and diffs diagnostics against want comments.
+func checkPackage(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixturePkg) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	if _, err := runAnalyzer(a, fset, fp, make(map[*analysis.Analyzer]any), &diags); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, fp.pkg.Path(), err)
+	}
+	wants := collectWants(t, fset, fp.files)
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	for _, w := range wants {
+		k := key{w.file, w.line}
+		idx := -1
+		for i, msg := range got[k] {
+			if w.re.MatchString(msg) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("%s:%d: no diagnostic matching %q (got %v)", w.file, w.line, w.re, got[k])
+			continue
+		}
+		got[k] = append(got[k][:idx], got[k][idx+1:]...)
+	}
+	for k, msgs := range got {
+		for _, msg := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+	}
+}
+
+// runAnalyzer executes a over fp, memoizing results so shared Requires
+// (inspect) run once.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, fp *fixturePkg, results map[*analysis.Analyzer]any, diags *[]analysis.Diagnostic) (any, error) {
+	if res, ok := results[a]; ok {
+		return res, nil
+	}
+	deps := make(map[*analysis.Analyzer]any)
+	for _, req := range a.Requires {
+		res, err := runAnalyzer(req, fset, fp, results, diags)
+		if err != nil {
+			return nil, err
+		}
+		deps[req] = res
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      fp.files,
+		Pkg:        fp.pkg,
+		TypesInfo:  fp.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   deps,
+		Report: func(d analysis.Diagnostic) {
+			*diags = append(*diags, d)
+		},
+		ReadFile: os.ReadFile,
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	results[a] = res
+	return res, nil
+}
+
+// want is one parsed expectation comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE extracts the quoted regexps of a `// want` comment.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range wantRE.FindAllString(rest, -1) {
+					var pat string
+					if strings.HasPrefix(lit, "`") {
+						pat = strings.Trim(lit, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// RegistryPureAnalyzer keeps the extension registries sound as content
+// addresses. Two rules:
+//
+//  1. Register calls (RegisterGraphKind / RegisterAdversary /
+//     RegisterScenarioKind and the internal registry.Register*) may
+//     only run from init functions, package-level var initializers
+//     (including func literals inside them, the sync.OnceValue idiom),
+//     or Register* wrapper functions. The registries are documented as
+//     append-only before engines start; a registration from arbitrary
+//     call paths races campaign expansion and cache keying.
+//
+//  2. Graph-kind Build/NodeCount/AxisDefaults/CheckAxis implementations
+//     (function values in GraphKindDef/GraphKind composite literals)
+//     must be pure: no package-level variable reads or writes, no
+//     wall-clock, no global rand. The prepared-scenario cache keys on
+//     (spec, fingerprint) alone — a builder that consults global
+//     mutable state can return different graphs for one key, poisoning
+//     every cached run that follows.
+var RegistryPureAnalyzer = &analysis.Analyzer{
+	Name:     "registrypure",
+	Doc:      "restrict registry mutation to init/package-var context and keep graph-kind builders pure",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runRegistryPure,
+}
+
+// registerFuncs are the registry mutation entry points, matched by name
+// (the public facade and the internal half both count).
+var registerFuncs = map[string]bool{
+	"RegisterGraphKind": true, "RegisterAdversary": true, "RegisterScenarioKind": true,
+	"RegisterGraph": true, "RegisterKindMeta": true,
+	"RegisterAdversaryMeta": true, "RegisterAdversaryMetas": true,
+}
+
+// kindDefTypes are the composite-literal types whose function fields
+// the purity rule applies to.
+var kindDefTypes = map[string]bool{"GraphKindDef": true, "GraphKind": true}
+
+// pureFields are the GraphKindDef fields that must be deterministic
+// pure functions of their parameters.
+var pureFields = map[string]bool{"Build": true, "NodeCount": true, "AxisDefaults": true, "CheckAxis": true}
+
+func runRegistryPure(pass *analysis.Pass) (any, error) {
+	rep := newReporter(pass, "registrypure")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Rule 1: Register calls only in init/package-var/wrapper context.
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || inTestFile(pass.Fset, n.Pos()) {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || !registerFuncs[fn.Name()] {
+			return true
+		}
+		if registrationContextOK(stack) {
+			return true
+		}
+		rep.reportf(call.Pos(), "%s called outside init/package-var context: registries are append-only before engines run; register from an init function or a package-level var initializer", fn.Name())
+		return true
+	})
+
+	// Rule 2: purity of graph-kind builder fields.
+	decls := funcDecls(pass)
+	ins.Preorder([]ast.Node{(*ast.CompositeLit)(nil)}, func(n ast.Node) {
+		lit := n.(*ast.CompositeLit)
+		if inTestFile(pass.Fset, lit.Pos()) {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(lit)
+		if t == nil {
+			return
+		}
+		t = types.Unalias(t)
+		named, ok := t.(*types.Named)
+		if !ok || !kindDefTypes[named.Obj().Name()] {
+			return
+		}
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || !pureFields[key.Name] {
+				continue
+			}
+			if body := fieldFuncBody(pass, decls, kv.Value); body != nil {
+				checkBuilderPurity(pass, rep, key.Name, body)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// registrationContextOK walks the enclosing node stack: the top-level
+// declaration must be an init FuncDecl, a package-level var GenDecl, or
+// a Register* wrapper.
+func registrationContextOK(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			name := d.Name.Name
+			if d.Recv == nil && (name == "init" || strings.HasPrefix(name, "Register") || strings.HasPrefix(name, "mustRegister")) {
+				return true
+			}
+			return false
+		case *ast.GenDecl:
+			return d.Tok == token.VAR
+		}
+	}
+	return false
+}
+
+// funcDecls indexes the package's function declarations by object, so
+// a builder field referencing a named function can be checked too.
+func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// fieldFuncBody resolves a composite-literal field value to a function
+// body: a func literal inline, or a reference to a same-package decl.
+func fieldFuncBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, v ast.Expr) *ast.BlockStmt {
+	switch x := ast.Unparen(v).(type) {
+	case *ast.FuncLit:
+		return x.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.ObjectOf(x).(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// checkBuilderPurity flags global mutable state and nondeterminism
+// sources inside one builder body.
+func checkBuilderPurity(pass *analysis.Pass, rep *reporter, field string, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	pkgScope := pass.Pkg.Scope()
+	globalVar := func(e ast.Expr) *types.Var {
+		id := rootIdent(e)
+		if id == nil {
+			return nil
+		}
+		v, ok := info.ObjectOf(id).(*types.Var)
+		if !ok {
+			return nil
+		}
+		if v.Parent() == pkgScope || (v.Pkg() != nil && v.Pkg() != pass.Pkg && v.Parent() == v.Pkg().Scope()) {
+			return v
+		}
+		return nil
+	}
+	// Collect write targets first so a mutated global is reported once
+	// (as a write), not again as a read of its lvalue identifier.
+	written := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id := rootIdent(lhs); id != nil {
+					written[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := rootIdent(x.X); id != nil {
+				written[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if v := globalVar(lhs); v != nil {
+					rep.reportf(lhs.Pos(), "%s mutates package-level state %s: builders must be pure functions of their spec (the cache keys on it)", field, v.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := globalVar(x.X); v != nil {
+				rep.reportf(x.Pos(), "%s mutates package-level state %s: builders must be pure functions of their spec (the cache keys on it)", field, v.Name())
+			}
+		case *ast.Ident:
+			if written[x] {
+				return true
+			}
+			if v, ok := info.Uses[x].(*types.Var); ok && !v.IsField() && v.Parent() != nil &&
+				(v.Parent() == pkgScope || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope())) {
+				rep.reportf(x.Pos(), "%s reads package-level variable %s: global mutable state breaks the (spec, fingerprint) cache address; pass configuration through the spec or encode it in Fingerprint", field, v.Name())
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil {
+				impure := &reporterAs{r: rep, field: field}
+				checkTimeCall(impure, x, fn)
+				checkRandCall(impure, x, fn)
+			}
+		}
+		return true
+	})
+}
+
+// reporterAs forwards to the registrypure reporter; it exists so the
+// shared time/rand checks can be reused verbatim.
+type reporterAs struct {
+	r     *reporter
+	field string
+}
+
+func (r *reporterAs) reportf(pos token.Pos, format string, args ...any) {
+	r.r.reportf(pos, "%s is impure: "+format, append([]any{r.field}, args...)...)
+}

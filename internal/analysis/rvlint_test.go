@@ -1,0 +1,68 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	rvlint "meetpoly/internal/analysis"
+	"meetpoly/internal/analysis/analysistest"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestDeterminism checks the seeded nondeterminism bugs are caught in
+// an in-scope package and that an out-of-scope package (not matching
+// -pkgs) is left alone, wall clock and all.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, testdata(t), rvlint.DeterminismAnalyzer, "meetpoly", "outofscope")
+}
+
+// TestViewRetain checks the seeded view-aliasing bugs: retaining the
+// pointer, a reachable slice, a local chain, and every escape conduit —
+// against the legal copy/delegate shapes.
+func TestViewRetain(t *testing.T) {
+	analysistest.Run(t, testdata(t), rvlint.ViewRetainAnalyzer, "advfix", "sched")
+}
+
+// TestHotAlloc checks every allocation source fires inside an annotated
+// function and nothing fires outside one.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, testdata(t), rvlint.HotAllocAnalyzer, "hotfix")
+}
+
+// TestRegistryPure checks registration-context enforcement and builder
+// purity.
+func TestRegistryPure(t *testing.T) {
+	analysistest.Run(t, testdata(t), rvlint.RegistryPureAnalyzer, "regfix")
+}
+
+// TestSnapshot checks the copy-on-write pair rules: unlocked store,
+// locked read path, CAS and constructor exemptions.
+func TestSnapshot(t *testing.T) {
+	analysistest.Run(t, testdata(t), rvlint.SnapshotAnalyzer, "snapfix")
+}
+
+// TestAll pins the suite contents: five analyzers, stable names, so the
+// driver's -<name> flags and //lint:allow rules stay addressable.
+func TestAll(t *testing.T) {
+	want := []string{"determinism", "viewretain", "hotalloc", "registrypure", "snapshot"}
+	all := rvlint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildRvlint compiles the driver once per test binary.
+func buildRvlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rvlint")
+	cmd := exec.Command("go", "build", "-o", bin, "meetpoly/cmd/rvlint")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building rvlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestSmokeRepoClean runs the whole suite over the repo through go vet,
+// the same invocation CI uses: the tree must lint clean.
+func TestSmokeRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the driver and vets the whole repo")
+	}
+	bin := buildRvlint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("rvlint over repo: %v\n%s", err, out)
+	}
+}
+
+// TestSmokeSingleAnalyzer runs one analyzer standalone through go vet's
+// analyzer-selection flag, the documented way to scope a run.
+func TestSmokeSingleAnalyzer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the driver")
+	}
+	bin := buildRvlint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "-determinism", "./internal/sched/")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool -determinism: %v\n%s", err, out)
+	}
+}
+
+// TestSmokeCatchesSeededBug vets a scratch module holding a hot-path
+// allocation and expects the unitchecker path to reject it: the full
+// go vet protocol (probe, cfg, diagnostics, exit code) end to end.
+func TestSmokeCatchesSeededBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the driver")
+	}
+	bin := buildRvlint(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "scratch.go"), `package scratch
+
+//rvlint:hotpath
+func hot(n int) []int {
+	return make([]int, n)
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("expected rvlint to fail on seeded hot-path allocation; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "make allocates") {
+		t.Fatalf("diagnostic missing from output:\n%s", out.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// SnapshotAnalyzer enforces the copy-on-write atomic-snapshot
+// discipline used by uxs.Verified and trajectory.Route: a struct that
+// pairs a writer mutex with an atomic.Pointer snapshot publishes new
+// snapshots only while holding the mutex, and read paths never touch
+// the lock at all.
+//
+// Concretely, for every struct type in the package that declares both a
+// sync.Mutex/sync.RWMutex field and an atomic.Pointer[T] field:
+//
+//   - a call pair.ptr.Store(...) (or Swap) must be preceded, lexically
+//     within the same function, by pair.mu.Lock() on the same receiver
+//     — otherwise two writers race the read-modify-write and one
+//     update is lost silently. CompareAndSwap is exempt: it is
+//     self-synchronizing publication (an idempotent memo like
+//     Engine.BoundModel needs no mutex);
+//   - a function that calls pair.mu.Lock() and reads the snapshot via
+//     pair.ptr.Load() but never publishes one is a read path holding
+//     the writer lock: it serializes readers the whole design exists
+//     to keep lock-free. Read through ptr.Load() alone. Locking
+//     without touching the pointer at all is fine — the mutex may
+//     guard unrelated state.
+//
+// Constructors are exempt: storing into a pair that was created in the
+// same function (assigned from a composite literal or new) publishes
+// nothing shared yet.
+var SnapshotAnalyzer = &analysis.Analyzer{
+	Name:     "snapshot",
+	Doc:      "enforce mutex-guarded writes and lock-free reads for copy-on-write atomic-snapshot structs",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runSnapshot,
+}
+
+// cowPair describes one struct type that follows the snapshot pattern.
+type cowPair struct {
+	typ  *types.Named
+	mu   map[string]bool // mutex field names
+	ptrs map[string]bool // atomic.Pointer field names
+}
+
+func runSnapshot(pass *analysis.Pass) (any, error) {
+	pairs := findCowPairs(pass)
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	rep := newReporter(pass, "snapshot")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || inTestFile(pass.Fset, decl.Pos()) {
+			return
+		}
+		checkSnapshotFunc(pass, rep, pairs, decl)
+	})
+	return nil, nil
+}
+
+// findCowPairs scans the package scope for struct types pairing a
+// mutex field with an atomic.Pointer field.
+func findCowPairs(pass *analysis.Pass) []*cowPair {
+	var pairs []*cowPair
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		p := &cowPair{typ: named, mu: map[string]bool{}, ptrs: map[string]bool{}}
+		for f := range st.Fields() {
+			ft := types.Unalias(f.Type())
+			switch {
+			case namedIn(ft, "sync", "Mutex") || namedIn(ft, "sync", "RWMutex"):
+				p.mu[f.Name()] = true
+			case isAtomicPointer(ft):
+				p.ptrs[f.Name()] = true
+			}
+		}
+		if len(p.mu) > 0 && len(p.ptrs) > 0 {
+			pairs = append(pairs, p)
+		}
+	}
+	return pairs
+}
+
+// isAtomicPointer reports whether t is sync/atomic's Pointer[T] (or a
+// same-named generic in a package called atomic, so fixtures can stub
+// it).
+func isAtomicPointer(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Pointer" && obj.Pkg() != nil && obj.Pkg().Name() == "atomic"
+}
+
+// pairFor returns the cowPair whose type e's value belongs to, if any.
+func pairFor(pass *analysis.Pass, pairs []*cowPair, e ast.Expr) *cowPair {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	for _, p := range pairs {
+		if p.typ.Obj() == n.Obj() {
+			return p
+		}
+	}
+	return nil
+}
+
+// storeMethods publish a new snapshot through the pointer field and
+// need the writer mutex. CompareAndSwap is deliberately absent: a CAS
+// either publishes or observes the concurrent publication, so it
+// cannot lose an update.
+var storeMethods = map[string]bool{"Store": true, "Swap": true}
+
+// checkSnapshotFunc applies both rules to one function body.
+func checkSnapshotFunc(pass *analysis.Pass, rep *reporter, pairs []*cowPair, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// freshLocals: variables assigned a brand-new pair value in this
+	// function (constructor pattern) — stores through them are
+	// pre-publication and need no lock.
+	freshLocals := make(map[types.Object]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if pairFor(pass, pairs, asg.Lhs[i]) == nil {
+				continue
+			}
+			if isFreshAlloc(info, rhs) {
+				if obj := info.ObjectOf(id); obj != nil {
+					freshLocals[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// events: receiver objects seen, in lexical order, locking a pair
+	// mutex, storing through a pair pointer, or loading from one.
+	type event struct {
+		obj  types.Object
+		pair *cowPair
+		kind int // evLock, evStore, evLoad
+		node ast.Node
+	}
+	const (
+		evLock = iota
+		evStore
+		evLoad
+	)
+	var events []event
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pair := pairFor(pass, pairs, inner.X)
+		if pair == nil {
+			return true
+		}
+		root := rootIdent(inner.X)
+		if root == nil {
+			return true
+		}
+		obj := info.ObjectOf(root)
+		switch {
+		case storeMethods[sel.Sel.Name] && pair.ptrs[inner.Sel.Name]:
+			events = append(events, event{obj: obj, pair: pair, kind: evStore, node: call})
+		case sel.Sel.Name == "Load" && pair.ptrs[inner.Sel.Name]:
+			events = append(events, event{obj: obj, pair: pair, kind: evLoad, node: call})
+		case sel.Sel.Name == "Lock" && pair.mu[inner.Sel.Name]:
+			events = append(events, event{obj: obj, pair: pair, kind: evLock, node: call})
+		}
+		return true
+	})
+
+	// Rule 1: every store follows a lock on the same receiver, unless
+	// the receiver is freshly constructed here.
+	locked := make(map[types.Object]bool)
+	stored := make(map[types.Object]bool)
+	loaded := make(map[types.Object]bool)
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			locked[ev.obj] = true
+		case evLoad:
+			loaded[ev.obj] = true
+		case evStore:
+			stored[ev.obj] = true
+			if locked[ev.obj] || freshLocals[ev.obj] {
+				continue
+			}
+			rep.reportf(ev.node.Pos(), "snapshot published without holding the writer mutex: concurrent writers race the read-modify-write and lose updates; take %s's mutex first", ev.pair.typ.Obj().Name())
+		}
+	}
+
+	// Rule 2: locking and reading the snapshot without ever publishing
+	// one is a read path holding the writer lock. (Locking without
+	// touching the pointer guards other state and is fine.)
+	reported := make(map[types.Object]bool)
+	for _, ev := range events {
+		if ev.kind != evLock || stored[ev.obj] || !loaded[ev.obj] || reported[ev.obj] {
+			continue
+		}
+		reported[ev.obj] = true
+		rep.reportf(ev.node.Pos(), "read path acquires %s's writer mutex but never publishes a snapshot: readers must go through the atomic pointer's Load alone", ev.pair.typ.Obj().Name())
+	}
+}
+
+// isFreshAlloc reports whether rhs evaluates to a value that cannot yet
+// be shared: a composite literal, its address, or new(T).
+func isFreshAlloc(info *types.Info, rhs ast.Expr) bool {
+	switch x := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		return isBuiltin(info, x, "new")
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+// Package advfix seeds the aliasing bug viewretain exists to catch: an
+// adversary squirrels away the runner's reused View buffer (or a slice
+// reachable from it) and reads it after the runner has rewritten it.
+package advfix
+
+import "sched"
+
+// Sticky retains the view pointer itself across calls.
+type Sticky struct {
+	last *sched.View
+}
+
+func (s *Sticky) Next(v *sched.View) (sched.Event, bool) {
+	s.last = v // want `outlives the call`
+	return sched.Event{Agent: 0}, true
+}
+
+// Slicer retains a slice reachable from the view: same bug one hop in.
+type Slicer struct {
+	agents []int
+}
+
+func (s *Slicer) Next(v *sched.View) (sched.Event, bool) {
+	s.agents = v.Agents // want `outlives the call`
+	return sched.Event{}, true
+}
+
+// Chain launders the pointer through locals before storing: the
+// fixpoint walk still sees it.
+type Chain struct {
+	kept *sched.View
+}
+
+func (c *Chain) Next(v *sched.View) (sched.Event, bool) {
+	u := v
+	w := u
+	c.kept = w // want `outlives the call`
+	return sched.Event{}, true
+}
+
+// Leaker hands the view to everything that outlives the frame.
+func Leaker(v *sched.View, ch chan *sched.View, sink func()) *sched.View {
+	ch <- v                          // want `channel send`
+	go keep(v)                       // want `goroutine argument`
+	f := func() int { return v.K() } // want `closure capture`
+	f()
+	return v // want `return`
+}
+
+func keep(v *sched.View) {}
+
+// Copier is the legal shape: scalar copies and accessor results only.
+type Copier struct {
+	steps int
+	agent int
+}
+
+func (c *Copier) Next(v *sched.View) (sched.Event, bool) {
+	c.steps = v.Steps    // scalar copy: safe
+	c.agent = v.Agent(0) // accessor returns a copy: safe
+	if v.CanAdvance(0) {
+		return sched.Event{Kind: 1}, true
+	}
+	return sched.Event{}, false
+}
+
+// Delegate forwards to another adversary, like LateWake falling back to
+// round-robin: a call result is fresh, not view-derived.
+type Delegate struct {
+	inner Copier
+}
+
+func (d *Delegate) Next(v *sched.View) (sched.Event, bool) {
+	return d.inner.Next(v)
+}
+
+// Allowed shows a reviewed suppression.
+type Allowed struct {
+	last *sched.View
+}
+
+func (a *Allowed) Next(v *sched.View) (sched.Event, bool) {
+	a.last = v //lint:allow viewretain -- cleared before Next returns in the real code this models
+	a.last = nil
+	return sched.Event{}, true
+}

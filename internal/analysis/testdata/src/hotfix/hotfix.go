@@ -1,0 +1,63 @@
+// Package hotfix exercises hotalloc: the annotated functions contain
+// one of each allocation source the half-step budget cannot afford; the
+// un-annotated twin shows the analyzer leaves cold code alone.
+package hotfix
+
+import "fmt"
+
+type ring struct {
+	buf  []int
+	name string
+}
+
+//rvlint:hotpath
+func hotEverything(r *ring, n int) int {
+	s := make([]int, n)      // want `make allocates`
+	m := map[int]bool{}      // want `slice/map literal`
+	lit := []int{1, 2, 3}    // want `slice/map literal`
+	p := &ring{}             // want `composite literal escapes`
+	q := new(ring)           // want `new allocates`
+	r.buf = append(r.buf, n) // want `append may grow`
+	msg := r.name + "!"      // want `string concatenation`
+	b := []byte(r.name)      // want `conversion copies`
+	fmt.Println(n)           // want `fmt\.Println allocates`
+	go func() {}()           // want `closure literal` `go statement`
+	defer fmt.Print()        // want `defer` `fmt\.Print allocates`
+	var box interface{}
+	box = *r                                           // want `copies the value to the heap`
+	sink(n)                                            // want `copies the value to the heap`
+	_ = []interface{}{s, m, lit, p, q, msg, b, box}[0] // want `slice/map literal`
+	return len(s)
+}
+
+// sink boxes its argument: int into interface{}.
+func sink(v interface{}) {}
+
+// sinkPtr takes a pointer: pointer-shaped values fit the interface word
+// without a heap copy.
+func sinkPtr(v interface{}) {}
+
+//rvlint:hotpath
+func hotClean(r *ring, n int) int {
+	// Reads, arithmetic, struct (non-escaping) values, pointer boxing:
+	// all allocation-free.
+	x := r.buf[n%len(r.buf)]
+	sinkPtr(r)
+	var local ring
+	local.buf = r.buf
+	return x + len(local.buf)
+}
+
+//rvlint:hotpath
+func hotAllowed(r *ring, n int) {
+	// The buffer reaches steady-state capacity after the first event.
+	r.buf = append(r.buf, n) //lint:allow hotalloc -- amortized growth of a reused buffer
+}
+
+// coldEverything is the same body with no annotation: not checked.
+func coldEverything(r *ring, n int) []int {
+	s := make([]int, n)
+	s = append(s, n)
+	fmt.Println(r.name + "!")
+	return s
+}

@@ -1,0 +1,79 @@
+// Package meetpoly is the determinism fixture. Its import path matches
+// the analyzer's default -pkgs regexp, and each flagged line is a
+// seeded copy of a bug class the rule exists to catch: a result stamped
+// with the wall clock, a cell outcome drawn from the process-global
+// rand, report text ordered by map iteration, and a pointer formatted
+// into a seed string.
+package meetpoly
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type cell struct {
+	Name string
+	N    int
+}
+
+// stampResult seeds the time.Now bug: two runs of one seed disagree.
+func stampResult(c *cell) int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+// jitter seeds the global-rand bug: the stream depends on every other
+// draw in the process.
+func jitter() int {
+	return rand.Intn(8) // want `global math/rand`
+}
+
+// jitterSeeded is the legal form: an explicit source derived from the
+// cell seed.
+func jitterSeeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(8)
+}
+
+// describe seeds the pointer-formatting bug: %v of a pointer is an
+// address, different every run.
+func describe(c *cell) string {
+	if c.N > 1 {
+		return fmt.Sprintf("cell at %p", c) // want `%p` `memory address`
+	}
+	return fmt.Sprint(c) // want `memory address`
+}
+
+// describeValue formats contents, not identity.
+func describeValue(c *cell) string {
+	return fmt.Sprintf("cell %s n=%d", c.Name, c.N)
+}
+
+// emit seeds the map-order bug twice: once into an ordered sink, once
+// into a slice that is never sorted.
+func emit(byName map[string]cell) []string {
+	var names []string
+	for name := range byName {
+		fmt.Println(name)                    // want `map iteration order`
+		names = append(names, name+"-suffx") // want `never sorted`
+	}
+	return names
+}
+
+// emitSorted launders the iteration order through a sort before it can
+// be observed: legal.
+func emitSorted(byName map[string]cell) []string {
+	var names []string
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// stampAllowed shows a reviewed suppression: the timestamp feeds a log
+// line, not a result.
+func stampAllowed() int64 {
+	//lint:allow determinism -- wall time feeds diagnostics only
+	return time.Now().UnixNano()
+}

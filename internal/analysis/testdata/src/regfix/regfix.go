@@ -1,0 +1,87 @@
+// Package regfix exercises registrypure against a stub of the
+// extension API: registration calls from legal contexts (init,
+// package-var initializers including the sync.OnceValue idiom, and
+// Register* wrappers), one from an arbitrary function, and graph-kind
+// builder fields with every impurity class the rule names.
+package regfix
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// GraphKindDef mirrors the real registry definition shape.
+type GraphKindDef struct {
+	Name      string
+	Build     func(n int) int
+	NodeCount func(n int) int
+}
+
+// RegisterGraphKind is the stub registration entry point; the analyzer
+// matches it by name.
+func RegisterGraphKind(def GraphKindDef) error { return nil }
+
+// Legal context: init.
+func init() {
+	_ = RegisterGraphKind(GraphKindDef{Name: "ring"})
+}
+
+// Legal context: package-level var initializer.
+var _ = RegisterGraphKind(GraphKindDef{Name: "torus"})
+
+// Legal context: a func literal inside a package var — the
+// sync.OnceValue idiom the examples use.
+var registerOnce = sync.OnceValue(func() error {
+	return RegisterGraphKind(GraphKindDef{Name: "lattice"})
+})
+
+// Legal context: a Register* wrapper (the public facade wraps the
+// internal registry this way).
+func RegisterMine(def GraphKindDef) error {
+	return RegisterGraphKind(def)
+}
+
+// Illegal context: an arbitrary call path — this races campaign
+// expansion against registry mutation.
+func setup() error {
+	return RegisterGraphKind(GraphKindDef{Name: "late"}) // want `outside init/package-var context`
+}
+
+// Suppressed: a test helper justified by review.
+func setupAllowed() error {
+	//lint:allow registrypure -- fixture-local registry, never the global one
+	return RegisterGraphKind(GraphKindDef{Name: "scratch"})
+}
+
+// ---- builder purity ----
+
+var buildCount int
+var defaultScale = 3
+
+// pureKind is the legal shape: builders are functions of n alone.
+var pureKind = GraphKindDef{
+	Name:      "pure",
+	Build:     func(n int) int { return n * 2 },
+	NodeCount: nodeCountPure,
+}
+
+func nodeCountPure(n int) int { return n }
+
+// impureKind seeds one violation per impurity class.
+var impureKind = GraphKindDef{
+	Name: "impure",
+	Build: func(n int) int {
+		buildCount++                // want `mutates package-level state`
+		n += defaultScale           // want `reads package-level variable`
+		n += int(time.Now().Unix()) // want `impure.*time\.Now`
+		return n + rand.Intn(4)     // want `impure.*global math/rand`
+	},
+	NodeCount: nodeCountImpure,
+}
+
+// nodeCountImpure shows the check follows named same-package functions,
+// not just literals.
+func nodeCountImpure(n int) int {
+	return n * defaultScale // want `reads package-level variable`
+}

@@ -1,0 +1,27 @@
+// Package sched is a stub of the real scheduler for the viewretain
+// fixtures: the analyzer matches View by package and type name, so this
+// stands in for meetpoly/internal/sched.
+package sched
+
+// Event mirrors the real adversary event.
+type Event struct {
+	Kind  int
+	Agent int
+}
+
+// View mirrors the real reused view buffer: a scalar field, a
+// reference-typed field, and accessor methods returning copies.
+type View struct {
+	Steps  int
+	Agents []int
+}
+
+func (v *View) K() int                { return len(v.Agents) }
+func (v *View) CanAdvance(i int) bool { return v.Agents[i] > 0 }
+
+// Agent returns a value copy, like the real accessor surface.
+func (v *View) Agent(i int) int { return v.Agents[i] }
+
+// Self is legal: methods on View itself are the accessor surface, the
+// retention contract binds their callers.
+func (v *View) Self() *View { return v }

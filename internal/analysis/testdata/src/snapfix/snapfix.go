@@ -1,0 +1,99 @@
+// Package snapfix exercises the snapshot analyzer on a miniature of the
+// real copy-on-write pair (uxs.Verified / trajectory.Route): a writer
+// mutex next to an atomic snapshot pointer.
+package snapfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type state struct {
+	n    int
+	seqs []int
+}
+
+// Box follows the copy-on-write atomic-snapshot pattern.
+type Box struct {
+	mu    sync.Mutex
+	snap  atomic.Pointer[state]
+	other int
+}
+
+// plain has a mutex but no snapshot pointer: not a pair, never checked.
+type plain struct {
+	mu sync.Mutex
+	n  int
+}
+
+// NewBox is the constructor shape: the stores precede publication of b,
+// so no lock is needed.
+func NewBox(n int) *Box {
+	b := &Box{}
+	b.snap.Store(&state{n: n})
+	return b
+}
+
+// Publish is the legal writer: clone, mutate, store under the mutex.
+func (b *Box) Publish(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur := b.snap.Load()
+	next := &state{n: n, seqs: append([]int(nil), cur.seqs...)}
+	b.snap.Store(next)
+}
+
+// Racy seeds the lost-update bug: two concurrent Racy calls both load,
+// both store, one update vanishes.
+func (b *Box) Racy(n int) {
+	cur := b.snap.Load()
+	b.snap.Store(&state{n: cur.n + n}) // want `without holding the writer mutex`
+}
+
+// Memo is the CAS shape: self-synchronizing, legal without the mutex.
+func (b *Box) Memo(s *state) *state {
+	for {
+		cur := b.snap.Load()
+		if cur != nil {
+			return cur
+		}
+		if b.snap.CompareAndSwap(nil, s) {
+			return s
+		}
+	}
+}
+
+// SlowRead seeds the read-path bug: it takes the writer lock just to
+// look at the snapshot, serializing every reader behind writers.
+func (b *Box) SlowRead() int {
+	b.mu.Lock() // want `read path acquires`
+	defer b.mu.Unlock()
+	return b.snap.Load().n
+}
+
+// FastRead is the legal reader: the snapshot pointer alone.
+func (b *Box) FastRead() int {
+	return b.snap.Load().n
+}
+
+// Bump locks the mutex to guard unrelated state and never touches the
+// snapshot: the mutex may guard more than the pointer.
+func (b *Box) Bump() {
+	b.mu.Lock()
+	b.other++
+	b.mu.Unlock()
+}
+
+// RacyAllowed shows a reviewed suppression.
+func (b *Box) RacyAllowed(s *state) {
+	//lint:allow snapshot -- single-writer phase before readers exist
+	b.snap.Store(s)
+}
+
+// lockedCounter uses the non-pair struct freely.
+func lockedCounter(p *plain) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	return p.n
+}

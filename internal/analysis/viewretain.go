@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// ViewRetainAnalyzer enforces the scheduler's view contract: the
+// sched.View an adversary receives in Next is a buffer the runner
+// reuses for every event — retaining it (or anything reachable from
+// it) across the call aliases live mutable scheduler state and breaks
+// determinism the moment the buffer is rewritten.
+//
+// The check is an intraprocedural escape walk over every function that
+// takes a View parameter (matching any type named View in a package
+// named sched, so fixtures and the root package's alias both count):
+// the parameter and everything derived from it by field selection,
+// indexing or address-taking is tainted; storing a tainted value into
+// anything that outlives the call — a field, a package variable, a
+// channel, a non-local slice or map, an escaping closure, a goroutine,
+// or the return value — is a violation. Copies made through method
+// calls (View.Agent returns an AgentView by value) are safe and stay
+// untainted.
+var ViewRetainAnalyzer = &analysis.Analyzer{
+	Name:     "viewretain",
+	Doc:      "flag adversaries that retain the scheduler's reused sched.View buffer beyond one call",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runViewRetain,
+}
+
+func runViewRetain(pass *analysis.Pass) (any, error) {
+	rep := newReporter(pass, "viewretain")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || inTestFile(pass.Fset, decl.Pos()) {
+			return
+		}
+		// Methods on View itself are the accessor surface; the escape
+		// contract binds their callers, not them.
+		if decl.Recv != nil && len(decl.Recv.List) == 1 &&
+			namedIn(pass.TypesInfo.TypeOf(decl.Recv.List[0].Type), "sched", "View") {
+			return
+		}
+		seeds := viewParams(pass, decl)
+		if len(seeds) == 0 {
+			return
+		}
+		checkRetention(pass, rep, decl, seeds)
+	})
+	return nil, nil
+}
+
+// viewParams returns the function's parameters of type sched.View or
+// *sched.View.
+func viewParams(pass *analysis.Pass, decl *ast.FuncDecl) map[*types.Var]bool {
+	seeds := make(map[*types.Var]bool)
+	for _, field := range decl.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !namedIn(t, "sched", "View") {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				seeds[v] = true
+			}
+		}
+	}
+	return seeds
+}
+
+// checkRetention runs the taint walk over one function body.
+func checkRetention(pass *analysis.Pass, rep *reporter, decl *ast.FuncDecl, tainted map[*types.Var]bool) {
+	info := pass.TypesInfo
+	params := make(map[*types.Var]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					params[v] = true
+				}
+			}
+		}
+	}
+	collect(decl.Recv)
+	collect(decl.Type.Params)
+	collect(decl.Type.Results)
+
+	var exprTainted func(e ast.Expr) bool
+	exprTainted = func(e ast.Expr) bool {
+		// A basic-typed value (int, string, bool...) is a scalar copy:
+		// retaining it aliases nothing.
+		if t := info.TypeOf(e); t != nil {
+			if _, basic := types.Unalias(t).Underlying().(*types.Basic); basic {
+				return false
+			}
+		}
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, ok := info.ObjectOf(x).(*types.Var)
+			return ok && tainted[v]
+		case *ast.SelectorExpr:
+			// Field selection stays inside the view's object graph;
+			// method values/calls return copies and are handled below.
+			if sel, ok := info.Selections[x]; ok && sel.Kind() != types.FieldVal {
+				return false
+			}
+			return exprTainted(x.X)
+		case *ast.IndexExpr:
+			return exprTainted(x.X)
+		case *ast.SliceExpr:
+			return exprTainted(x.X)
+		case *ast.StarExpr:
+			return exprTainted(x.X)
+		case *ast.UnaryExpr:
+			return exprTainted(x.X)
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if exprTainted(el) {
+					return true
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if isBuiltin(info, x, "append") {
+				for _, a := range x.Args {
+					if exprTainted(a) {
+						return true
+					}
+				}
+				return false
+			}
+			// A conversion preserves the value; a genuine call returns
+			// fresh results (View accessors copy by design).
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				return exprTainted(x.Args[0])
+			}
+			return false
+		case *ast.TypeAssertExpr:
+			return exprTainted(x.X)
+		}
+		return false
+	}
+
+	// localVar returns the assignable local (non-parameter) variable an
+	// lvalue roots in, or nil when the store lands outside the frame.
+	localVar := func(e ast.Expr) *types.Var {
+		id := rootIdent(e)
+		if id == nil {
+			return nil
+		}
+		v, ok := info.ObjectOf(id).(*types.Var)
+		if !ok || params[v] || v.Parent() == nil {
+			return nil
+		}
+		if v.Pos() < decl.Body.Pos() || v.Pos() > decl.Body.End() {
+			return nil // package-level or captured from an outer scope
+		}
+		return v
+	}
+
+	// walk makes one pass over the body, propagating taint through
+	// local assignments; when emit is set it also reports escapes. The
+	// phases are separate so the fixpoint iteration does not duplicate
+	// diagnostics.
+	walk := func(emit bool) (changed bool) {
+		report := func(n ast.Node, what string) {
+			if emit {
+				rep.reportf(n.Pos(), "%s stores view-derived state that outlives the call: the runner reuses the View buffer, so the stored value goes stale; copy what you need instead", what)
+			}
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					if len(x.Lhs) != len(x.Rhs) {
+						break // tuple from a call: results are untainted
+					}
+					if !exprTainted(rhs) {
+						continue
+					}
+					lhs := x.Lhs[i]
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if v, ok := info.ObjectOf(id).(*types.Var); ok && !params[v] {
+							if !tainted[v] {
+								tainted[v] = true
+								changed = true
+							}
+							continue
+						}
+						report(x, "assignment")
+						continue
+					}
+					if v := localVar(lhs); v != nil {
+						if !tainted[v] {
+							tainted[v] = true
+							changed = true
+						}
+						continue
+					}
+					report(x, "assignment")
+				}
+			case *ast.SendStmt:
+				if exprTainted(x.Value) {
+					report(x, "channel send")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range x.Results {
+					if exprTainted(r) {
+						report(x, "return")
+					}
+				}
+			case *ast.GoStmt:
+				for _, a := range x.Call.Args {
+					if exprTainted(a) {
+						report(x, "goroutine argument")
+					}
+				}
+			case *ast.FuncLit:
+				if immediatelyInvoked(decl.Body, x) {
+					return true
+				}
+				capture := false
+				ast.Inspect(x.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if v, ok := info.ObjectOf(id).(*types.Var); ok && tainted[v] {
+							capture = true
+						}
+					}
+					return !capture
+				})
+				if capture {
+					report(x, "closure capture")
+				}
+				return false // captures are the closure's only escape we model
+			}
+			return true
+		})
+		return changed
+	}
+
+	// Iterate to a fixpoint so taint flows through local chains
+	// (u := v; w := u; a.f = w), then report once.
+	for range 8 {
+		if !walk(false) {
+			break
+		}
+	}
+	walk(true)
+}
+
+// immediatelyInvoked reports whether lit appears as the callee of a
+// call expression (func(){...}() — no retention possible).
+func immediatelyInvoked(body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	invoked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == lit {
+			invoked = true
+		}
+		return !invoked
+	})
+	return invoked
+}

@@ -13,6 +13,8 @@ type RoundRobin struct {
 }
 
 // Next implements Adversary.
+//
+//rvlint:hotpath
 func (rr *RoundRobin) Next(v *View) (Event, bool) {
 	n := v.K()
 	if v.AnyDormant() {
@@ -52,10 +54,12 @@ type Biased struct {
 }
 
 // Next implements Adversary.
+//
+//rvlint:hotpath
 func (b *Biased) Next(v *View) (Event, bool) {
 	n := v.K()
 	if len(b.Weights) != n {
-		panic(fmt.Sprintf("sched: Biased has %d weights for %d agents", len(b.Weights), n))
+		badWeights(len(b.Weights), n)
 	}
 	if v.AnyDormant() {
 		for i := 0; i < n; i++ {
@@ -82,6 +86,12 @@ func (b *Biased) Next(v *View) (Event, bool) {
 	return Event{}, false
 }
 
+// badWeights fails loudly on a mis-sized weight vector (Biased.Next's
+// cold path, kept out of its hot body).
+func badWeights(have, want int) {
+	panic(fmt.Sprintf("sched: Biased has %d weights for %d agents", have, want))
+}
+
 // LateWake keeps every agent except Primary dormant for Hold events,
 // modelling the adversary's freedom to start agents at different times,
 // then falls back to round-robin. Dormant agents are still woken earlier
@@ -95,6 +105,8 @@ type LateWake struct {
 }
 
 // Next implements Adversary.
+//
+//rvlint:hotpath
 func (l *LateWake) Next(v *View) (Event, bool) {
 	if v.Steps < l.Hold {
 		if v.CanWake(l.Primary) {
@@ -122,15 +134,19 @@ func NewRandom(seed int64) *Random {
 }
 
 // Next implements Adversary.
+//
+//rvlint:hotpath
 func (r *Random) Next(v *View) (Event, bool) {
 	candidates := r.buf[:0]
 	anyDormant := v.AnyDormant()
 	for i, n := 0, v.K(); i < n; i++ {
 		if anyDormant && v.CanWake(i) {
-			candidates = append(candidates, Event{Kind: EventWake, Agent: i})
+			// The append target is r.buf, which grows to 2k once and is
+			// reused every event after; amortized cost is zero.
+			candidates = append(candidates, Event{Kind: EventWake, Agent: i}) //lint:allow hotalloc
 		}
 		if v.CanAdvance(i) {
-			candidates = append(candidates, Event{Kind: EventAdvance, Agent: i})
+			candidates = append(candidates, Event{Kind: EventAdvance, Agent: i}) //lint:allow hotalloc
 		}
 	}
 	r.buf = candidates
@@ -152,6 +168,8 @@ type Avoider struct {
 }
 
 // Next implements Adversary.
+//
+//rvlint:hotpath
 func (a *Avoider) Next(v *View) (Event, bool) {
 	n := v.K()
 	if v.AnyDormant() {

@@ -425,6 +425,8 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 // Run executes the simulation until the adversary rests, StopWhen fires,
 // MaxSteps is reached, or no agent can act. It returns the execution
 // summary. Run may be called once.
+//
+//rvlint:hotpath
 func (r *Runner) Run() Summary {
 	for _, i := range r.initialWake {
 		r.wake(i)
@@ -541,6 +543,8 @@ func (r *Runner) receiveDecision(st *agentState) {
 
 // commit validates and records one agent decision, whichever core
 // produced it.
+//
+//rvlint:hotpath
 func (r *Runner) commit(st *agentState, a Action) {
 	// An agent deciding has no uncommitted move: commit runs right after
 	// a wake or an arrival, both of which leave hasPending false.
@@ -550,7 +554,7 @@ func (r *Runner) commit(st *agentState, a Action) {
 	}
 	deg := r.g.Degree(st.pos.Node)
 	if a.Port < 0 || a.Port >= deg {
-		panic(fmt.Sprintf("sched: agent chose invalid port %d at degree-%d node", a.Port, deg))
+		invalidPort(a.Port, deg)
 	}
 	st.pendingPort = a.Port
 	st.hasPending = true
@@ -561,6 +565,8 @@ func (r *Runner) commit(st *agentState, a Action) {
 // half-step 1 (the agent entered an edge), which is the one transition
 // whose meeting detection the Run loop still owes. An invalid event is a
 // programming error in the strategy and panics loudly.
+//
+//rvlint:hotpath
 func (r *Runner) apply(ev Event) (enteredEdge bool) {
 	if ev.Agent < 0 || ev.Agent >= len(r.agents) {
 		r.invalidEvent(ev)
@@ -616,9 +622,16 @@ func (r *Runner) apply(ev Event) (enteredEdge bool) {
 	}
 }
 
-// invalidEvent fails loudly on a malformed adversary event.
+// invalidEvent fails loudly on a malformed adversary event. Cold by
+// construction: it exists so apply's hot body carries no fmt call.
 func (r *Runner) invalidEvent(ev Event) {
 	panic(fmt.Sprintf("sched: adversary issued invalid event %+v", ev))
+}
+
+// invalidPort fails loudly on an out-of-range port decision (commit's
+// cold path, kept out of its hot body).
+func invalidPort(port, deg int) {
+	panic(fmt.Sprintf("sched: agent chose invalid port %d at degree-%d node", port, deg))
 }
 
 // inContact reports the position-level contact condition between two
@@ -639,6 +652,8 @@ func inContact(a, b *agentState) bool {
 // are refreshed in place and nothing fires. This removes the full
 // all-pairs rescan from the per-event cost without changing which
 // meetings fire or when.
+//
+//rvlint:hotpath
 func (r *Runner) detectAfterMove(i int) {
 	k := len(r.agents)
 	si := r.agents[i]

@@ -28,6 +28,9 @@ type View struct {
 	agents []*agentState
 }
 
+// view refreshes and hands out the runner's single reused View buffer.
+//
+//rvlint:hotpath
 func (r *Runner) view() *View {
 	r.viewBuf.Steps = r.steps
 	return &r.viewBuf

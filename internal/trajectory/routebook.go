@@ -176,6 +176,7 @@ type routeStepper struct {
 	idx int
 }
 
+//rvlint:hotpath
 func (s *routeStepper) Next(deg, entry int) (int, bool) {
 	if s.st == nil || s.idx >= len(s.st.ports) {
 		s.st = s.rt.extendTo(s.idx + 1) // extendTo itself over-shoots by a batch
