@@ -40,6 +40,9 @@ type SweepOracle = campaign.Oracle
 // SweepCellResult pairs a cell with its outcome and oracle verdicts.
 type SweepCellResult = campaign.CellResult
 
+// SweepOracleFailure is one failed oracle verdict of a cell result.
+type SweepOracleFailure = campaign.OracleFailure
+
 // SweepReport is the aggregate outcome of a campaign.
 type SweepReport = campaign.Report
 
@@ -48,13 +51,9 @@ type SweepReport = campaign.Report
 // runs exactly the scenario the sweep ran.
 func CellScenario(c SweepCell) Scenario {
 	sc := Scenario{
-		Name: c.ID,
-		Kind: ScenarioKind(c.Kind),
-		Graph: GraphSpec{
-			Kind: c.Graph.Kind, N: c.Graph.N,
-			Rows: c.Graph.Rows, Cols: c.Graph.Cols,
-			P: c.Graph.P, Seed: c.Graph.Seed, Shuffle: c.Graph.Shuffle,
-		},
+		Name:      c.ID,
+		Kind:      ScenarioKind(c.Kind),
+		Graph:     cellGraphSpec(c),
 		Starts:    append([]int(nil), c.Starts...),
 		Adversary: c.Adversary,
 		Budget:    c.Budget,
@@ -64,6 +63,19 @@ func CellScenario(c SweepCell) Scenario {
 		sc.Labels = append(sc.Labels, Label(l))
 	}
 	return sc
+}
+
+// cellGraphSpec projects a sweep cell's graph parameters into the
+// GraphSpec its Scenario declares. It is also the graph half of the
+// batched tier's grouping key: cells with equal specs resolve, through
+// the prepared-scenario cache, to the same built *Graph, which is what
+// lets their lanes share one BatchRunner.
+func cellGraphSpec(c SweepCell) GraphSpec {
+	return GraphSpec{
+		Kind: c.Graph.Kind, N: c.Graph.N,
+		Rows: c.Graph.Rows, Cols: c.Graph.Cols,
+		P: c.Graph.P, Seed: c.Graph.Seed, Shuffle: c.Graph.Shuffle,
+	}
 }
 
 // ExpandSweep expands a sweep spec into its cells and the scenarios

@@ -18,8 +18,13 @@
 // flaky.
 //
 // Exit codes: 0 all oracles passed; 1 an oracle failed, the run was
-// interrupted, or an error occurred; 2 usage error; 3 the replayed
-// outcome diverged from the -against record.
+// interrupted, or an error occurred; 2 usage error — including a
+// malformed -against artifact (empty, truncated mid-record, garbage
+// where a record should be, or ambiguous: the replayed cell's seed
+// recorded more than once); 3 the replayed outcome diverged from the
+// -against record. A trailing newline or blank line after the last
+// NDJSON record is not malformed — every JSON decoder emits or
+// tolerates those.
 //
 // The process exits non-zero when any oracle fails, so a sweep doubles
 // as a CI gate. -cpuprofile/-memprofile write pprof profiles of the
@@ -250,6 +255,12 @@ func checkAgainst(path string, cr meetpoly.SweepCellResult, exit func(int)) bool
 	rec, found, fromReport, err := recordedCell(path, cr.Cell.Seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rvsweep:", err)
+		if errors.Is(err, errMalformedRecord) {
+			// A corrupt or ambiguous artifact is an input problem (exit
+			// 2), not an oracle verdict (1) and never a divergence (3):
+			// the comparison did not happen.
+			exit(2)
+		}
 		exit(1)
 	}
 	if !found {
@@ -301,6 +312,12 @@ func describeFailures(cr meetpoly.SweepCellResult) string {
 	return "failed oracles: " + strings.Join(names, ", ")
 }
 
+// errMalformedRecord tags artifact-shape failures apart from plain I/O
+// errors: checkAgainst maps it to the usage exit code (2), because a
+// comparison against a corrupt or ambiguous record never happened and
+// must not masquerade as an oracle verdict or a divergence.
+var errMalformedRecord = errors.New("malformed sweep record")
+
 // recordedCell looks a seed up in a recorded sweep artifact. It accepts
 // both artifact shapes rvsweep itself emits: the aggregate JSON report
 // of -json (which records only failing cells — fromReport is true) and
@@ -311,38 +328,69 @@ func recordedCell(path, seed string) (rec meetpoly.SweepCellResult, found, fromR
 		return rec, false, false, err
 	}
 	defer f.Close()
-	dec := json.NewDecoder(f)
-	var first json.RawMessage
-	if err := dec.Decode(&first); err != nil {
-		return rec, false, false, fmt.Errorf("reading record %s: %w", path, err)
+	return scanRecord(f, path, seed)
+}
+
+// scanRecord is recordedCell over an open reader — the unit the
+// malformed-input matrix tests. It always scans the artifact to the
+// end, even after the seed is found: a truncated tail or a second
+// record of the same seed makes the whole artifact untrustworthy, and
+// silently using the first hit would turn an ambiguous record into a
+// confident verdict. Trailing whitespace (the blank line a text editor
+// or `echo >>` appends) is not an error: the decoder consumes it as
+// inter-record space and reports a clean EOF.
+func scanRecord(r io.Reader, path, seed string) (rec meetpoly.SweepCellResult, found, fromReport bool, err error) {
+	dec := json.NewDecoder(r)
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		if errors.Is(err, io.EOF) {
+			return rec, false, false, fmt.Errorf("record %s is empty: %w", path, errMalformedRecord)
+		}
+		return rec, false, false, fmt.Errorf("reading record %s: %v: %w", path, err, errMalformedRecord)
 	}
 	// An aggregate report is a single object with campaign-level fields;
 	// a stream line is a cell result (whose "cell" object never gives
 	// Report a cell count).
 	var rep meetpoly.SweepReport
-	if err := json.Unmarshal(first, &rep); err == nil && (rep.Cells > 0 || len(rep.Group) > 0) {
+	if err := json.Unmarshal(raw, &rep); err == nil && (rep.Cells > 0 || len(rep.Group) > 0) {
 		for _, cand := range rep.Failures {
 			if cand.Cell.Seed == seed {
-				return cand, true, true, nil
+				if found {
+					return meetpoly.SweepCellResult{}, false, true, duplicateSeedErr(path, seed)
+				}
+				rec, found = cand, true
 			}
 		}
-		return rec, false, true, nil
+		return rec, found, true, nil
 	}
 	for {
 		var cand meetpoly.SweepCellResult
-		if err := json.Unmarshal(first, &cand); err != nil {
-			return rec, false, false, fmt.Errorf("parsing record %s: %w", path, err)
+		if err := json.Unmarshal(raw, &cand); err != nil {
+			return meetpoly.SweepCellResult{}, false, false,
+				fmt.Errorf("parsing record %s: %v: %w", path, err, errMalformedRecord)
 		}
 		if cand.Cell.Seed == seed {
-			return cand, true, false, nil
-		}
-		if err := dec.Decode(&first); err != nil {
-			if errors.Is(err, io.EOF) {
-				return rec, false, false, nil
+			if found {
+				return meetpoly.SweepCellResult{}, false, false, duplicateSeedErr(path, seed)
 			}
-			return rec, false, false, fmt.Errorf("reading record %s: %w", path, err)
+			rec, found = cand, true
+		}
+		if err := dec.Decode(&raw); err != nil {
+			if errors.Is(err, io.EOF) {
+				return rec, found, false, nil
+			}
+			return meetpoly.SweepCellResult{}, false, false,
+				fmt.Errorf("reading record %s: stream truncated or corrupt: %v: %w", path, err, errMalformedRecord)
 		}
 	}
+}
+
+// duplicateSeedErr reports an ambiguous artifact: the target cell is
+// recorded more than once, so there is no single outcome to compare
+// against.
+func duplicateSeedErr(path, seed string) error {
+	return fmt.Errorf("record %s contains seed %q more than once — ambiguous record (duplicate cell index): %w",
+		path, seed, errMalformedRecord)
 }
 
 func fatal(err error) {

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meetpoly"
+)
+
+// cellLine renders one NDJSON stream record for a seed, the way
+// `rvsweep -stream` emits it.
+func cellLine(t *testing.T, seed string, failed bool) string {
+	t.Helper()
+	cr := meetpoly.SweepCellResult{
+		Cell:    meetpoly.SweepCell{ID: "cell-" + seed, Seed: seed},
+		Outcome: meetpoly.SweepOutcome{Met: true, Cost: 3},
+	}
+	if failed {
+		cr.Failures = []meetpoly.SweepOracleFailure{{Oracle: "pi-bound", Err: "over bound"}}
+	}
+	out, err := json.Marshal(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out) + "\n"
+}
+
+// reportDoc renders an aggregate -json report artifact carrying the
+// given failing seeds.
+func reportDoc(t *testing.T, failSeeds ...string) string {
+	t.Helper()
+	rep := meetpoly.SweepReport{Cells: 4}
+	for _, s := range failSeeds {
+		rep.Failures = append(rep.Failures, meetpoly.SweepCellResult{
+			Cell:     meetpoly.SweepCell{ID: "cell-" + s, Seed: s},
+			Failures: []meetpoly.SweepOracleFailure{{Oracle: "pi-bound", Err: "over bound"}},
+		})
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestScanRecordMalformedInputMatrix pins the -against ingestion
+// contract over well-formed and malformed artifacts alike: trailing
+// blank lines are benign, truncated or garbage records and duplicate
+// seeds are errMalformedRecord (the exit-2 class), and lookups in clean
+// artifacts behave as documented.
+func TestScanRecordMalformedInputMatrix(t *testing.T) {
+	const seed = "camp#3"
+	other := cellLine(t, "camp#1", false)
+	target := cellLine(t, seed, false)
+	cases := map[string]struct {
+		input      string
+		found      bool
+		fromReport bool
+		malformed  bool
+	}{
+		"stream has seed":            {input: other + target, found: true},
+		"stream lacks seed":          {input: other + cellLine(t, "camp#9", true)},
+		"trailing newline":           {input: other + target + "\n", found: true},
+		"trailing blank lines":       {input: target + "\n\n  \n", found: true},
+		"empty file":                 {input: "", malformed: true},
+		"whitespace-only file":       {input: "\n \n", malformed: true},
+		"leading garbage":            {input: "not-json\n" + target, malformed: true},
+		"garbage between records":    {input: other + "not-json\n" + target, malformed: true},
+		"truncated final record":     {input: other + target[:len(target)/2], malformed: true},
+		"truncated after seed found": {input: target + other[:20], malformed: true},
+		"duplicate seed":             {input: target + other + target, malformed: true},
+		"array not stream":           {input: "[1, 2, 3]", malformed: true},
+		"report has seed":            {input: reportDoc(t, "camp#0", seed), found: true, fromReport: true},
+		"report lacks seed":          {input: reportDoc(t, "camp#0"), fromReport: true},
+		"report duplicate seed":      {input: reportDoc(t, seed, seed), fromReport: true, malformed: true},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			rec, found, fromReport, err := scanRecord(strings.NewReader(tc.input), "test-record", seed)
+			if tc.malformed {
+				if !errors.Is(err, errMalformedRecord) {
+					t.Fatalf("want errMalformedRecord, got err=%v (found=%v)", err, found)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if found != tc.found || fromReport != tc.fromReport {
+				t.Fatalf("found=%v fromReport=%v, want %v/%v", found, fromReport, tc.found, tc.fromReport)
+			}
+			if found && rec.Cell.Seed != seed {
+				t.Fatalf("found record carries seed %q, want %q", rec.Cell.Seed, seed)
+			}
+		})
+	}
+}
+
+// TestCheckAgainstExitCodes pins the exit classification: a malformed
+// artifact exits 2 (input problem), a seed missing from a stream record
+// exits 1, and a matching record exits nowhere and reports no
+// divergence.
+func TestCheckAgainstExitCodes(t *testing.T) {
+	const seed = "camp#3"
+	cr := meetpoly.SweepCellResult{
+		Cell:    meetpoly.SweepCell{ID: "cell-" + seed, Seed: seed},
+		Outcome: meetpoly.SweepOutcome{Met: true, Cost: 3},
+	}
+	write := func(t *testing.T, content string) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "record")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// run drives checkAgainst with an exit func that unwinds like
+	// os.Exit (the real one never returns).
+	type exited struct{ code int }
+	run := func(t *testing.T, path string) (code int, diverged bool) {
+		t.Helper()
+		code = -1
+		defer func() {
+			if r := recover(); r != nil {
+				if e, ok := r.(exited); ok {
+					code = e.code
+					return
+				}
+				panic(r)
+			}
+		}()
+		diverged = checkAgainst(path, cr, func(c int) { panic(exited{code: c}) })
+		return code, diverged
+	}
+
+	if code, _ := run(t, write(t, cellLine(t, seed, false)+cellLine(t, seed, false))); code != 2 {
+		t.Errorf("duplicate seed: exit %d, want 2", code)
+	}
+	if code, _ := run(t, write(t, "not-json\n")); code != 2 {
+		t.Errorf("garbage record: exit %d, want 2", code)
+	}
+	if code, _ := run(t, write(t, cellLine(t, "camp#1", false))); code != 1 {
+		t.Errorf("seed missing from stream: exit %d, want 1", code)
+	}
+	code, diverged := run(t, write(t, cellLine(t, seed, false)))
+	if code != -1 || diverged {
+		t.Errorf("matching record: exit %d diverged %v, want no exit and no divergence", code, diverged)
+	}
+}

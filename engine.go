@@ -38,6 +38,7 @@ type Engine struct {
 	autoExtend    bool
 	forceBlocking bool
 	usePrepCache  bool
+	batchTier     bool
 
 	// mu guards catalog coverage checks and extensions; sequence reads
 	// are internally synchronized by the catalog itself.
@@ -54,9 +55,16 @@ type Engine struct {
 	// once, and derives each (start, label) trajectory once. Custom
 	// registered kinds participate on the same terms; their Fingerprint
 	// is how a builder that closes over configuration keys its variants.
-	prepCache    sync.Map // prepKey -> *preparedGraph
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
+	prepCache sync.Map // prepKey -> *preparedGraph
+	// cacheStats packs the cache's hit and miss counters into one word —
+	// hits in the high 32 bits, misses in the low 32 — so a preparation
+	// is one atomic add and CacheStats reads a consistent (hits, misses)
+	// pair with one load. Two separate counters could tear between their
+	// loads: a snapshot whose sum disagrees with the preparations any
+	// observer counted. 32 bits of headroom per counter bounds an engine
+	// to ~4.3e9 preparations before wrap, far beyond what the campaign
+	// expansion caps admit in one engine's lifetime.
+	cacheStats   atomic.Uint64
 	catalogEpoch atomic.Int64 // bumped on catalog extension: route books expire
 	boundModel   atomic.Pointer[boundModelEpoch]
 }
@@ -148,9 +156,9 @@ func (e *Engine) preparedFor(spec GraphSpec) *preparedGraph {
 		v, loaded = e.prepCache.LoadOrStore(key, &preparedGraph{})
 	}
 	if loaded {
-		e.cacheHits.Add(1)
+		e.cacheStats.Add(cacheHitInc)
 	} else {
-		e.cacheMisses.Add(1)
+		e.cacheStats.Add(cacheMissInc)
 	}
 	pg := v.(*preparedGraph)
 	pg.buildOnce.Do(func() { pg.build(spec) })
@@ -165,9 +173,20 @@ type CacheStats struct {
 	Misses int64
 }
 
-// CacheStats returns a snapshot of the prepared-scenario cache counters.
+// Increments of the packed cache-stat word: hits live in the high 32
+// bits, misses in the low 32.
+const (
+	cacheHitInc  = uint64(1) << 32
+	cacheMissInc = uint64(1)
+)
+
+// CacheStats returns a consistent snapshot of the prepared-scenario
+// cache counters: both are decoded from one atomic load of the packed
+// word, so Hits+Misses always equals the number of preparations that
+// had completed their count at some single instant.
 func (e *Engine) CacheStats() CacheStats {
-	return CacheStats{Hits: e.cacheHits.Load(), Misses: e.cacheMisses.Load()}
+	s := e.cacheStats.Load()
+	return CacheStats{Hits: int64(s >> 32), Misses: int64(s & (cacheHitInc - 1))}
 }
 
 // engineConfig collects option state before construction.
@@ -180,6 +199,7 @@ type engineConfig struct {
 	autoExtend     bool
 	directDispatch bool
 	preparedCache  bool
+	batched        bool
 }
 
 // Option configures NewEngine.
@@ -233,12 +253,26 @@ func WithDirectDispatch(on bool) Option { return func(c *engineConfig) { c.direc
 // unbounded streams of distinct specs where the cache could only grow.
 func WithPreparedCache(on bool) Option { return func(c *engineConfig) { c.preparedCache = on } }
 
+// WithBatchedExecution controls the sweep's batched execution tier (on
+// by default). On, sweep workers group batchable cells that share a
+// prepared graph — contiguous under the campaign walk order — into
+// lanes of one lockstep BatchRunner, paying the per-cell dispatch
+// overhead (runner construction, per-agent state, pooled scratch churn)
+// once per batch instead of once per cell. The tier engages only when
+// its preconditions hold (prepared cache on, direct dispatch on, no
+// observer attached) and only for kinds that declare the two-walker
+// lane shape; everything else runs on the per-cell tiers unchanged.
+// Batched and per-cell execution are observationally identical — the
+// batch differential test enforces byte-identical sweep reports —
+// and turning the tier off exists for exactly that comparison.
+func WithBatchedExecution(on bool) Option { return func(c *engineConfig) { c.batched = on } }
+
 // NewEngine builds an engine. With no options it verifies a compact
 // exploration catalog on the standard graph families up to 6 nodes,
 // exactly like NewEnv(6, 1).
 func NewEngine(opts ...Option) *Engine {
 	cfg := engineConfig{maxN: 6, seed: 1, parallelism: runtime.GOMAXPROCS(0), autoExtend: true,
-		directDispatch: true, preparedCache: true}
+		directDispatch: true, preparedCache: true, batched: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -254,6 +288,7 @@ func NewEngine(opts ...Option) *Engine {
 		autoExtend:    cfg.autoExtend,
 		forceBlocking: !cfg.directDispatch,
 		usePrepCache:  cfg.preparedCache,
+		batchTier:     cfg.batched,
 	}
 	if cfg.obs != nil {
 		e.obs = &lockedObserver{inner: cfg.obs}
@@ -684,15 +719,25 @@ func (e *Engine) sweepSeq(ctx context.Context, spec SweepSpec, mkOracles func() 
 		// results nobody will read.
 		stop := make(chan struct{})
 		defer close(stop)
-		cellCh := make(chan SweepCell, 2*workers)
+		workCh := make(chan sweepWork, 2*workers)
 		resCh := make(chan SweepCellResult, 2*workers)
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				for cell := range cellCh {
-					cr := e.runCell(runCtx, cell, oracles)
+				for work := range workCh {
+					if work.batch != nil {
+						for _, cr := range e.runCellBatch(runCtx, work.batch, oracles) {
+							select {
+							case resCh <- cr:
+							case <-stop:
+								return
+							}
+						}
+						continue
+					}
+					cr := e.runCell(runCtx, work.cell, oracles)
 					select {
 					case resCh <- cr:
 					case <-stop:
@@ -702,17 +747,54 @@ func (e *Engine) sweepSeq(ctx context.Context, spec SweepSpec, mkOracles func() 
 			}()
 		}
 		go func() {
-			defer close(cellCh)
+			defer close(workCh)
+			// Batched-tier grouping: batchable cells sharing one (kind,
+			// graph) key arrive contiguously under the campaign walk's
+			// axis order, so a single pending batch plus a flush on key
+			// change groups them without any map state.
+			batching := e.batchEligible()
+			var (
+				pending []SweepCell
+				pendKey batchKey
+			)
+			flush := func() bool {
+				if len(pending) == 0 {
+					return true
+				}
+				w := sweepWork{batch: pending}
+				pending = nil
+				select {
+				case workCh <- w:
+					return true
+				case <-stop:
+					return false
+				}
+			}
 			// The walk only fails on validation errors, which CountSweep
 			// ruled out above.
 			WalkSweep(spec, func(c SweepCell) bool { //nolint:errcheck // validated above
+				if batching && batchableKind(ScenarioKind(c.Kind)) {
+					key := batchKey{kind: c.Kind, graph: cellGraphSpec(c)}
+					if len(pending) > 0 && (key != pendKey || len(pending) >= sweepBatchSize) {
+						if !flush() {
+							return false
+						}
+					}
+					pendKey = key
+					pending = append(pending, c)
+					return true
+				}
+				if !flush() {
+					return false
+				}
 				select {
-				case cellCh <- c:
+				case workCh <- sweepWork{cell: c}:
 					return true
 				case <-stop:
 					return false
 				}
 			})
+			flush()
 		}()
 		go func() {
 			wg.Wait()

@@ -1,0 +1,549 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"meetpoly/internal/graph"
+	"meetpoly/internal/rverr"
+)
+
+// BatchRunner executes many independent two-agent cells ("lanes") that
+// share one graph in lockstep through a single scheduler loop. It is
+// the sweep's third execution tier (after the goroutine core and the
+// direct-dispatch Stepper core): where the Runner pays per-cell
+// dispatch overhead — a Runner, two Procs, a view buffer, pooled
+// scratch churn — once per cell, the BatchRunner pays it once per
+// batch and keeps all lane state in dense structure-of-arrays buffers
+// indexed by lane.
+//
+// Each lane is a complete, independent execution: its own two agents,
+// its own adversary instance, its own step/meeting bookkeeping. The
+// lockstep loop gives every live lane one adversary event per pass, so
+// a batch of cells advances through shared-cache-friendly arrays
+// instead of hundreds of scattered Runner heaps. Because lanes share
+// the graph (and, above this layer, one trajectory.RouteBook), the
+// per-event work is identical to the single-cell Runner's — the
+// equivalence the batch differential tests pin down to byte-identical
+// sweep reports.
+//
+// Lanes hold exactly two agents (laneAgents): the rendezvous shape
+// every batchable scenario kind reduces to. Both agents are woken, in
+// index order, before the first adversary event — the InitiallyAwake =
+// [0, 1] convention of the rendezvous runners. Agents must be
+// self-contained Steppers that ignore their *Proc handle (Walker is
+// the canonical one); the BatchRunner dispatches Step with a nil Proc.
+type BatchRunner struct {
+	g   *graph.Graph
+	ctx context.Context
+
+	// Dense lane-major state: states holds laneAgents entries per lane,
+	// every other slice one entry per lane.
+	states     []agentState
+	ptrs       []*agentState
+	views      []View
+	advs       []Adversary
+	steps      []int
+	maxSteps   []int
+	dormant    []int
+	pending    []int
+	contact    []bool // the lane's single (0,1) pair contact bit
+	stopAtMeet []bool
+	canceled   []bool
+	done       []bool // lane retired normally (budget, stop, rest)
+	meetings   [][]Meeting
+	active     []int32 // live lane indices, compacted as lanes retire
+
+	scratch *batchScratch
+	ran     bool
+	closed  bool
+}
+
+// laneAgents is the fixed team size of a batch lane.
+const laneAgents = 2
+
+// batchCtxPollStride is the batch analogue of ctxPollStride: the loop
+// counts adversary events across all lanes and polls the context every
+// stride. The counter is per batch, not per lane, so cancellation
+// latency is bounded by stride events total — independent of how many
+// lanes are in flight or how the adversaries interleave.
+const batchCtxPollStride = 64
+
+// LaneConfig describes one cell of a batch.
+type LaneConfig struct {
+	// Starts are the two distinct starting nodes.
+	Starts [2]int
+	// Agents are the two agents. They must decide purely from their
+	// Step observations (the *Proc argument is nil in batch dispatch).
+	Agents [2]Stepper
+	// Adversary schedules this lane. Instances must not be shared
+	// across lanes: every builtin strategy carries per-run state.
+	Adversary Adversary
+	// MaxSteps bounds the lane's adversary events (same safety net as
+	// Config.MaxSteps).
+	MaxSteps int
+	// StopAtFirstMeeting retires the lane once any meeting has fired.
+	StopAtFirstMeeting bool
+}
+
+// batchScratch is the pooled buffer set of one BatchRunner, the batch
+// analogue of runScratch: a sweep worker filling batches back-to-back
+// reuses one set of dense arrays instead of re-allocating lane state
+// for every batch.
+type batchScratch struct {
+	states     []agentState
+	ptrs       []*agentState
+	views      []View
+	advs       []Adversary
+	steps      []int
+	maxSteps   []int
+	dormant    []int
+	pending    []int
+	contact    []bool
+	stopAtMeet []bool
+	canceled   []bool
+	done       []bool
+	meetings   [][]Meeting
+	active     []int32
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// zeroedCap returns s cleared over its FULL capacity with length zero:
+// the pool-hygiene primitive. Clearing only the live prefix would let a
+// previous, larger tenant's pointers (agents, adversaries, meeting
+// participant slices) stay reachable through the pooled backing array.
+func zeroedCap[T any](s []T) []T {
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
+}
+
+// NewBatchRunner prepares an empty batch over g. Add lanes with
+// AddLane, execute with Run, read lanes back with Summary, and Close to
+// return the batch's buffers to the pool. ctx, if non-nil, cancels the
+// lockstep loop between events; lanes not yet retired then report
+// Canceled summaries.
+func NewBatchRunner(ctx context.Context, g *graph.Graph) (*BatchRunner, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sched: nil graph: %w", rverr.ErrInvalidScenario)
+	}
+	s := batchScratchPool.Get().(*batchScratch)
+	return &BatchRunner{
+		g:   g,
+		ctx: ctx,
+
+		states:     s.states[:0],
+		advs:       s.advs[:0],
+		steps:      s.steps[:0],
+		maxSteps:   s.maxSteps[:0],
+		dormant:    s.dormant[:0],
+		pending:    s.pending[:0],
+		contact:    s.contact[:0],
+		stopAtMeet: s.stopAtMeet[:0],
+		canceled:   s.canceled[:0],
+		done:       s.done[:0],
+		meetings:   s.meetings[:0],
+
+		scratch: s,
+	}, nil
+}
+
+// Lanes returns the number of lanes added so far.
+func (b *BatchRunner) Lanes() int { return len(b.advs) }
+
+// AddLane validates and appends one lane, returning its index. The
+// validation mirrors NewRunner's so a cell rejected by the single-cell
+// reference core is rejected here with the same error category.
+func (b *BatchRunner) AddLane(cfg LaneConfig) (int, error) {
+	if b.ran {
+		return 0, fmt.Errorf("sched: AddLane after Run: %w", rverr.ErrInvalidScenario)
+	}
+	for _, s := range cfg.Starts {
+		if s < 0 || s >= b.g.N() {
+			return 0, fmt.Errorf("sched: start node %d out of range: %w", s, rverr.ErrInvalidScenario)
+		}
+	}
+	if cfg.Starts[0] == cfg.Starts[1] {
+		return 0, fmt.Errorf("sched: duplicate start node %d: %w", cfg.Starts[0], rverr.ErrInvalidScenario)
+	}
+	if cfg.Agents[0] == nil || cfg.Agents[1] == nil {
+		return 0, fmt.Errorf("sched: nil lane agent: %w", rverr.ErrInvalidScenario)
+	}
+	if cfg.Adversary == nil {
+		return 0, fmt.Errorf("sched: nil lane adversary: %w", rverr.ErrInvalidScenario)
+	}
+	if cfg.MaxSteps <= 0 {
+		return 0, fmt.Errorf("sched: MaxSteps must be positive: %w", rverr.ErrInvalidScenario)
+	}
+	l := len(b.advs)
+	for i := 0; i < laneAgents; i++ {
+		b.states = append(b.states, agentState{
+			agent:   cfg.Agents[i],
+			stepper: cfg.Agents[i],
+			id:      i,
+			status:  StatusDormant,
+			pos:     Position{Kind: AtNode, Node: cfg.Starts[i]},
+		})
+	}
+	b.advs = append(b.advs, cfg.Adversary)
+	b.steps = append(b.steps, 0)
+	b.maxSteps = append(b.maxSteps, cfg.MaxSteps)
+	b.dormant = append(b.dormant, laneAgents)
+	b.pending = append(b.pending, 0)
+	b.contact = append(b.contact, false)
+	b.stopAtMeet = append(b.stopAtMeet, cfg.StopAtFirstMeeting)
+	b.canceled = append(b.canceled, false)
+	b.done = append(b.done, false)
+	b.meetings = append(b.meetings, nil)
+	return l, nil
+}
+
+// Run executes every lane to completion (or cancellation) and may be
+// called once. Lane state is finalized here — the append-driven AddLane
+// phase is over, so interior pointers and per-lane views taken now stay
+// valid for the whole run.
+func (b *BatchRunner) Run() {
+	if b.ran || b.closed {
+		panic("sched: BatchRunner.Run on a running or closed batch")
+	}
+	b.ran = true
+	lanes := len(b.advs)
+	if lanes == 0 {
+		return
+	}
+	b.finalize(lanes)
+	// Initial wakes, in lane then agent order: the InitiallyAwake=[0,1]
+	// convention of the rendezvous runners. Waking moves nobody and the
+	// lane validator rejects shared starts, so the single-cell core's
+	// post-wake detection pass cannot fire here and is skipped.
+	for l := 0; l < lanes; l++ {
+		b.wakeLane(l, 0)
+		b.wakeLane(l, 1)
+	}
+	if b.ctx != nil && b.ctx.Err() != nil {
+		b.cancelRemaining()
+		return
+	}
+	b.loop()
+}
+
+// finalize sizes the pointer/view/active arrays over the now-stable
+// lane state (cold: runs once per batch).
+func (b *BatchRunner) finalize(lanes int) {
+	s := b.scratch
+	if cap(s.ptrs) < laneAgents*lanes {
+		s.ptrs = make([]*agentState, laneAgents*lanes)
+	}
+	if cap(s.views) < lanes {
+		s.views = make([]View, lanes)
+	}
+	if cap(s.active) < lanes {
+		s.active = make([]int32, lanes)
+	}
+	b.ptrs = s.ptrs[:laneAgents*lanes]
+	b.views = s.views[:lanes]
+	b.active = s.active[:lanes]
+	for i := range b.states {
+		b.ptrs[i] = &b.states[i]
+	}
+	for l := 0; l < lanes; l++ {
+		base := laneAgents * l
+		b.views[l] = View{
+			g:       b.g,
+			dormant: &b.dormant[l],
+			agents:  b.ptrs[base : base+laneAgents : base+laneAgents],
+		}
+		b.active[l] = int32(l)
+	}
+}
+
+// loop is the lockstep scheduler: every pass hands each live lane one
+// adversary event and compacts retired lanes out of the active list.
+// The context is polled on a batch-wide event counter (see
+// batchCtxPollStride); every counted event advances some lane's steps,
+// and lanes that cannot advance retire, so the poll cannot be starved.
+//
+//rvlint:hotpath
+func (b *BatchRunner) loop() {
+	active := b.active
+	poll := batchCtxPollStride
+	for len(active) > 0 {
+		w := 0
+		for _, li := range active {
+			poll--
+			if poll <= 0 {
+				poll = batchCtxPollStride
+				if b.ctx != nil && b.ctx.Err() != nil {
+					b.cancelRemaining()
+					return
+				}
+			}
+			if b.stepLane(int(li)) {
+				active[w] = li
+				w++
+			} else {
+				b.done[li] = true
+			}
+		}
+		active = active[:w]
+	}
+}
+
+// cancelRemaining marks every lane that has not retired normally as
+// canceled, wherever the current lockstep pass left it.
+func (b *BatchRunner) cancelRemaining() {
+	for l, d := range b.done {
+		if !d {
+			b.canceled[l] = true
+		}
+	}
+}
+
+// stepLane runs one adversary event for lane l, mirroring the
+// single-cell Run loop's per-iteration order exactly: budget, stop
+// conditions, liveness, adversary decision, application, step count,
+// crossing detection. It reports whether the lane stays live.
+//
+//rvlint:hotpath
+func (b *BatchRunner) stepLane(l int) bool {
+	if b.steps[l] >= b.maxSteps[l] {
+		return false
+	}
+	if b.stopAtMeet[l] && len(b.meetings[l]) > 0 {
+		return false
+	}
+	if b.dormant[l] == 0 && b.pending[l] == 0 {
+		return false
+	}
+	v := &b.views[l]
+	v.Steps = b.steps[l]
+	ev, ok := b.advs[l].Next(v)
+	if !ok {
+		return false
+	}
+	entered := b.applyLane(l, ev)
+	b.steps[l]++
+	if entered {
+		// Half-step 1 (leaving a node) can create a crossing contact;
+		// arrivals already ran their detection inside applyLane, before
+		// the arriving agent's next decision, and wakes move nobody.
+		b.detectLaneMove(l, ev.Agent)
+	}
+	return true
+}
+
+// applyLane executes one adversary event in lane l and reports whether
+// it was a half-step 1 (the agent entered an edge) — the transition
+// whose meeting detection stepLane still owes. Same contract as the
+// single-cell apply.
+//
+//rvlint:hotpath
+func (b *BatchRunner) applyLane(l int, ev Event) (enteredEdge bool) {
+	if ev.Agent < 0 || ev.Agent >= laneAgents {
+		invalidBatchEvent(ev)
+	}
+	st := &b.states[laneAgents*l+ev.Agent]
+	switch ev.Kind {
+	case EventWake:
+		if st.status != StatusDormant {
+			invalidBatchEvent(ev)
+		}
+		b.wakeLane(l, ev.Agent)
+		return false
+	case EventAdvance:
+		if st.status != StatusActive || !st.hasPending {
+			invalidBatchEvent(ev)
+		}
+		if st.pos.Kind == AtNode {
+			// Half-step 1: leave the node, resolving the arrival entry
+			// port here so the arrival half-step need not repeat it.
+			from := st.pos.Node
+			to, entry := b.g.Succ(from, st.pendingPort)
+			st.pos = Position{Kind: InEdge, From: from, To: to}
+			st.pendingEntry = entry
+			return true
+		}
+		// Half-step 2: arrive.
+		to := st.pos.To
+		entry := st.pendingEntry
+		st.pos = Position{Kind: AtNode, Node: to}
+		st.traversals++
+		st.hasPending = false
+		b.pending[l]--
+		// Meetings caused by the arrival are delivered before the agent
+		// decides its next action, exactly like the single-cell core.
+		b.detectLaneMove(l, ev.Agent)
+		b.commitLane(l, st, st.stepper.Step(nil, Observation{Degree: b.g.Degree(to), Entry: entry}))
+		return false
+	default:
+		invalidBatchEvent(ev)
+		return false
+	}
+}
+
+// wakeLane activates a dormant lane agent and records its first
+// decision (always inline: lanes hold Steppers by construction).
+//
+//rvlint:hotpath
+func (b *BatchRunner) wakeLane(l, i int) {
+	st := &b.states[laneAgents*l+i]
+	if st.status != StatusDormant {
+		return
+	}
+	st.status = StatusActive
+	b.dormant[l]--
+	b.commitLane(l, st, st.stepper.Step(nil, Observation{Degree: b.g.Degree(st.pos.Node), Entry: -1}))
+}
+
+// commitLane validates and records one lane agent decision.
+//
+//rvlint:hotpath
+func (b *BatchRunner) commitLane(l int, st *agentState, a Action) {
+	if a.Halt {
+		st.status = StatusHalted
+		return
+	}
+	deg := b.g.Degree(st.pos.Node)
+	if a.Port < 0 || a.Port >= deg {
+		invalidPort(a.Port, deg)
+	}
+	st.pendingPort = a.Port
+	st.hasPending = true
+	b.pending[l]++
+}
+
+// detectLaneMove is the two-agent incremental meeting check after a
+// lane agent moved a half-step: the k==2 fast path of the single-cell
+// detectAfterMove, against the lane's single pair contact bit.
+//
+//rvlint:hotpath
+func (b *BatchRunner) detectLaneMove(l, i int) {
+	base := laneAgents * l
+	if inContact(&b.states[base+i], &b.states[base+(1-i)]) {
+		if !b.contact[l] {
+			b.fireLaneMeeting(l)
+		}
+	} else {
+		b.contact[l] = false
+	}
+}
+
+// fireLaneMeeting publishes payloads, delivers OnMeet to both lane
+// agents, records the Meeting and wakes dormant participants — the
+// lane-local fireMeeting. Cold relative to the event loop (it runs at
+// most once per lane under rendezvous semantics), so it may allocate.
+func (b *BatchRunner) fireLaneMeeting(l int) {
+	base := laneAgents * l
+	a0, a1 := &b.states[base], &b.states[base+1]
+	b.contact[l] = true
+	inEdge := a0.pos.Kind == InEdge
+	node := 0
+	var edge [2]int
+	if inEdge {
+		edge = canonEdge(a0.pos.From, a0.pos.To)
+	} else {
+		node = a0.pos.Node
+	}
+	p0 := Peer{ID: 0, Payload: a0.agent.Publish()}
+	p1 := Peer{ID: 1, Payload: a1.agent.Publish()}
+	step := b.steps[l]
+	a0.agent.OnMeet(Encounter{Step: step, InEdge: inEdge, Peers: []Peer{p1}})
+	a1.agent.OnMeet(Encounter{Step: step, InEdge: inEdge, Peers: []Peer{p0}})
+	cost := a0.traversals + a1.traversals
+	committed := cost
+	if a0.pos.Kind == InEdge {
+		committed++
+	}
+	if a1.pos.Kind == InEdge {
+		committed++
+	}
+	b.meetings[l] = append(b.meetings[l], Meeting{
+		Step: step, Participants: []int{0, 1},
+		InEdge: inEdge, Node: node, Edge: edge,
+		Cost: cost, Committed: committed,
+	})
+	// A dormant agent is woken by an agent visiting its start node.
+	if a0.status == StatusDormant {
+		b.wakeLane(l, 0)
+	}
+	if a1.status == StatusDormant {
+		b.wakeLane(l, 1)
+	}
+}
+
+// invalidBatchEvent fails loudly on a malformed adversary event (cold
+// path, kept out of applyLane's hot body).
+func invalidBatchEvent(ev Event) {
+	panic(fmt.Sprintf("sched: adversary issued invalid event %+v", ev))
+}
+
+// Summary returns lane l's execution summary, in exactly the shape the
+// single-cell Runner produces for the same cell.
+func (b *BatchRunner) Summary(l int) Summary {
+	base := laneAgents * l
+	a0, a1 := &b.states[base], &b.states[base+1]
+	s := Summary{
+		Steps:      b.steps[l],
+		Meetings:   append([]Meeting(nil), b.meetings[l]...),
+		Traversals: []int{a0.traversals, a1.traversals},
+		TotalCost:  a0.traversals + a1.traversals,
+		Canceled:   b.canceled[l],
+		Exhausted:  !b.canceled[l] && b.steps[l] >= b.maxSteps[l],
+	}
+	s.Account.MaxPerAgent = a0.traversals
+	if a1.traversals > s.Account.MaxPerAgent {
+		s.Account.MaxPerAgent = a1.traversals
+	}
+	inFlight := 0
+	if a0.pos.Kind == InEdge {
+		inFlight++
+	}
+	if a1.pos.Kind == InEdge {
+		inFlight++
+	}
+	s.Account.Committed = s.TotalCost + inFlight
+	if len(b.meetings[l]) > 0 {
+		m := b.meetings[l][0]
+		s.FirstMeeting = &m
+	}
+	return s
+}
+
+// Close returns the batch's buffers to the pool. Safe to call many
+// times. Summary values remain valid after Close (they are copies), but
+// Summary itself must not be called on a closed batch.
+func (b *BatchRunner) Close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	s := b.scratch
+	if s == nil {
+		return
+	}
+	b.scratch = nil
+	// Same pool hygiene as the single-cell Close: the Put is deferred so
+	// the scratch returns even if a clear panics, and the pointer-bearing
+	// buffers are zeroed over their FULL capacity so no previous tenant's
+	// agents, adversaries or meeting slices stay reachable.
+	defer batchScratchPool.Put(s)
+	s.states = zeroedCap(b.states)
+	s.ptrs = zeroedCap(b.ptrs)
+	s.views = zeroedCap(b.views)
+	s.advs = zeroedCap(b.advs)
+	s.meetings = zeroedCap(b.meetings)
+	s.steps = b.steps[:0]
+	s.maxSteps = b.maxSteps[:0]
+	s.dormant = b.dormant[:0]
+	s.pending = b.pending[:0]
+	s.contact = b.contact[:0]
+	s.stopAtMeet = b.stopAtMeet[:0]
+	s.canceled = b.canceled[:0]
+	s.done = b.done[:0]
+	s.active = b.active[:0]
+	b.states, b.ptrs, b.views, b.advs, b.meetings = nil, nil, nil, nil, nil
+	b.steps, b.maxSteps, b.dormant, b.pending = nil, nil, nil, nil
+	b.contact, b.stopAtMeet, b.canceled, b.done, b.active = nil, nil, nil, nil, nil
+}

@@ -1,0 +1,329 @@
+package sched
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"meetpoly/internal/graph"
+)
+
+// cycle is an endless deterministic stepper walking a repeating port
+// pattern (mod degree): cheap per-lane trajectory variety for the
+// batch/runner differential tests.
+type cycle struct {
+	seq []int
+	i   int
+}
+
+func (c *cycle) Next(deg, entry int) (int, bool) {
+	if deg == 0 {
+		return 0, false
+	}
+	p := c.seq[c.i%len(c.seq)] % deg
+	c.i++
+	return p, true
+}
+
+// batchCase is one cell of the differential matrix: a start pair, two
+// trajectory patterns, an adversary, and rendezvous-or-not semantics.
+type batchCase struct {
+	starts [2]int
+	seqA   []int
+	seqB   []int
+	adv    string
+	budget int
+	stop   bool
+}
+
+// mkAdversary builds a fresh adversary instance per run: every builtin
+// strategy carries per-run state, so instances must never be shared
+// between the reference run and the batch lane.
+func mkAdversary(t *testing.T, name string) Adversary {
+	t.Helper()
+	mk, ok := Strategies(2)[name]
+	if !ok {
+		t.Fatalf("unknown adversary %q", name)
+	}
+	return mk()
+}
+
+// runReference executes one case on the single-cell Runner.
+func runReference(t *testing.T, g *graph.Graph, c batchCase) Summary {
+	t.Helper()
+	r, err := NewRunner(Config{
+		Graph:  g,
+		Starts: []int{c.starts[0], c.starts[1]},
+		Agents: []Agent{
+			&Walker{Stepper: &cycle{seq: c.seqA}, StopAtMeeting: c.stop},
+			&Walker{Stepper: &cycle{seq: c.seqB}, StopAtMeeting: c.stop},
+		},
+		InitiallyAwake:     []int{0, 1},
+		StopAtFirstMeeting: c.stop,
+		MaxSteps:           c.budget,
+	}, mkAdversary(t, c.adv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	return r.Run()
+}
+
+// TestBatchMatchesRunner is the scheduler-level equivalence gate: every
+// lane of a shared-graph batch must produce a Summary deep-equal to the
+// single-cell reference core run on the same cell, across every builtin
+// adversary, several start pairs and trajectories, and both stopping
+// modes.
+func TestBatchMatchesRunner(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"ring-7":   graph.Ring(7),
+		"path-5":   graph.Path(5),
+		"clique-4": graph.Complete(4),
+	}
+	advs := []string{"round-robin", "biased", "late-wake", "random", "avoider"}
+	for gname, g := range graphs {
+		t.Run(gname, func(t *testing.T) {
+			var cases []batchCase
+			pairs := [][2]int{{0, 1}, {0, 3}, {1, 2}, {2, 0}}
+			seqs := [][]int{{0}, {1}, {0, 1}, {1, 0, 0}, {2, 1}}
+			for i, p := range pairs {
+				for _, adv := range advs {
+					cases = append(cases, batchCase{
+						starts: p,
+						seqA:   seqs[i%len(seqs)],
+						seqB:   seqs[(i+2)%len(seqs)],
+						adv:    adv,
+						budget: 200 + 37*i,
+						stop:   i%2 == 0,
+					})
+				}
+			}
+			b, err := NewBatchRunner(context.Background(), g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			for _, c := range cases {
+				_, err := b.AddLane(LaneConfig{
+					Starts: c.starts,
+					Agents: [2]Stepper{
+						&Walker{Stepper: &cycle{seq: c.seqA}, StopAtMeeting: c.stop},
+						&Walker{Stepper: &cycle{seq: c.seqB}, StopAtMeeting: c.stop},
+					},
+					Adversary:          mkAdversary(t, c.adv),
+					MaxSteps:           c.budget,
+					StopAtFirstMeeting: c.stop,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			b.Run()
+			for l, c := range cases {
+				want := runReference(t, g, c)
+				got := b.Summary(l)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("lane %d (%+v) diverges from reference core:\n got %+v\nwant %+v", l, c, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchLaneValidation checks that AddLane rejects exactly what
+// NewRunner would reject for the corresponding single cell.
+func TestBatchLaneValidation(t *testing.T) {
+	g := graph.Ring(5)
+	w := func() [2]Stepper {
+		return [2]Stepper{&Walker{Stepper: script(0)}, &Walker{Stepper: script(0)}}
+	}
+	ok := LaneConfig{Starts: [2]int{0, 2}, Agents: w(), Adversary: &RoundRobin{}, MaxSteps: 10}
+	cases := map[string]func(LaneConfig) LaneConfig{
+		"start out of range": func(c LaneConfig) LaneConfig { c.Starts[1] = 5; return c },
+		"negative start":     func(c LaneConfig) LaneConfig { c.Starts[0] = -1; return c },
+		"duplicate starts":   func(c LaneConfig) LaneConfig { c.Starts = [2]int{3, 3}; return c },
+		"nil agent":          func(c LaneConfig) LaneConfig { c.Agents[0] = nil; return c },
+		"nil adversary":      func(c LaneConfig) LaneConfig { c.Adversary = nil; return c },
+		"zero budget":        func(c LaneConfig) LaneConfig { c.MaxSteps = 0; return c },
+	}
+	b, err := NewBatchRunner(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for name, mut := range cases {
+		if _, err := b.AddLane(mut(ok)); err == nil {
+			t.Errorf("%s: AddLane accepted an invalid lane", name)
+		}
+	}
+	if _, err := b.AddLane(ok); err != nil {
+		t.Fatalf("valid lane rejected: %v", err)
+	}
+	b.Run()
+	if _, err := b.AddLane(ok); err == nil {
+		t.Error("AddLane after Run accepted a lane")
+	}
+}
+
+// TestBatchCancellationLatency drives batches under the avoider and
+// late-wake adversaries (the satellite-3 starvation suspects) with a
+// mid-run cancellation and asserts the bound the batch poll counter
+// guarantees: at most batchCtxPollStride further events across the
+// whole batch after the context is canceled, and every unfinished lane
+// reporting Canceled.
+func TestBatchCancellationLatency(t *testing.T) {
+	for _, advName := range []string{"avoider", "late-wake"} {
+		t.Run(advName, func(t *testing.T) {
+			g := graph.Ring(8)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			b, err := NewBatchRunner(ctx, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			const lanes = 6
+			const cancelAt = 100
+			for l := 0; l < lanes; l++ {
+				adv := mkAdversary(t, advName)
+				if l == 0 {
+					// The canceling wrapper rides lane 0's adversary; the
+					// other lanes see the cancellation only via the poll.
+					adv = &cancelAfter{inner: adv, n: cancelAt, cancel: cancel}
+				}
+				if _, err := b.AddLane(LaneConfig{
+					Starts:    [2]int{0, 4},
+					Agents:    [2]Stepper{&Walker{Stepper: endless{}}, &Walker{Stepper: endless{}}},
+					Adversary: adv,
+					MaxSteps:  1 << 30,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			b.Run()
+			total := 0
+			for l := 0; l < lanes; l++ {
+				sum := b.Summary(l)
+				if !sum.Canceled {
+					t.Errorf("lane %d not canceled: %+v", l, sum)
+				}
+				total += sum.Steps
+			}
+			// Lane 0 cancels on its cancelAt-th event; every lane had run
+			// at most as many events at that point, and the poll bounds
+			// the overshoot across the whole batch.
+			if maxTotal := lanes*cancelAt + batchCtxPollStride; total > maxTotal {
+				t.Errorf("batch ran %d events total, want <= %d after cancellation", total, maxTotal)
+			}
+		})
+	}
+}
+
+// TestRunnerCancellationLatency is the single-cell side of the
+// satellite-3 audit: under the avoider and late-wake adversaries a
+// mid-run cancellation must land within ctxPollStride events, because
+// steps advances on every applied event — there is no event mix that
+// defers the stride poll.
+func TestRunnerCancellationLatency(t *testing.T) {
+	for _, advName := range []string{"avoider", "late-wake"} {
+		t.Run(advName, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			const cancelAt = 100
+			r, err := NewRunner(Config{
+				Graph:          graph.Ring(8),
+				Starts:         []int{0, 4},
+				Agents:         []Agent{&Walker{Stepper: endless{}}, &Walker{Stepper: endless{}}},
+				InitiallyAwake: []int{0, 1},
+				MaxSteps:       1 << 30,
+				Context:        ctx,
+			}, &cancelAfter{inner: mkAdversary(t, advName), n: cancelAt, cancel: cancel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			sum := r.Run()
+			if !sum.Canceled {
+				t.Fatalf("run not canceled: %+v", sum)
+			}
+			if sum.Steps > cancelAt+ctxPollStride {
+				t.Errorf("run took %d steps, want <= %d after cancellation at %d",
+					sum.Steps, cancelAt+ctxPollStride, cancelAt)
+			}
+		})
+	}
+}
+
+// TestBatchPreCanceledContext: a context canceled before Run retires
+// every lane as Canceled without running any events.
+func TestBatchPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, err := NewBatchRunner(ctx, graph.Ring(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := b.AddLane(LaneConfig{
+			Starts:    [2]int{0, 2},
+			Agents:    [2]Stepper{&Walker{Stepper: endless{}}, &Walker{Stepper: endless{}}},
+			Adversary: &RoundRobin{},
+			MaxSteps:  1000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Run()
+	for l := 0; l < 3; l++ {
+		sum := b.Summary(l)
+		if !sum.Canceled || sum.Steps != 0 {
+			t.Errorf("lane %d: want canceled at 0 steps, got %+v", l, sum)
+		}
+	}
+}
+
+// TestBatchEmptyRun: running an empty batch is a no-op, and Close is
+// idempotent.
+func TestBatchEmptyRun(t *testing.T) {
+	b, err := NewBatchRunner(context.Background(), graph.Ring(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run()
+	b.Close()
+	b.Close()
+}
+
+// TestBatchScratchReuse runs several batch generations and checks the
+// summaries stay correct when the pooled scratch is recycled between
+// differently-sized batches — the aliasing bug class the full-capacity
+// clears in Close defend against.
+func TestBatchScratchReuse(t *testing.T) {
+	g := graph.Ring(6)
+	for gen, lanes := range []int{8, 3, 5} {
+		b, err := NewBatchRunner(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < lanes; l++ {
+			if _, err := b.AddLane(LaneConfig{
+				Starts:             [2]int{0, 3},
+				Agents:             [2]Stepper{&Walker{Stepper: script(0, 0, 0), StopAtMeeting: true}, &Walker{Stepper: script(1, 1, 1), StopAtMeeting: true}},
+				Adversary:          &RoundRobin{},
+				MaxSteps:           100,
+				StopAtFirstMeeting: true,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.Run()
+		for l := 0; l < lanes; l++ {
+			sum := b.Summary(l)
+			if sum.FirstMeeting == nil {
+				t.Fatalf("gen %d lane %d: expected a meeting, got %+v", gen, l, sum)
+			}
+		}
+		b.Close()
+	}
+}

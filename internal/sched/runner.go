@@ -353,6 +353,14 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 	if cfg.MaxSteps <= 0 {
 		return nil, fmt.Errorf("sched: MaxSteps must be positive: %w", rverr.ErrInvalidScenario)
 	}
+	for _, i := range cfg.InitiallyAwake {
+		if i < 0 || i >= len(cfg.Agents) {
+			return nil, fmt.Errorf("sched: InitiallyAwake index %d out of range: %w", i, rverr.ErrInvalidScenario)
+		}
+	}
+	// Every validation precedes the scratch acquisition below: an error
+	// return past scratchPool.Get would leak the scratch (nobody would
+	// ever Close this runner), so no error path may exist after it.
 	r := &Runner{
 		g:          cfg.Graph,
 		adv:        adv,
@@ -404,11 +412,6 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 			st.proc.obs = make(chan Observation)
 		}
 	}
-	for _, i := range cfg.InitiallyAwake {
-		if i < 0 || i >= len(r.agents) {
-			return nil, fmt.Errorf("sched: InitiallyAwake index %d out of range: %w", i, rverr.ErrInvalidScenario)
-		}
-	}
 	r.initialWake = append(r.initialWake, cfg.InitiallyAwake...)
 	r.dormantCount = k
 	s.contacts = boolBuf(s.contacts, k*k)
@@ -418,7 +421,7 @@ func NewRunner(cfg Config, adv Adversary) (*Runner, error) {
 	r.edgeGroup = s.edgeGroup
 	r.edgeTouched = s.edgeTouched[:0]
 	r.groups = s.groups
-	r.viewBuf = View{r: r, agents: r.agents}
+	r.viewBuf = View{g: r.g, dormant: &r.dormantCount, agents: r.agents}
 	return r, nil
 }
 
@@ -435,6 +438,13 @@ func (r *Runner) Run() Summary {
 	// initial wakes covers any configuration the validator admits.
 	r.detectMeetings()
 	for r.steps < r.maxSteps {
+		// Cancellation audit: this stride poll is sound because steps
+		// advances on EVERY applied event — apply is followed
+		// unconditionally by r.steps++, for wakes as much as advances —
+		// and every path that does not advance steps (stop conditions,
+		// a resting adversary, no actionable agent) exits the loop. An
+		// adversary therefore cannot defer the poll by more than
+		// ctxPollStride events, no matter which event mix it drives.
 		if r.ctx != nil && r.steps%ctxPollStride == 0 && r.ctx.Err() != nil {
 			r.canceled = true
 			break
@@ -486,17 +496,24 @@ func (r *Runner) Close() {
 		return
 	}
 	r.scratch = nil
-	// Store the (possibly grown) buffers back and drop every reference
-	// to caller-owned values before pooling.
+	// The Put is deferred so the scratch returns to the pool even if a
+	// release step below panics: a leaked scratch is a silent allocation
+	// regression that no test would catch.
+	defer scratchPool.Put(s)
+	// Store the (possibly grown) buffers back and drop every reference to
+	// caller-owned values before pooling. The pointer-bearing buffers are
+	// cleared to FULL capacity, not current length: a previous, larger
+	// tenant's agents/steppers/procs would otherwise stay reachable past
+	// the live prefix and leak into every later run sharing the scratch.
 	s.contacts, s.curContacts, s.grouped = r.contacts, r.curContacts, r.grouped
 	s.edgeGroup, s.edgeTouched = r.edgeGroup, r.edgeTouched
 	s.groups = r.groups
-	clear(s.states)
+	clear(s.states[:cap(s.states)])
+	clear(s.ptrs[:cap(s.ptrs)])
 	r.agents = nil
 	r.viewBuf = View{}
 	r.contacts, r.curContacts, r.grouped = nil, nil, nil
 	r.edgeGroup, r.edgeTouched, r.groups = nil, nil, nil
-	scratchPool.Put(s)
 }
 
 // anyActionable reports whether some agent is dormant or has a pending move.

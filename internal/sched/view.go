@@ -22,9 +22,17 @@ type AgentView struct {
 type View struct {
 	Steps int
 
-	r *Runner
-	// agents aliases r.agents: the per-event accessors (CanAdvance in
-	// every adversary's inner loop) save one pointer chase per call.
+	// The view binds directly to whichever core owns the execution — the
+	// single-cell Runner or one lane of a BatchRunner — through the graph,
+	// a pointer to that execution's dormant counter, and an alias of its
+	// agent pointers. Binding to the pieces rather than to the Runner is
+	// what lets a BatchRunner hand each lane's adversary its own View over
+	// a slice of the shared dense state.
+	g       *graph.Graph
+	dormant *int
+	// agents aliases the execution's agent pointers: the per-event
+	// accessors (CanAdvance in every adversary's inner loop) save one
+	// pointer chase per call.
 	agents []*agentState
 }
 
@@ -52,12 +60,12 @@ func (v *View) Agent(i int) AgentView {
 }
 
 // Graph exposes the topology to adversary strategies.
-func (v *View) Graph() *graph.Graph { return v.r.g }
+func (v *View) Graph() *graph.Graph { return v.g }
 
 // AnyDormant reports whether any agent is still dormant, backed by a
-// runner-maintained counter: adversaries gate their wake scans on it so
-// the steady state (everyone awake) pays one integer read per event.
-func (v *View) AnyDormant() bool { return v.r.dormantCount > 0 }
+// scheduler-maintained counter: adversaries gate their wake scans on it
+// so the steady state (everyone awake) pays one integer read per event.
+func (v *View) AnyDormant() bool { return *v.dormant > 0 }
 
 // CanWake reports whether agent i is dormant.
 func (v *View) CanWake(i int) bool {
@@ -88,7 +96,7 @@ func (v *View) advanceContact(i int) bool {
 	a := v.agents[i]
 	if a.pos.Kind == AtNode {
 		from := a.pos.Node
-		to, _ := v.r.g.Succ(from, a.pendingPort)
+		to, _ := v.g.Succ(from, a.pendingPort)
 		for j, b := range v.agents {
 			if j == i {
 				continue

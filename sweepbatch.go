@@ -1,0 +1,165 @@
+package meetpoly
+
+import (
+	"context"
+	"fmt"
+
+	"meetpoly/internal/sched"
+	"meetpoly/internal/trajectory"
+)
+
+// The batched execution tier of the sweep pipeline.
+//
+// The per-cell tiers pay a fixed dispatch overhead for every cell:
+// runner construction, per-agent state setup, pooled-scratch churn, and
+// a scheduler-loop prologue/epilogue — costs that dwarf the per-event
+// work for the small cells campaign matrices are made of. The batch
+// tier amortizes that overhead: sweep workers receive whole groups of
+// cells that share one prepared graph (contiguous under the campaign
+// walk's kind→graph→… axis order) and run them as lanes of a single
+// sched.BatchRunner, one lockstep scheduler loop advancing every lane.
+//
+// Equivalence is non-negotiable: a batched sweep must produce the
+// byte-identical SweepReport a per-cell sweep produces. Three design
+// choices carry that guarantee:
+//
+//   - each lane gets its own freshly resolved adversary and its own
+//     walkers (every builtin strategy is stateful), prepared through
+//     the same cache path runCell uses;
+//   - a cell the batch path cannot take — unknown kind, no route book,
+//     a lane the validator rejects — falls back to runPrepared on the
+//     spot, reproducing the per-cell result and error text exactly;
+//   - results are lifted through the kind's batchKind hooks plus the
+//     same ScenarioRunContext.Finish that every builtin runner reports
+//     through, so error strings and Result shapes match field-for-field.
+//
+// TestSweepBatchedMatchesSequential enforces the guarantee over the
+// full builtin kind matrix.
+
+// sweepBatchSize caps how many cells one graph-keyed batch accumulates
+// before the producer flushes it to a worker. It bounds both the
+// latency until the first results stream out and the per-worker memory
+// (lane state is dense: ~2 agent states per cell), while staying large
+// enough to amortize the batch setup across hundreds of cells.
+const sweepBatchSize = 256
+
+// sweepWork is one unit handed to a sweep worker: either a single cell
+// (batch nil) for the per-cell tiers, or a graph-keyed batch for the
+// batched tier.
+type sweepWork struct {
+	cell  SweepCell
+	batch []SweepCell
+}
+
+// batchKey groups contiguous sweep cells that may share one
+// BatchRunner: same kind (hence same lane lowering) and same declared
+// graph (hence, through the prepared-scenario cache, the same *Graph).
+type batchKey struct {
+	kind  string
+	graph GraphSpec
+}
+
+// batchEligible reports whether this engine's sweeps may use the
+// batched tier at all: it requires the prepared cache (lanes share one
+// cached *Graph and replay its route book), direct dispatch, and no
+// observer (the lockstep loop delivers no per-event callbacks).
+func (e *Engine) batchEligible() bool {
+	return e.batchTier && e.usePrepCache && !e.forceBlocking && e.obs == nil
+}
+
+// batchableKind reports whether the kind declares the batch lowering.
+func batchableKind(k ScenarioKind) bool {
+	def, ok := lookupScenarioKind(k)
+	return ok && def.batch != nil
+}
+
+// runCellBatch executes one graph-keyed batch of cells and returns
+// their judged results, index-aligned with cells. Cells the batch path
+// cannot take are executed per-cell inline, so every cell of the batch
+// yields exactly the result runCell would have produced.
+func (e *Engine) runCellBatch(ctx context.Context, cells []SweepCell, oracles []SweepOracle) []SweepCellResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]SweepCellResult, len(cells))
+	// perCell mirrors runCell's post-prepare sequence for a cell that
+	// leaves the batch path.
+	perCell := func(i int, cell SweepCell, sc Scenario, br BatchResult, g *Graph, adv Adversary, routes *trajectory.RouteBook) {
+		br.Result, br.Err = e.runPrepared(ctx, sc, g, adv, routes)
+		out[i] = e.judge(cell, br, oracles)
+	}
+	type lane struct {
+		i   int // index into cells/out
+		idx int // lane index in the batch runner
+		sc  Scenario
+		br  BatchResult
+		def *ScenarioKindDef
+	}
+	var (
+		b     *sched.BatchRunner
+		bg    *Graph
+		lanes []lane
+	)
+	for i, cell := range cells {
+		sc := CellScenario(cell)
+		br := BatchResult{Index: cell.Index, Scenario: sc}
+		g, adv, routes, err := e.prepare(sc)
+		if err != nil {
+			br.Err = err
+			out[i] = e.judge(cell, br, oracles)
+			continue
+		}
+		br.Graph = g
+		if err := ctx.Err(); err != nil {
+			// Mirror runPrepared's pre-run cancellation report exactly.
+			br.Err = fmt.Errorf("scenario %q: %w (%w)", sc.Name, ErrCanceled, err)
+			out[i] = e.judge(cell, br, oracles)
+			continue
+		}
+		def, ok := lookupScenarioKind(sc.Kind)
+		if !ok || def.batch == nil || routes == nil || len(sc.Starts) != 2 ||
+			(bg != nil && g != bg) {
+			// Defensive: the producer only batches batchable kinds over
+			// one graph spec, but an unbatchable straggler must still
+			// produce its exact per-cell result.
+			perCell(i, cell, sc, br, g, adv, routes)
+			continue
+		}
+		if b == nil {
+			nb, err := sched.NewBatchRunner(ctx, g)
+			if err != nil {
+				perCell(i, cell, sc, br, g, adv, routes)
+				continue
+			}
+			b, bg = nb, g
+		}
+		wa, wb := def.batch.walkers(e, routes, g, sc)
+		idx, err := b.AddLane(sched.LaneConfig{
+			Starts:             [2]int{sc.Starts[0], sc.Starts[1]},
+			Agents:             [2]sched.Stepper{wa, wb},
+			Adversary:          adv,
+			MaxSteps:           sc.Budget,
+			StopAtFirstMeeting: true,
+		})
+		if err != nil {
+			// A cell the lane validator rejects runs on the reference
+			// core, which produces the exact per-cell error and result.
+			perCell(i, cell, sc, br, g, adv, routes)
+			continue
+		}
+		lanes = append(lanes, lane{i: i, idx: idx, sc: sc, br: br, def: def})
+	}
+	if b != nil {
+		b.Run()
+		for _, lc := range lanes {
+			sum := b.Summary(lc.idx)
+			res, goalMet := lc.def.batch.result(e, lc.sc, bg, sum)
+			rc := &ScenarioRunContext{Context: ctx, Engine: e, Scenario: lc.sc, Graph: bg}
+			lc.br.Result = res
+			lc.br.Err = rc.Finish(sum, goalMet, lc.def.batch.miss)
+			out[lc.i] = e.judge(cells[lc.i], lc.br, oracles)
+		}
+		b.Close()
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package meetpoly
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSweepBatchedMatchesSequential is the batched tier's acceptance
+// gate: the same campaign, spanning every builtin kind, must produce a
+// byte-identical SweepReport whether the cells run as shared-graph
+// batch lanes (the default) or per cell through the reference core.
+// The batch tier is an amortization of per-cell dispatch overhead, not
+// an approximation of execution — down to error strings and oracle
+// verdicts.
+func TestSweepBatchedMatchesSequential(t *testing.T) {
+	spec := cacheTestSpec()
+	spec.Kinds = []string{"rendezvous", "baseline", "esst", "sgl", "certify"}
+	spec.Budget = 40_000
+
+	batched, err := NewEngine().Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential, err := NewEngine(WithBatchedExecution(false)).Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, js := mustJSON(t, batched), mustJSON(t, sequential)
+	if !bytes.Equal(jb, js) {
+		t.Fatalf("batched and sequential sweep reports differ:\nbatched:    %s\nsequential: %s", jb, js)
+	}
+	if !batched.OK() {
+		t.Fatalf("sweep failed oracles:\n%s", batched.Table())
+	}
+}
+
+// TestBatchTierPreconditions pins when the batched tier engages: on by
+// default, and disabled by exactly the configurations whose semantics
+// it cannot reproduce (no prepared cache to share graphs through,
+// blocking dispatch, an attached observer) or by the explicit opt-out.
+func TestBatchTierPreconditions(t *testing.T) {
+	if !NewEngine().batchEligible() {
+		t.Error("default engine: batch tier should be eligible")
+	}
+	offs := map[string]*Engine{
+		"batched off":   NewEngine(WithBatchedExecution(false)),
+		"cache off":     NewEngine(WithPreparedCache(false)),
+		"blocking":      NewEngine(WithDirectDispatch(false)),
+		"with observer": NewEngine(WithObserver(&FuncObserver{})),
+	}
+	for name, e := range offs {
+		if e.batchEligible() {
+			t.Errorf("%s: batch tier should not be eligible", name)
+		}
+	}
+	for kind, want := range map[ScenarioKind]bool{
+		ScenarioRendezvous: true,
+		ScenarioBaseline:   true,
+		ScenarioESST:       false,
+		ScenarioSGL:        false,
+		ScenarioCertify:    false,
+		"no-such-kind":     false,
+	} {
+		if got := batchableKind(kind); got != want {
+			t.Errorf("batchableKind(%q) = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+// TestRunCellBatchMixedFallback feeds runCellBatch a deliberately
+// mis-grouped batch — every kind, two different graphs, in one slice —
+// and checks each cell still yields exactly the result runCell
+// produces: unbatchable kinds and graph-mismatched cells must take the
+// per-cell fallback with identical outcomes.
+func TestRunCellBatchMixedFallback(t *testing.T) {
+	spec := cacheTestSpec()
+	spec.Kinds = []string{"rendezvous", "baseline", "esst", "sgl", "certify"}
+	spec.StartPairs = 1
+	spec.Budget = 20_000
+	cells, _, err := ExpandSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	eng.sweepPrepass(spec)
+	got := eng.runCellBatch(context.Background(), cells, nil)
+	if len(got) != len(cells) {
+		t.Fatalf("runCellBatch returned %d results for %d cells", len(got), len(cells))
+	}
+	ref := NewEngine()
+	ref.sweepPrepass(spec)
+	for i, cell := range cells {
+		want := ref.runCell(context.Background(), cell, nil)
+		jg, jw := mustJSON(t, got[i]), mustJSON(t, want)
+		if !bytes.Equal(jg, jw) {
+			t.Errorf("cell %d (%s): batch path diverges from runCell:\nbatch:   %s\nrunCell: %s",
+				i, cell.ID, jg, jw)
+		}
+	}
+}
+
+// TestCacheStatsConsistentSnapshot is the satellite-1 regression test:
+// CacheStats must return a (Hits, Misses) pair that held at a single
+// instant. Workers alternate one guaranteed hit with one guaranteed
+// miss, so at any instant the two counters differ by at most the
+// worker count (plus the one warming miss); a snapshot torn across two
+// independent loads — the old implementation — lets an arbitrary
+// number of operations land between reading Hits and reading Misses
+// and shows up here as a wider gap. Run under -race this also proves
+// the counter path is data-race free.
+func TestCacheStatsConsistentSnapshot(t *testing.T) {
+	eng := NewEngine()
+	warm := GraphSpec{Kind: "ring", N: 5}
+	eng.preparedFor(warm) // miss #0: every later lookup of warm is a hit
+	const workers = 8
+	const iters = 200
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	errs := make(chan string, 1)
+	for r := 0; r < 2; r++ {
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := eng.CacheStats()
+				// Hits lag Misses by the warming miss; beyond that the
+				// alternation bounds the gap by the worker count.
+				if d := st.Misses - 1 - st.Hits; d < -workers || d > workers {
+					select {
+					case errs <- fmt.Sprintf("Hits=%d Misses=%d", st.Hits, st.Misses):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				eng.preparedFor(warm) // hit
+				// A unique spec per (worker, iteration): a guaranteed miss.
+				eng.preparedFor(GraphSpec{Kind: "ring", N: 100 + w*iters + i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	select {
+	case msg := <-errs:
+		t.Fatalf("torn cache-stats snapshot observed: %s", msg)
+	default:
+	}
+	st := eng.CacheStats()
+	if st.Hits != workers*iters || st.Misses != workers*iters+1 {
+		t.Fatalf("final stats %+v, want Hits=%d Misses=%d", st, workers*iters, workers*iters+1)
+	}
+}

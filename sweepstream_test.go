@@ -3,6 +3,7 @@ package meetpoly
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -78,43 +79,51 @@ func TestSweepStreamFoldEquality(t *testing.T) {
 }
 
 // TestSweepStreamEarlyBreak: breaking out of the range stops the sweep
-// without leaking the pipeline's goroutines, and a second sweep on the
-// same engine still works.
+// without leaking the pipeline's goroutines — the producer, the workers
+// (mid-batch included: the batched tier yields a whole group's results
+// through the same stop-guarded sends) and the closer must all observe
+// the stop channel and wind down — and a second sweep on the same
+// engine still works. Breaking at the very first yield is the hardest
+// teardown: the producer and every worker are still in full flight.
 func TestSweepStreamEarlyBreak(t *testing.T) {
 	ctx := context.Background()
-	eng := NewEngine(WithMaxN(6), WithSeed(1))
-	before := runtime.NumGoroutine()
+	for _, breakAt := range []int{1, 5} {
+		t.Run(fmt.Sprintf("break-at-%d", breakAt), func(t *testing.T) {
+			eng := NewEngine(WithMaxN(6), WithSeed(1))
+			before := runtime.NumGoroutine()
 
-	got := 0
-	for cr, err := range eng.SweepStream(ctx, streamSpec()) {
-		if err != nil {
-			t.Fatal(err)
-		}
-		_ = cr
-		if got++; got >= 5 {
-			break
-		}
-	}
-	if got != 5 {
-		t.Fatalf("consumed %d results, want 5", got)
-	}
+			got := 0
+			for cr, err := range eng.SweepStream(ctx, streamSpec()) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = cr
+				if got++; got >= breakAt {
+					break
+				}
+			}
+			if got != breakAt {
+				t.Fatalf("consumed %d results, want %d", got, breakAt)
+			}
 
-	// The workers, producer and closer must all wind down.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if n := runtime.NumGoroutine(); n > before {
-		t.Errorf("goroutines leaked after early break: %d -> %d", before, n)
-	}
+			// The workers, producer and closer must all wind down.
+			deadline := time.Now().Add(5 * time.Second)
+			for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+			}
+			if n := runtime.NumGoroutine(); n > before {
+				t.Errorf("goroutines leaked after early break: %d -> %d", before, n)
+			}
 
-	// The engine is still fully usable.
-	rep, err := eng.Sweep(ctx, streamSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !rep.OK() {
-		t.Fatalf("post-break sweep failed:\n%s", rep.Table())
+			// The engine is still fully usable.
+			rep, err := eng.Sweep(ctx, streamSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("post-break sweep failed:\n%s", rep.Table())
+			}
+		})
 	}
 }
 
