@@ -105,6 +105,18 @@ func WalkSweep(spec SweepSpec, yield func(SweepCell) bool) error {
 	return nil
 }
 
+// WalkSweepRange streams only the cells whose index falls in the
+// half-open range [lo, hi), in expansion order. Cell i yielded by any
+// range is identical to cell i of a full WalkSweep — the invariant
+// sharded campaigns (Engine.SweepStreamRange, rvserved's shards) are
+// built on. A hi beyond the expansion ends at the last cell.
+func WalkSweepRange(spec SweepSpec, lo, hi int, yield func(SweepCell) bool) error {
+	if err := campaign.WalkRange(spec, lo, hi, yield); err != nil {
+		return fmt.Errorf("%v: %w", err, ErrInvalidScenario)
+	}
+	return nil
+}
+
 // CountSweep returns how many cells the spec expands to, by axis
 // arithmetic alone — no cells are derived.
 func CountSweep(spec SweepSpec) (int, error) {

@@ -1,0 +1,130 @@
+// Command rvserved is the sweep service: a long-lived HTTP daemon that
+// accepts campaign SweepSpec JSON, executes this instance's shard of
+// the deterministic cell index-range over a shared engine, streams cell
+// results as NDJSON while they complete, and checkpoints completed
+// index ranges to disk so a crashed or restarted shard resumes without
+// recomputing a single cell. A campaign resumed across any number of
+// crashes produces the byte-identical report an uninterrupted
+// single-process `rvsweep -json` run produces.
+//
+// Endpoints (see internal/serve):
+//
+//	POST /v1/sweep        stream the shard's cell results as NDJSON
+//	POST /v1/sweep/report run the shard, respond with the report JSON
+//	GET  /healthz         200 ok; 503 once draining
+//	GET  /v1/stats        service counters and engine cache stats
+//
+// Horizontal scale is the -shard flag: rvserved -shard 1/3 owns the
+// middle third of every campaign's index range, with its own
+// checkpoint subdirectory; the shards' streams fold into one report
+// through the order-independent aggregator.
+//
+// SIGTERM/SIGINT drain gracefully: new sweeps are refused (503),
+// in-flight runs are canceled — their checkpoints flush everything
+// completed so far — and the process exits once they finish or the
+// drain timeout expires.
+//
+// Exit codes: 0 clean shutdown; 1 runtime error; 2 usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"meetpoly"
+	"meetpoly/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8747", "address to listen on")
+		checkpoints = flag.String("checkpoints", "", "checkpoint root directory (empty disables resume)")
+		shard       = flag.String("shard", "0/1", "this instance's shard as i/of (e.g. 1/3 = the middle third of every campaign)")
+		maxN        = flag.Int("maxn", 6, "size ceiling of the engine's verified catalog family")
+		seed        = flag.Int64("seed", 1, "seed of the engine's verified catalog")
+		parallelism = flag.Int("parallelism", 0, "worker pool size (0 = GOMAXPROCS)")
+		flushEvery  = flag.Int("flush-every", serve.DefaultFlushEvery, "checkpoint flush interval in completed cells")
+		maxCells    = flag.Int("max-cells", 0, "reject campaigns expanding past this many cells (0 = unlimited)")
+		maxTenant   = flag.Int("max-tenant-sweeps", serve.DefaultMaxTenantSweeps, "max in-flight sweeps per tenant (X-Tenant header)")
+		timeout     = flag.Duration("timeout", 0, "per-request sweep budget (0 = unbounded; requests may tighten with ?budget_ms=)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight sweeps on shutdown")
+	)
+	flag.Parse()
+	shardIdx, shardOf, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvserved:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := []meetpoly.Option{meetpoly.WithMaxN(*maxN), meetpoly.WithSeed(*seed)}
+	if *parallelism > 0 {
+		opts = append(opts, meetpoly.WithParallelism(*parallelism))
+	}
+	svc := serve.New(serve.Config{
+		Engine:          meetpoly.NewEngine(opts...),
+		CheckpointRoot:  *checkpoints,
+		Shard:           shardIdx,
+		Of:              shardOf,
+		FlushEvery:      *flushEvery,
+		MaxCells:        *maxCells,
+		MaxTenantSweeps: *maxTenant,
+		RequestTimeout:  *timeout,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rvserved: shard %d/%d listening on %s\n", shardIdx, shardOf, *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "rvserved:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Drain before Shutdown: refuse new sweeps, cancel the in-flight
+	// ones (their checkpoints flush, so a restart resumes, not
+	// recomputes), then close the listener and idle connections.
+	fmt.Fprintln(os.Stderr, "rvserved: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	code := 0
+	if err := svc.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "rvserved:", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "rvserved: shutdown:", err)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// parseShard parses the -shard flag's "i/of" form: of >= 1 and
+// 0 <= i < of.
+func parseShard(s string) (i, of int, err error) {
+	a, b, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard must be i/of, got %q", s)
+	}
+	i, err1 := strconv.Atoi(a)
+	of, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil || of < 1 || i < 0 || i >= of {
+		return 0, 0, fmt.Errorf("-shard must be i/of with 0 <= i < of, got %q", s)
+	}
+	return i, of, nil
+}

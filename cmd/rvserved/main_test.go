@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseShard(t *testing.T) {
+	good := []struct {
+		in    string
+		i, of int
+	}{
+		{"0/1", 0, 1},
+		{"1/3", 1, 3},
+		{"7/8", 7, 8},
+	}
+	for _, c := range good {
+		i, of, err := parseShard(c.in)
+		if err != nil || i != c.i || of != c.of {
+			t.Errorf("parseShard(%q) = (%d, %d, %v), want (%d, %d, nil)", c.in, i, of, err, c.i, c.of)
+		}
+	}
+	for _, in := range []string{"", "1", "1/", "/2", "a/b", "2/2", "3/2", "-1/2", "0/0", "0/-1", "1/3/5"} {
+		if _, _, err := parseShard(in); err == nil {
+			t.Errorf("parseShard(%q) accepted, want error", in)
+		}
+	}
+}

@@ -18,8 +18,9 @@
 // flaky.
 //
 // Exit codes: 0 all oracles passed; 1 an oracle failed, the run was
-// interrupted, or an error occurred; 2 usage error — including a
-// malformed -against artifact (empty, truncated mid-record, garbage
+// interrupted, or an error occurred; 2 usage error — including
+// combining the mutually-exclusive mode flags (-count, -expand,
+// -replay, -stream) and a malformed -against artifact (empty, truncated mid-record, garbage
 // where a record should be, or ambiguous: the replayed cell's seed
 // recorded more than once); 3 the replayed outcome diverged from the
 // -against record. A trailing newline or blank line after the last
@@ -39,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"iter"
 	"os"
 	"os/signal"
 	"runtime"
@@ -65,6 +67,11 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
 	)
 	flag.Parse()
+	if err := exclusiveModes(*count, *expand, *replay, *stream); err != nil {
+		fmt.Fprintln(os.Stderr, "rvsweep:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "rvsweep: -spec is required")
 		flag.Usage()
@@ -192,36 +199,11 @@ func main() {
 	}
 
 	if *stream {
-		// NDJSON streaming over Engine.SweepStream: one judged cell
-		// result per line, written as each cell completes (completion
-		// order, not expansion order — every line carries its cell's
-		// index and replay seed). A million-cell campaign streams in
-		// bounded memory; pipe into `jq` or checkpoint incrementally.
-		enc := json.NewEncoder(os.Stdout)
-		cells, fails, canc := 0, 0, 0
-		for cr, serr := range eng.SweepStream(ctx, spec) {
-			if serr != nil {
-				fatal(serr)
-			}
-			cells++
-			if cr.Failed() {
-				fails++
-			}
-			if cr.Outcome.Canceled {
-				canc++
-			}
-			if err := enc.Encode(cr); err != nil {
-				fatal(err)
-			}
+		code, err := streamSweep(eng.SweepStream(ctx, spec), os.Stdout, os.Stderr)
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "rvsweep: %d cells, %d oracle failures, %d canceled\n", cells, fails, canc)
-		if canc > 0 {
-			fmt.Fprintf(os.Stderr, "rvsweep: sweep interrupted: %d of %d cells canceled\n", canc, cells)
-		}
-		if fails > 0 || canc > 0 {
-			exit(1)
-		}
-		exit(0)
+		exit(code)
 	}
 
 	rep, err := eng.Sweep(ctx, spec)
@@ -246,6 +228,68 @@ func main() {
 		exit(1)
 	}
 	exit(0)
+}
+
+// exclusiveModes rejects contradictory mode flags. rvsweep's four run
+// modes — -count, -expand, -replay and -stream — each claim stdout's
+// format and the process's exit-code contract, so combining them has no
+// coherent meaning; picking one silently (the old behavior: -count beat
+// -expand beat -replay beat -stream) turned a typo'd invocation into a
+// confidently wrong artifact.
+func exclusiveModes(count, expand bool, replay string, stream bool) error {
+	var set []string
+	if count {
+		set = append(set, "-count")
+	}
+	if expand {
+		set = append(set, "-expand")
+	}
+	if replay != "" {
+		set = append(set, "-replay")
+	}
+	if stream {
+		set = append(set, "-stream")
+	}
+	if len(set) > 1 {
+		return fmt.Errorf("%s are mutually exclusive — pick one mode", strings.Join(set, " and "))
+	}
+	return nil
+}
+
+// streamSweep drains a sweep stream to out, one judged NDJSON cell
+// result per line as cells complete (completion order, not expansion
+// order — every line carries its cell's index and replay seed), and
+// returns the process exit code: 0 only when every streamed cell passed
+// every oracle and none was canceled. A million-cell campaign streams
+// in bounded memory; pipe into `jq` or checkpoint incrementally. A
+// non-nil error is a stream or encoding failure for the caller's
+// fatal().
+func streamSweep(results iter.Seq2[meetpoly.SweepCellResult, error], out, errOut io.Writer) (int, error) {
+	enc := json.NewEncoder(out)
+	cells, fails, canc := 0, 0, 0
+	for cr, serr := range results {
+		if serr != nil {
+			return 1, serr
+		}
+		cells++
+		if cr.Failed() {
+			fails++
+		}
+		if cr.Outcome.Canceled {
+			canc++
+		}
+		if err := enc.Encode(cr); err != nil {
+			return 1, err
+		}
+	}
+	fmt.Fprintf(errOut, "rvsweep: %d cells, %d oracle failures, %d canceled\n", cells, fails, canc)
+	if canc > 0 {
+		fmt.Fprintf(errOut, "rvsweep: sweep interrupted: %d of %d cells canceled\n", canc, cells)
+	}
+	if fails > 0 || canc > 0 {
+		return 1, nil
+	}
+	return 0, nil
 }
 
 // checkAgainst compares a replayed cell with its record in a sweep

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"iter"
 	"os"
 	"path/filepath"
 	"strings"
@@ -150,4 +152,167 @@ func TestCheckAgainstExitCodes(t *testing.T) {
 	if code != -1 || diverged {
 		t.Errorf("matching record: exit %d diverged %v, want no exit and no divergence", code, diverged)
 	}
+}
+
+// TestExclusiveModes pins the mode-flag matrix: any two of -count,
+// -expand, -replay, -stream together are a usage error naming both
+// flags, while each alone (or none) is accepted.
+func TestExclusiveModes(t *testing.T) {
+	cases := []struct {
+		name          string
+		count, expand bool
+		replay        string
+		stream        bool
+		wantErr       bool
+	}{
+		{name: "none"},
+		{name: "count alone", count: true},
+		{name: "expand alone", expand: true},
+		{name: "replay alone", replay: "s#1"},
+		{name: "stream alone", stream: true},
+		{name: "expand+stream", expand: true, stream: true, wantErr: true},
+		{name: "count+replay", count: true, replay: "s#1", wantErr: true},
+		{name: "count+expand", count: true, expand: true, wantErr: true},
+		{name: "replay+stream", replay: "s#1", stream: true, wantErr: true},
+		{name: "all four", count: true, expand: true, replay: "s#1", stream: true, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := exclusiveModes(tc.count, tc.expand, tc.replay, tc.stream)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("exclusiveModes = %v, wantErr %v", err, tc.wantErr)
+			}
+			if err != nil && !strings.Contains(err.Error(), "mutually exclusive") {
+				t.Fatalf("error %q does not name the conflict", err)
+			}
+		})
+	}
+	// The message must name the offending flags so the fix is obvious.
+	err := exclusiveModes(false, true, "", true)
+	for _, flag := range []string{"-expand", "-stream"} {
+		if !strings.Contains(err.Error(), flag) {
+			t.Errorf("error %q does not name %s", err, flag)
+		}
+	}
+}
+
+// seq adapts a fixed result list (plus an optional terminal stream
+// error) into the iterator shape streamSweep consumes.
+func seq(rs []meetpoly.SweepCellResult, terminal error) iter.Seq2[meetpoly.SweepCellResult, error] {
+	return func(yield func(meetpoly.SweepCellResult, error) bool) {
+		for _, r := range rs {
+			if !yield(r, nil) {
+				return
+			}
+		}
+		if terminal != nil {
+			yield(meetpoly.SweepCellResult{}, terminal)
+		}
+	}
+}
+
+// TestStreamSweepExitCodes pins the -stream exit contract the CI gate
+// depends on: 0 only for a fully clean stream; any oracle failure or
+// canceled cell is 1; a stream error surfaces as an error (the caller
+// exits 1 through fatal). Every emitted line must stay parseable
+// NDJSON.
+func TestStreamSweepExitCodes(t *testing.T) {
+	pass := meetpoly.SweepCellResult{
+		Cell:    meetpoly.SweepCell{ID: "c0", Seed: "s#0"},
+		Outcome: meetpoly.SweepOutcome{Met: true, Cost: 2},
+	}
+	fail := meetpoly.SweepCellResult{
+		Cell:     meetpoly.SweepCell{Index: 1, ID: "c1", Seed: "s#1"},
+		Outcome:  meetpoly.SweepOutcome{Met: true, Cost: 9},
+		Failures: []meetpoly.SweepOracleFailure{{Oracle: "pi-bound", Err: "over bound"}},
+	}
+	canc := meetpoly.SweepCellResult{
+		Cell:    meetpoly.SweepCell{Index: 2, ID: "c2", Seed: "s#2"},
+		Outcome: meetpoly.SweepOutcome{Canceled: true},
+	}
+	boom := errors.New("boom")
+
+	cases := []struct {
+		name     string
+		results  []meetpoly.SweepCellResult
+		terminal error
+		wantCode int
+		wantErr  bool
+		wantRows int
+	}{
+		{name: "all pass", results: []meetpoly.SweepCellResult{pass, pass}, wantCode: 0, wantRows: 2},
+		{name: "one oracle failure", results: []meetpoly.SweepCellResult{pass, fail, pass}, wantCode: 1, wantRows: 3},
+		{name: "one canceled", results: []meetpoly.SweepCellResult{pass, canc}, wantCode: 1, wantRows: 2},
+		{name: "failure and canceled", results: []meetpoly.SweepCellResult{fail, canc}, wantCode: 1, wantRows: 2},
+		{name: "empty stream", wantCode: 0, wantRows: 0},
+		{name: "stream error", results: []meetpoly.SweepCellResult{pass}, terminal: boom, wantCode: 1, wantErr: true, wantRows: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			code, err := streamSweep(seq(tc.results, tc.terminal), &out, &errOut)
+			if code != tc.wantCode || (err != nil) != tc.wantErr {
+				t.Fatalf("streamSweep = (%d, %v), want (%d, err=%v)", code, err, tc.wantCode, tc.wantErr)
+			}
+			lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+			if out.String() == "" {
+				lines = nil
+			}
+			if len(lines) != tc.wantRows {
+				t.Fatalf("emitted %d NDJSON rows, want %d", len(lines), tc.wantRows)
+			}
+			for _, line := range lines {
+				var cr meetpoly.SweepCellResult
+				if uerr := json.Unmarshal([]byte(line), &cr); uerr != nil {
+					t.Fatalf("unparseable NDJSON line %q: %v", line, uerr)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamSweepRealOracleFailure closes the loop end to end: a real
+// engine stream judged by an always-failing oracle must exit 1 — the
+// regression this PR fixes was precisely that the streamed-oracle exit
+// path was untested, so nothing pinned `rvsweep -stream` as a CI gate.
+func TestStreamSweepRealOracleFailure(t *testing.T) {
+	spec := meetpoly.SweepSpec{
+		Name:  "stream-exit",
+		Seed:  "stream-exit-v1",
+		Kinds: []string{"rendezvous"},
+		Graphs: []meetpoly.SweepGraphAxis{
+			{Kind: "path", Sizes: []int{3}},
+		},
+		StartPairs:  1,
+		LabelPairs:  1,
+		Adversaries: []string{""},
+		Budget:      3000,
+		Moves:       60,
+	}
+	eng := meetpoly.NewEngine(meetpoly.WithMaxN(4), meetpoly.WithSeed(1))
+
+	var out, errOut strings.Builder
+	code, err := streamSweep(eng.SweepStream(context.Background(), spec), &out, &errOut)
+	if err != nil || code != 0 {
+		t.Fatalf("clean stream = (%d, %v), want (0, nil)", code, err)
+	}
+
+	reject := meetpoly.SweepOracle(rejectAll{})
+	out.Reset()
+	errOut.Reset()
+	code, err = streamSweep(eng.SweepStreamWithOracles(context.Background(), spec, reject), &out, &errOut)
+	if err != nil || code != 1 {
+		t.Fatalf("oracle-failing stream = (%d, %v), want (1, nil)", code, err)
+	}
+	if !strings.Contains(errOut.String(), "1 oracle failures") {
+		t.Fatalf("stderr summary %q does not count the failure", errOut.String())
+	}
+}
+
+// rejectAll is an oracle that fails every cell.
+type rejectAll struct{}
+
+func (rejectAll) Name() string { return "reject-all" }
+func (rejectAll) Check(meetpoly.SweepCell, meetpoly.SweepOutcome) error {
+	return errors.New("rejected by test oracle")
 }

@@ -635,13 +635,46 @@ func (e *Engine) SweepWithOracles(ctx context.Context, spec SweepSpec, oracles .
 // The error is non-nil (and the stream ends) only for a malformed
 // spec; per-cell failures are data on the SweepCellResult.
 func (e *Engine) SweepStream(ctx context.Context, spec SweepSpec) iter.Seq2[SweepCellResult, error] {
-	return e.sweepSeq(ctx, spec, e.defaultOracles)
+	return e.sweepSeq(ctx, spec, 0, sweepToEnd, e.defaultOracles)
 }
 
 // SweepStreamWithOracles is SweepStream with an explicit oracle suite.
 func (e *Engine) SweepStreamWithOracles(ctx context.Context, spec SweepSpec, oracles ...SweepOracle) iter.Seq2[SweepCellResult, error] {
-	return e.sweepSeq(ctx, spec, func() []SweepOracle { return oracles })
+	return e.sweepSeq(ctx, spec, 0, sweepToEnd, func() []SweepOracle { return oracles })
 }
+
+// SweepStreamRange is SweepStream restricted to the cells whose index
+// falls in the half-open range [lo, hi) — the primitive a sharded or
+// checkpoint-resuming campaign service executes its index slices with.
+// A hi beyond the expansion is clamped to it.
+//
+// Two invariants make ranges composable back into whole campaigns:
+//
+//   - cell i's result is identical no matter which range executes it
+//     (range expansion derives cells from keyed draws, and the graph
+//     pre-pass always warms the FULL spec's graphs, so the catalog —
+//     and with it every oracle bound — reaches the same state whichever
+//     slice runs first);
+//   - folding any partition of disjoint ranges through one
+//     order-independent aggregator reproduces Engine.Sweep's report
+//     byte-identically.
+//
+// The batched execution tier applies within a range exactly as in a
+// full sweep: grouping happens over the walked cells, which stay
+// contiguous per (kind, graph) inside any range.
+func (e *Engine) SweepStreamRange(ctx context.Context, spec SweepSpec, lo, hi int) iter.Seq2[SweepCellResult, error] {
+	return e.sweepSeq(ctx, spec, lo, hi, e.defaultOracles)
+}
+
+// SweepStreamRangeWithOracles is SweepStreamRange with an explicit
+// oracle suite.
+func (e *Engine) SweepStreamRangeWithOracles(ctx context.Context, spec SweepSpec, lo, hi int, oracles ...SweepOracle) iter.Seq2[SweepCellResult, error] {
+	return e.sweepSeq(ctx, spec, lo, hi, func() []SweepOracle { return oracles })
+}
+
+// sweepToEnd marks an unbounded upper range limit: sweepSeq clamps it
+// to the spec's cell count.
+const sweepToEnd = int(^uint(0) >> 1)
 
 // defaultOracles builds the paper-bound suite against the engine's
 // current catalog state — always called after the sweep pre-pass, so
@@ -654,7 +687,7 @@ func (e *Engine) defaultOracles() []SweepOracle {
 // order-independent fold that makes Sweep and SweepStream agree).
 func (e *Engine) sweepReport(ctx context.Context, spec SweepSpec, mkOracles func() []SweepOracle) (*SweepReport, error) {
 	agg := campaign.NewAggregator(spec, nil)
-	for cr, err := range e.sweepSeq(ctx, spec, mkOracles) {
+	for cr, err := range e.sweepSeq(ctx, spec, 0, sweepToEnd, mkOracles) {
 		if err != nil {
 			return nil, err
 		}
@@ -685,16 +718,19 @@ func (e *Engine) sweepPrepass(spec SweepSpec) {
 	}
 }
 
-// sweepSeq is the streaming sweep pipeline behind Sweep, SweepStream
-// and their WithOracles variants: cells are expanded one at a time into
-// a bounded channel, each worker prepares (through the prepared-
-// scenario cache), executes and oracle-judges its cell inline, and the
-// judged results are yielded to the consumer as they complete — a
-// million-cell campaign runs in memory proportional to the worker pool,
-// not the cell count. mkOracles runs after the graph pre-pass, so
-// suites derived from the engine's catalog (the default) bind to the
-// catalog state every cell executes under.
-func (e *Engine) sweepSeq(ctx context.Context, spec SweepSpec, mkOracles func() []SweepOracle) iter.Seq2[SweepCellResult, error] {
+// sweepSeq is the streaming sweep pipeline behind Sweep, SweepStream,
+// SweepStreamRange and their WithOracles variants: cells of [lo, hi)
+// are expanded one at a time into a bounded channel, each worker
+// prepares (through the prepared-scenario cache), executes and
+// oracle-judges its cell inline, and the judged results are yielded to
+// the consumer as they complete — a million-cell campaign runs in
+// memory proportional to the worker pool, not the cell count. mkOracles
+// runs after the graph pre-pass, so suites derived from the engine's
+// catalog (the default) bind to the catalog state every cell executes
+// under — and the pre-pass deliberately covers the WHOLE spec even for
+// a partial range, so shards and resumed slices all judge against the
+// same catalog state.
+func (e *Engine) sweepSeq(ctx context.Context, spec SweepSpec, lo, hi int, mkOracles func() []SweepOracle) iter.Seq2[SweepCellResult, error] {
 	return func(yield func(SweepCellResult, error) bool) {
 		runCtx := ctx
 		if runCtx == nil {
@@ -705,11 +741,21 @@ func (e *Engine) sweepSeq(ctx context.Context, spec SweepSpec, mkOracles func() 
 			yield(SweepCellResult{}, err)
 			return
 		}
+		if lo < 0 || hi < lo {
+			yield(SweepCellResult{}, fmt.Errorf("sweep: invalid cell range [%d, %d): %w", lo, hi, ErrInvalidScenario))
+			return
+		}
+		if hi > total {
+			hi = total
+		}
+		if lo > total {
+			lo = total
+		}
 		e.sweepPrepass(spec)
 		oracles := mkOracles()
 		workers := e.parallelism
-		if workers > total {
-			workers = total
+		if workers > hi-lo {
+			workers = hi - lo
 		}
 		if workers < 1 {
 			workers = 1
@@ -771,8 +817,8 @@ func (e *Engine) sweepSeq(ctx context.Context, spec SweepSpec, mkOracles func() 
 				}
 			}
 			// The walk only fails on validation errors, which CountSweep
-			// ruled out above.
-			WalkSweep(spec, func(c SweepCell) bool { //nolint:errcheck // validated above
+			// and the range check ruled out above.
+			WalkSweepRange(spec, lo, hi, func(c SweepCell) bool { //nolint:errcheck // validated above
 				if batching && batchableKind(ScenarioKind(c.Kind)) {
 					key := batchKey{kind: c.Kind, graph: cellGraphSpec(c)}
 					if len(pending) > 0 && (key != pendKey || len(pending) >= sweepBatchSize) {

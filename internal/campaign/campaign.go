@@ -513,14 +513,44 @@ func (x *expander) cell(meta registry.KindMeta, gp GraphParams, sp, lp int, adve
 // to Expand's), stopping early when yield returns false. It holds one
 // cell at a time: million-cell campaigns expand in bounded memory.
 func Walk(spec Spec, yield func(Cell) bool) error {
+	return WalkRange(spec, 0, MaxCells, yield)
+}
+
+// WalkRange streams only the cells whose Index falls in the half-open
+// range [lo, hi), in expansion order, stopping early when yield returns
+// false. A hi beyond the expansion simply ends at the last cell.
+//
+// Range expansion is the unit sharded sweeps are built on, so its
+// contract is strict: cell i yielded by any range is byte-identical to
+// cell i of a full Walk. That holds because the derived instance draws
+// (start placements, label assignments, per-cell adversary seeds) are
+// keyed on the campaign seed and the axis coordinates — never on what
+// was expanded before them — and skipped positions advance only the
+// index counter, none of the derivation.
+func WalkRange(spec Spec, lo, hi int, yield func(Cell) bool) error {
 	if err := spec.Validate(); err != nil {
 		return err
+	}
+	if lo < 0 || hi < lo {
+		return fmt.Errorf("campaign: invalid cell range [%d, %d)", lo, hi)
 	}
 	spec = spec.normalized()
 	x := &expander{
 		spec:      spec,
 		startMemo: make(map[string][2]int),
 		labelMemo: make(map[string][2]uint64),
+	}
+	// emit advances one cross-product position: positions below lo skip
+	// their derivation entirely, positions at or past hi end the walk.
+	emit := func(meta registry.KindMeta, gp GraphParams, sp, lp int, adv string) bool {
+		if x.index >= hi {
+			return false
+		}
+		if x.index < lo {
+			x.index++
+			return true
+		}
+		return yield(x.cell(meta, gp, sp, lp, adv))
 	}
 	for _, kind := range spec.Kinds {
 		meta := kindMeta(kind)
@@ -537,13 +567,13 @@ func Walk(spec Spec, yield func(Cell) bool) error {
 					}
 					for lp := 0; lp < labelPairs; lp++ {
 						if !meta.UsesAdversary {
-							if !yield(x.cell(meta, gp, sp, lp, "")) {
+							if !emit(meta, gp, sp, lp, "") {
 								return nil
 							}
 							continue
 						}
 						for _, adv := range spec.Adversaries {
-							if !yield(x.cell(meta, gp, sp, lp, adv)) {
+							if !emit(meta, gp, sp, lp, adv) {
 								return nil
 							}
 						}
@@ -628,12 +658,12 @@ func Replay(spec Spec, seed string) (Cell, error) {
 		found Cell
 		ok    bool
 	)
-	if err := Walk(spec, func(c Cell) bool {
-		if c.Index == idx {
-			found, ok = c, true
-			return false // stop: replay needs exactly this cell
-		}
-		return true
+	// The range walk derives exactly this one cell: positions before idx
+	// advance the index counter without deriving anything, and the keyed
+	// instance draws make the result identical to a full expansion's.
+	if err := WalkRange(spec, idx, idx+1, func(c Cell) bool {
+		found, ok = c, true
+		return false // stop: replay needs exactly this cell
 	}); err != nil {
 		return Cell{}, err
 	}

@@ -305,9 +305,15 @@ func TestOracles(t *testing.T) {
 
 func TestReportAggregationAndTable(t *testing.T) {
 	spec := Spec{Name: "agg", Seed: "agg-seed"}
+	// Distinct cells need distinct indices: the aggregator dedupes
+	// repeated feeds of the same cell by index/seed identity.
+	nextIdx := 0
 	mk := func(kind, graphKind string, o Outcome, fail bool) CellResult {
+		idx := nextIdx
+		nextIdx++
 		cr := CellResult{
-			Cell:    Cell{Kind: kind, Graph: GraphParams{Kind: graphKind, N: 4}, ID: kind + "/x", Seed: "agg-seed#0"},
+			Cell: Cell{Index: idx, Kind: kind, Graph: GraphParams{Kind: graphKind, N: 4},
+				ID: kind + "/x", Seed: CellSeed("agg-seed", idx)},
 			Outcome: o,
 		}
 		if fail {
@@ -350,7 +356,7 @@ func TestReportAggregationAndTable(t *testing.T) {
 		t.Fatalf("rendezvous group stats: %+v", rv)
 	}
 	tbl := r.Table()
-	for _, want := range []string{"agg", "TOTAL", "rendezvous/path-4", "FAIL", "agg-seed#0"} {
+	for _, want := range []string{"agg", "TOTAL", "rendezvous/path-4", "FAIL", "agg-seed#3"} {
 		if !strings.Contains(tbl, want) {
 			t.Errorf("table missing %q:\n%s", want, tbl)
 		}

@@ -1,0 +1,106 @@
+package campaign
+
+import "sort"
+
+// Interval is a half-open index range [Lo, Hi).
+type Interval struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// IndexSet is a set of non-negative cell indices, stored as sorted
+// disjoint half-open intervals. Sweep consumers track completed cells
+// with it: completion order is scattered, but the indices of a finished
+// campaign coalesce into a handful of intervals, so membership stays
+// cheap at million-cell scale — the shape both the Aggregator's
+// duplicate guard and the serve checkpoint's completed-range log need.
+// The zero value is an empty set.
+type IndexSet struct {
+	iv []Interval
+}
+
+// Add inserts index i and reports whether it was newly added (false
+// means i was already present — the duplicate-feed signal).
+func (s *IndexSet) Add(i int) bool {
+	if s.Contains(i) {
+		return false
+	}
+	s.AddRange(i, i+1)
+	return true
+}
+
+// AddRange unions [lo, hi) into the set. Empty or inverted ranges are
+// no-ops.
+func (s *IndexSet) AddRange(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	// Find the window of existing intervals that touch or overlap
+	// [lo, hi) and merge them into one.
+	first := sort.Search(len(s.iv), func(k int) bool { return s.iv[k].Hi >= lo })
+	last := first
+	for last < len(s.iv) && s.iv[last].Lo <= hi {
+		if s.iv[last].Lo < lo {
+			lo = s.iv[last].Lo
+		}
+		if s.iv[last].Hi > hi {
+			hi = s.iv[last].Hi
+		}
+		last++
+	}
+	merged := append(s.iv[:first:first], Interval{Lo: lo, Hi: hi})
+	s.iv = append(merged, s.iv[last:]...)
+}
+
+// AddSet unions another set into this one.
+func (s *IndexSet) AddSet(o *IndexSet) {
+	for _, iv := range o.iv {
+		s.AddRange(iv.Lo, iv.Hi)
+	}
+}
+
+// Contains reports whether index i is in the set.
+func (s *IndexSet) Contains(i int) bool {
+	k := sort.Search(len(s.iv), func(k int) bool { return s.iv[k].Hi > i })
+	return k < len(s.iv) && s.iv[k].Lo <= i
+}
+
+// Len returns the number of indices in the set.
+func (s *IndexSet) Len() int {
+	n := 0
+	for _, iv := range s.iv {
+		n += iv.Hi - iv.Lo
+	}
+	return n
+}
+
+// Ranges returns the set's intervals in ascending order. The slice is a
+// copy; mutating it does not affect the set.
+func (s *IndexSet) Ranges() []Interval {
+	return append([]Interval(nil), s.iv...)
+}
+
+// Gaps returns the complement of the set within [lo, hi): the maximal
+// intervals of missing indices, in ascending order. A checkpoint-
+// resuming shard executes exactly these.
+func (s *IndexSet) Gaps(lo, hi int) []Interval {
+	var out []Interval
+	for _, iv := range s.iv {
+		if iv.Hi <= lo {
+			continue
+		}
+		if iv.Lo >= hi {
+			break
+		}
+		if iv.Lo > lo {
+			out = append(out, Interval{Lo: lo, Hi: iv.Lo})
+		}
+		if iv.Hi > lo {
+			lo = iv.Hi
+		}
+	}
+	if lo < hi {
+		out = append(out, Interval{Lo: lo, Hi: hi})
+	}
+	return out
+}

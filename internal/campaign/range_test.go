@@ -1,0 +1,216 @@
+package campaign
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestWalkRangeMatchesWalk proves the sharding invariant range
+// expansion rests on: cell i yielded by any [lo, hi) range is identical
+// to cell i of a full walk — the keyed instance draws cannot depend on
+// which cells were expanded before them.
+func TestWalkRangeMatchesWalk(t *testing.T) {
+	spec := testSpec()
+	full, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(full)
+	ranges := [][2]int{
+		{0, n}, {0, 1}, {n - 1, n}, {n, n}, {0, 0},
+		{n / 3, 2 * n / 3}, {n / 2, n}, {7, 8},
+		{0, n + 50}, // hi beyond the expansion ends at the last cell
+	}
+	for _, r := range ranges {
+		lo, hi := r[0], r[1]
+		var got []Cell
+		if err := WalkRange(spec, lo, hi, func(c Cell) bool {
+			got = append(got, c)
+			return true
+		}); err != nil {
+			t.Fatalf("WalkRange(%d, %d): %v", lo, hi, err)
+		}
+		wantHi := hi
+		if wantHi > n {
+			wantHi = n
+		}
+		want := full[lo:wantHi]
+		if len(got) != len(want) {
+			t.Fatalf("WalkRange(%d, %d) yielded %d cells, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("WalkRange(%d, %d) cell %d differs:\n got %+v\nwant %+v",
+					lo, hi, want[i].Index, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWalkRangeSplitCoversWalk stitches a partition of disjoint ranges
+// back together and asserts the union reproduces the full expansion —
+// the exact contract a sharded sweep service depends on.
+func TestWalkRangeSplitCoversWalk(t *testing.T) {
+	spec := testSpec()
+	full, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(full)
+	const shards = 7
+	var stitched []Cell
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		if err := WalkRange(spec, lo, hi, func(c Cell) bool {
+			stitched = append(stitched, c)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(stitched, full) {
+		t.Fatal("stitched shard ranges do not reproduce the full expansion")
+	}
+}
+
+func TestWalkRangeInvalid(t *testing.T) {
+	spec := testSpec()
+	for _, r := range [][2]int{{-1, 4}, {5, 4}} {
+		err := WalkRange(spec, r[0], r[1], func(Cell) bool { return true })
+		if err == nil {
+			t.Errorf("WalkRange(%d, %d) accepted an invalid range", r[0], r[1])
+		}
+	}
+}
+
+// TestIndexSet exercises the interval-set primitive underneath the
+// aggregator's duplicate guard and the checkpoint's completed ranges.
+func TestIndexSet(t *testing.T) {
+	var s IndexSet
+	if !s.Add(5) || s.Add(5) {
+		t.Fatal("Add must report first insert true, duplicate false")
+	}
+	s.AddRange(10, 14)
+	s.AddRange(14, 16) // adjacent: must coalesce
+	s.AddRange(12, 13) // contained: no-op
+	s.Add(6)           // adjacent to 5
+	if got := s.Ranges(); !reflect.DeepEqual(got, []Interval{{5, 7}, {10, 16}}) {
+		t.Fatalf("ranges %v, want [{5 7} {10 16}]", got)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len %d, want 8", s.Len())
+	}
+	for _, i := range []int{5, 6, 10, 15} {
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false, want true", i)
+		}
+	}
+	for _, i := range []int{4, 7, 9, 16} {
+		if s.Contains(i) {
+			t.Errorf("Contains(%d) = true, want false", i)
+		}
+	}
+	gaps := s.Gaps(0, 20)
+	if !reflect.DeepEqual(gaps, []Interval{{0, 5}, {7, 10}, {16, 20}}) {
+		t.Fatalf("gaps %v, want [{0 5} {7 10} {16 20}]", gaps)
+	}
+	if g := s.Gaps(5, 7); g != nil {
+		t.Fatalf("gaps of a covered window: %v, want none", g)
+	}
+	s.AddRange(0, 20) // swallow everything
+	if got := s.Ranges(); !reflect.DeepEqual(got, []Interval{{0, 20}}) {
+		t.Fatalf("ranges after swallowing union: %v", got)
+	}
+}
+
+// TestIndexSetRandomized cross-checks the interval set against a plain
+// map under a deterministic random workload.
+func TestIndexSetRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s IndexSet
+	ref := make(map[int]bool)
+	for op := 0; op < 2000; op++ {
+		if rng.Intn(2) == 0 {
+			i := rng.Intn(200)
+			if got, want := s.Add(i), !ref[i]; got != want {
+				t.Fatalf("Add(%d) = %v, want %v", i, got, want)
+			}
+			ref[i] = true
+		} else {
+			lo := rng.Intn(200)
+			hi := lo + rng.Intn(20)
+			s.AddRange(lo, hi)
+			for i := lo; i < hi; i++ {
+				ref[i] = true
+			}
+		}
+	}
+	n := 0
+	for i := 0; i < 220; i++ {
+		if ref[i] {
+			n++
+		}
+		if s.Contains(i) != ref[i] {
+			t.Fatalf("Contains(%d) = %v, want %v", i, s.Contains(i), ref[i])
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len %d, want %d", s.Len(), n)
+	}
+}
+
+// TestAggregatorDuplicateFeed pins the checkpoint-resume hazard fix:
+// feeding a cell result twice is a no-op, and the report stays
+// byte-identical across arrival orders with or without duplicates.
+func TestAggregatorDuplicateFeed(t *testing.T) {
+	spec := testSpec()
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]CellResult, len(cells))
+	for i, c := range cells {
+		cr := CellResult{Cell: c, Outcome: Outcome{
+			N: 4, M: 4, Met: true, Consistent: true,
+			Cost: 10 + i%7, Steps: 20 + i%5, MaxPerAgent: 5 + i%3,
+		}}
+		if i%11 == 0 {
+			cr.Outcome.Met = false
+			cr.Outcome.Exhausted = true
+			cr.Failures = []OracleFailure{{Oracle: "synthetic", Err: "injected"}}
+		}
+		results[i] = cr
+	}
+	report := func(feed []CellResult) string {
+		a := NewAggregator(spec, nil)
+		for _, cr := range feed {
+			a.Add(cr)
+		}
+		out, err := json.Marshal(a.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	want := report(results)
+
+	// Shuffled order, every cell fed twice (the boundary-replay hazard),
+	// plus a third helping of a few.
+	rng := rand.New(rand.NewSource(7))
+	dup := append(append([]CellResult(nil), results...), results...)
+	dup = append(dup, results[0], results[len(results)/2], results[len(results)-1])
+	rng.Shuffle(len(dup), func(i, j int) { dup[i], dup[j] = dup[j], dup[i] })
+	if got := report(dup); got != want {
+		t.Fatalf("duplicate+shuffled feed diverges from clean feed:\n got %s\nwant %s", got, want)
+	}
+
+	// The duplicate Add must change nothing at all — cell count included.
+	a := NewAggregator(spec, nil)
+	a.Add(results[0])
+	a.Add(results[0])
+	if r := a.Report(); r.Cells != 1 {
+		t.Fatalf("duplicate Add counted: %d cells, want 1", r.Cells)
+	}
+}

@@ -111,7 +111,8 @@ func BuildReport(spec Spec, results []CellResult, key GroupKey) *Report {
 // Aggregator folds cell results into a Report incrementally, in any
 // arrival order: the streaming half of Engine.Sweep feeds it from the
 // worker pool as cells finish, so a million-cell campaign aggregates in
-// memory proportional to its groups and failures, not its cells. The
+// memory proportional to its groups, failures and completed-index
+// intervals, not its cells. The
 // final Report is byte-identical regardless of arrival order (groups
 // sort by name, failures by cell index). Add and Report are not safe
 // for concurrent use; callers serialize (the engine holds a mutex).
@@ -119,6 +120,14 @@ type Aggregator struct {
 	key    GroupKey
 	r      *Report
 	groups map[string]*GroupStats
+	// seen guards against the same cell being folded twice. Within one
+	// campaign a cell's seed string "<seed>#<index>" and its index are a
+	// bijection, so the index — coalescing into a handful of intervals —
+	// is the memory-bounded form of a seed-string set. The duplicate
+	// hazard is real, not theoretical: a checkpoint-resumed sweep replays
+	// its recovered results and then re-executes the gaps, and a cell
+	// completed right at a checkpoint boundary can arrive on both paths.
+	seen IndexSet
 }
 
 // NewAggregator returns an empty aggregator for one campaign
@@ -134,8 +143,14 @@ func NewAggregator(spec Spec, key GroupKey) *Aggregator {
 	}
 }
 
-// Add folds one cell result into the aggregate.
+// Add folds one cell result into the aggregate. Feeding the same cell
+// (by seed string, equivalently by index) twice is a no-op: the second
+// Add changes nothing, so replay-plus-resume pipelines cannot double
+// count a boundary cell.
 func (a *Aggregator) Add(cr CellResult) {
+	if !a.seen.Add(cr.Cell.Index) {
+		return
+	}
 	r := a.r
 	r.Cells++
 	r.Events += int64(cr.Outcome.Steps)

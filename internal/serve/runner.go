@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"meetpoly"
+	"meetpoly/internal/campaign"
+)
+
+// errCrashInjected is returned when a test-configured crash point fires
+// (see ShardConfig.crashAfterFlushes).
+var errCrashInjected = errors.New("serve: injected crash")
+
+// ErrStopped reports that the result consumer stopped the run early
+// (emit returned false) — typically a streaming client disconnecting.
+// Whatever was checkpointed stays durable; a later run resumes from it.
+var ErrStopped = errors.New("serve: shard run stopped by consumer")
+
+// ShardConfig describes one shard's slice of a campaign. Shard i of n
+// owns the half-open cell index range [i*total/n, (i+1)*total/n) — the
+// same arithmetic on every process, so n shards partition the expansion
+// exactly. A single-process run is shard 0 of 1.
+type ShardConfig struct {
+	Engine *meetpoly.Engine
+	Spec   meetpoly.SweepSpec
+
+	// Shard / Of select this process's index range. Of must be >= 1 and
+	// 0 <= Shard < Of; both zero means "shard 0 of 1".
+	Shard, Of int
+
+	// Dir is the shard's checkpoint directory. Empty disables
+	// checkpointing (the run is stateless and cannot resume).
+	Dir string
+
+	// FlushEvery bounds how many completed cells may sit in the
+	// checkpoint's staging buffer before a durable flush; <= 0 means
+	// DefaultFlushEvery. A crash loses at most this many cells of work.
+	FlushEvery int
+
+	// Test hooks. onCellRun observes each freshly executed cell's index
+	// (recovered cells never fire it — that is how resume tests prove no
+	// completed cell re-executes). onFlush observes each periodic flush.
+	// crashAfterFlushes > 0 abandons the checkpoint (no final flush, no
+	// close — the in-process kill -9) right after that many periodic
+	// flushes and returns errCrashInjected.
+	onCellRun         func(index int)
+	onFlush           func(flushes int)
+	crashAfterFlushes int
+}
+
+// DefaultFlushEvery is the checkpoint flush interval (in completed
+// cells) when ShardConfig.FlushEvery is unset.
+const DefaultFlushEvery = 32
+
+// RunShard executes cfg's index range, streaming each cell result to
+// emit (return false to stop early) and folding everything into the
+// shard's aggregate report. With a checkpoint directory the run is
+// resumable: results recovered from a previous run are replayed into
+// the stream and fold without re-execution, only the sealed-range gaps
+// run, and completed cells are flushed durably every FlushEvery cells.
+// Canceled cells are folded and emitted but never checkpointed — a
+// resumed run must re-execute them for real.
+//
+// The fold is the engine's own order-independent aggregator, so a
+// shard-0-of-1 run's report — interrupted and resumed any number of
+// times — is byte-identical to an uninterrupted Engine.Sweep.
+func RunShard(ctx context.Context, cfg ShardConfig, emit func(meetpoly.SweepCellResult) bool) (*meetpoly.SweepReport, error) {
+	if cfg.Of == 0 && cfg.Shard == 0 {
+		cfg.Of = 1
+	}
+	if cfg.Of < 1 || cfg.Shard < 0 || cfg.Shard >= cfg.Of {
+		return nil, fmt.Errorf("serve: invalid shard %d of %d", cfg.Shard, cfg.Of)
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = DefaultFlushEvery
+	}
+	total, err := meetpoly.CountSweep(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	lo := cfg.Shard * total / cfg.Of
+	hi := (cfg.Shard + 1) * total / cfg.Of
+
+	var cp *Checkpoint
+	if cfg.Dir != "" {
+		cp, err = OpenCheckpoint(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			if cp != nil {
+				cp.Close()
+			}
+		}()
+	}
+
+	agg := campaign.NewAggregator(cfg.Spec, nil)
+
+	// Replay what a previous run already completed. Recovered results
+	// are exact (cells are pure functions of their seeds), and the
+	// aggregator's duplicate guard makes a boundary cell arriving on
+	// both the replay and re-execution paths harmless.
+	gaps := []campaign.Interval{{Lo: lo, Hi: hi}}
+	if cp != nil {
+		for _, cr := range cp.Recovered() {
+			if cr.Cell.Index < lo || cr.Cell.Index >= hi {
+				continue // sealed under a different sharding; not ours now
+			}
+			agg.Add(cr)
+			if !emit(cr) {
+				return nil, ErrStopped
+			}
+		}
+		gaps = cp.Completed().Gaps(lo, hi)
+	}
+
+	flushes := 0
+	for _, gap := range gaps {
+		for cr, serr := range cfg.Engine.SweepStreamRange(ctx, cfg.Spec, gap.Lo, gap.Hi) {
+			if serr != nil {
+				return nil, serr
+			}
+			if cfg.onCellRun != nil {
+				cfg.onCellRun(cr.Cell.Index)
+			}
+			agg.Add(cr)
+			if cp != nil && !cr.Outcome.Canceled {
+				if err := cp.Record(cr); err != nil {
+					return nil, err
+				}
+				if cp.Pending() >= cfg.FlushEvery {
+					if err := cp.Flush(); err != nil {
+						return nil, err
+					}
+					flushes++
+					if cfg.onFlush != nil {
+						cfg.onFlush(flushes)
+					}
+					if cfg.crashAfterFlushes > 0 && flushes >= cfg.crashAfterFlushes {
+						cp.abandon()
+						cp = nil // defer must not Close (and flush) after the "crash"
+						return nil, errCrashInjected
+					}
+				}
+			}
+			if !emit(cr) {
+				return nil, ErrStopped
+			}
+		}
+	}
+
+	if cp != nil {
+		err := cp.Close()
+		cp = nil
+		if err != nil {
+			return nil, err
+		}
+	}
+	return agg.Report(), nil
+}

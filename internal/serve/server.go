@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"meetpoly"
+)
+
+// Config configures a sweep service instance.
+type Config struct {
+	// Engine executes every campaign. Many tenants multiplex over this
+	// one engine: its prepared-scenario cache and worker pool are shared
+	// state, which is safe because preparation is keyed on content and
+	// execution is pure.
+	Engine *meetpoly.Engine
+
+	// CheckpointRoot is the directory under which per-campaign,
+	// per-shard checkpoints live (root/<campaign key>/shard-<i>of<n>).
+	// Empty disables checkpointing: every request recomputes.
+	CheckpointRoot string
+
+	// Shard / Of select which slice of each campaign this instance
+	// executes (the same flag pair cmd/rvserved exposes); zero values
+	// mean "shard 0 of 1", i.e. the whole expansion.
+	Shard, Of int
+
+	// FlushEvery is the checkpoint flush interval in completed cells
+	// (DefaultFlushEvery when <= 0).
+	FlushEvery int
+
+	// MaxCells rejects campaigns whose expansion exceeds it with 413
+	// (0 = unlimited). This is the admission-control half of the budget
+	// story; the duration half is RequestTimeout.
+	MaxCells int
+
+	// MaxTenantSweeps caps in-flight sweeps per tenant (X-Tenant header,
+	// "default" when absent); excess requests get 429. <= 0 means
+	// DefaultMaxTenantSweeps.
+	MaxTenantSweeps int
+
+	// RequestTimeout bounds each sweep's wall clock (0 = unbounded). A
+	// request may tighten it further with ?budget_ms=. Either way the
+	// budget maps onto context cancellation: expired runs surface
+	// canceled cells, and canceled cells are never checkpointed, so a
+	// re-request resumes and finishes the remainder.
+	RequestTimeout time.Duration
+}
+
+// DefaultMaxTenantSweeps is the per-tenant in-flight cap when
+// Config.MaxTenantSweeps is unset.
+const DefaultMaxTenantSweeps = 4
+
+// Server is the HTTP face of the sweep service. Zero value is not
+// usable; construct with New.
+type Server struct {
+	cfg Config
+
+	drainCtx    context.Context
+	startDrain  context.CancelFunc
+	inflight    sync.WaitGroup
+	mu          sync.Mutex
+	draining    bool
+	tenants     map[string]int  // tenant -> in-flight sweeps
+	runningDirs map[string]bool // checkpoint keys with a live run
+	served      int64           // completed sweep requests
+}
+
+// New builds a Server over cfg, applying defaults.
+func New(cfg Config) *Server {
+	if cfg.Of == 0 && cfg.Shard == 0 {
+		cfg.Of = 1
+	}
+	if cfg.MaxTenantSweeps <= 0 {
+		cfg.MaxTenantSweeps = DefaultMaxTenantSweeps
+	}
+	drainCtx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:         cfg,
+		drainCtx:    drainCtx,
+		startDrain:  cancel,
+		tenants:     make(map[string]int),
+		runningDirs: make(map[string]bool),
+	}
+}
+
+// Handler returns the service's route table:
+//
+//	POST /v1/sweep        — stream the shard's cell results as NDJSON
+//	POST /v1/sweep/report — run the shard, respond with the report JSON
+//	GET  /healthz         — 200 ok, 503 once draining
+//	GET  /v1/stats        — service counters and engine cache stats
+//
+// Both sweep endpoints take a SweepSpec JSON body and accept
+// ?budget_ms= to bound the run (see Config.RequestTimeout).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sweep", func(w http.ResponseWriter, r *http.Request) { s.handleSweep(w, r, true) })
+	mux.HandleFunc("/v1/sweep/report", func(w http.ResponseWriter, r *http.Request) { s.handleSweep(w, r, false) })
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// Drain makes the server refuse new sweeps, cancels the ones in flight
+// (their checkpoints flush everything completed so far, so a restarted
+// instance resumes rather than recomputes), and waits for them to
+// finish or ctx to expire.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.startDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	inflight := 0
+	for _, n := range s.tenants {
+		inflight += n
+	}
+	st := struct {
+		Draining bool                `json:"draining"`
+		Shard    int                 `json:"shard"`
+		Of       int                 `json:"of"`
+		Served   int64               `json:"served"`
+		Inflight int                 `json:"inflight"`
+		Cache    meetpoly.CacheStats `json:"cache"`
+	}{s.draining, s.cfg.Shard, s.cfg.Of, s.served, inflight, s.cfg.Engine.CacheStats()}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// admit performs admission control for one sweep request: drain check,
+// per-tenant quota, and the one-live-run-per-checkpoint-dir lock. It
+// returns the release func, or writes the refusal and returns nil.
+func (s *Server) admit(w http.ResponseWriter, tenant, key string) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.draining:
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return nil
+	case s.tenants[tenant] >= s.cfg.MaxTenantSweeps:
+		http.Error(w, fmt.Sprintf("tenant %q at in-flight limit %d", tenant, s.cfg.MaxTenantSweeps), http.StatusTooManyRequests)
+		return nil
+	case key != "" && s.runningDirs[key]:
+		// Two concurrent runs over one checkpoint dir would interleave
+		// appends; the second caller retries after the first finishes.
+		http.Error(w, fmt.Sprintf("campaign %s already running on this shard", key), http.StatusConflict)
+		return nil
+	}
+	s.tenants[tenant]++
+	if key != "" {
+		s.runningDirs[key] = true
+	}
+	s.inflight.Add(1)
+	return func() {
+		s.mu.Lock()
+		s.tenants[tenant]--
+		if s.tenants[tenant] == 0 {
+			delete(s.tenants, tenant)
+		}
+		if key != "" {
+			delete(s.runningDirs, key)
+		}
+		s.served++
+		s.mu.Unlock()
+		s.inflight.Done()
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, stream bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a SweepSpec JSON body", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := meetpoly.SweepSpecFromJSON(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	total, err := meetpoly.CountSweep(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.cfg.MaxCells > 0 && total > s.cfg.MaxCells {
+		http.Error(w, fmt.Sprintf("campaign expands to %d cells, limit %d", total, s.cfg.MaxCells), http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	dir, key := s.checkpointDir(spec)
+	release := s.admit(w, tenant, key)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	// The request budget is context cancellation all the way down: the
+	// client's disconnect, the server's timeout, the request's own
+	// ?budget_ms= and a drain all cancel the same ctx, and the engine
+	// already turns cancellation into canceled cell outcomes.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopAfter := context.AfterFunc(s.drainCtx, cancel)
+	defer stopAfter()
+	budget := s.cfg.RequestTimeout
+	if ms := r.URL.Query().Get("budget_ms"); ms != "" {
+		d, err := strconv.Atoi(ms)
+		if err != nil || d <= 0 {
+			http.Error(w, "budget_ms must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		if req := time.Duration(d) * time.Millisecond; budget == 0 || req < budget {
+			budget = req
+		}
+	}
+	if budget > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, budget)
+		defer tcancel()
+	}
+
+	cfg := ShardConfig{
+		Engine: s.cfg.Engine, Spec: spec,
+		Shard: s.cfg.Shard, Of: s.cfg.Of,
+		Dir: dir, FlushEvery: s.cfg.FlushEvery,
+	}
+
+	if !stream {
+		rep, err := RunShard(ctx, cfg, func(meetpoly.SweepCellResult) bool { return true })
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// Byte-for-byte the `rvsweep -json` encoding, so a served report
+		// diffs clean against a local run of the same campaign.
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(out, '\n'))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	rep, err := RunShard(ctx, cfg, func(cr meetpoly.SweepCellResult) bool {
+		if err := enc.Encode(cr); err != nil {
+			return false // client went away; RunShard returns ErrStopped
+		}
+		wrote = true
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	})
+	// The stream ends with exactly one trailer line so clients can tell
+	// a complete campaign from a truncated one.
+	switch {
+	case err == nil:
+		enc.Encode(streamTrailer{Done: true, Cells: rep.Cells, Failures: rep.Fail, Canceled: rep.Canc})
+	case errors.Is(err, ErrStopped):
+		// Nobody is listening.
+	case !wrote:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		enc.Encode(streamTrailer{Error: err.Error()})
+	}
+}
+
+// streamTrailer is the final line of a /v1/sweep NDJSON stream.
+type streamTrailer struct {
+	Done     bool   `json:"done"`
+	Cells    int    `json:"cells"`
+	Failures int    `json:"failures"`
+	Canceled int    `json:"canceled"`
+	Error    string `json:"error,omitempty"`
+}
+
+// checkpointDir maps a campaign onto this shard's checkpoint directory:
+// root/<name>-<fnv of the canonical spec JSON>/shard-<i>of<n>. The hash
+// keeps two different campaigns sharing a name from sharing (and
+// corrupting) a resume state; the name keeps the tree navigable. The
+// returned key identifies the dir for the one-live-run lock. Both are
+// empty when checkpointing is disabled.
+func (s *Server) checkpointDir(spec meetpoly.SweepSpec) (dir, key string) {
+	if s.cfg.CheckpointRoot == "" {
+		return "", ""
+	}
+	canon, _ := json.Marshal(spec)
+	h := fnv.New32a()
+	h.Write(canon)
+	name := make([]byte, 0, len(spec.Name))
+	for _, c := range []byte(spec.Name) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			name = append(name, c)
+		default:
+			name = append(name, '_')
+		}
+	}
+	key = fmt.Sprintf("%s-%08x", name, h.Sum32())
+	return filepath.Join(s.cfg.CheckpointRoot, key, fmt.Sprintf("shard-%dof%d", s.cfg.Shard, s.cfg.Of)), key
+}

@@ -3,7 +3,6 @@ package meetpoly
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -85,11 +84,33 @@ func TestSweepStreamFoldEquality(t *testing.T) {
 // the stop channel and wind down — and a second sweep on the same
 // engine still works. Breaking at the very first yield is the hardest
 // teardown: the producer and every worker are still in full flight.
+//
+// The in-batch rows pin the server-conditions case — a client
+// disconnecting while a worker is mid-way through handing over a
+// batched group's results. streamSpec's first work unit under the walk
+// order is the 8-cell rendezvous/path-3 batch (2 starts × 2 labels × 2
+// adversaries on one graph); with one worker, breaking at 2..7 lands
+// strictly inside that group's stop-guarded sends, so a stranded
+// half-consumed batch would show up as a leaked worker here.
 func TestSweepStreamEarlyBreak(t *testing.T) {
 	ctx := context.Background()
-	for _, breakAt := range []int{1, 5} {
-		t.Run(fmt.Sprintf("break-at-%d", breakAt), func(t *testing.T) {
-			eng := NewEngine(WithMaxN(6), WithSeed(1))
+	cases := []struct {
+		name        string
+		breakAt     int
+		parallelism int // 0 = engine default
+	}{
+		{"break-at-1", 1, 0},
+		{"break-at-5", 5, 0},
+		{"break-inside-batched-group-at-2", 2, 1},
+		{"break-inside-batched-group-at-6", 6, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := []Option{WithMaxN(6), WithSeed(1)}
+			if tc.parallelism > 0 {
+				opts = append(opts, WithParallelism(tc.parallelism))
+			}
+			eng := NewEngine(opts...)
 			before := runtime.NumGoroutine()
 
 			got := 0
@@ -98,12 +119,12 @@ func TestSweepStreamEarlyBreak(t *testing.T) {
 					t.Fatal(err)
 				}
 				_ = cr
-				if got++; got >= breakAt {
+				if got++; got >= tc.breakAt {
 					break
 				}
 			}
-			if got != breakAt {
-				t.Fatalf("consumed %d results, want %d", got, breakAt)
+			if got != tc.breakAt {
+				t.Fatalf("consumed %d results, want %d", got, tc.breakAt)
 			}
 
 			// The workers, producer and closer must all wind down.
@@ -124,6 +145,87 @@ func TestSweepStreamEarlyBreak(t *testing.T) {
 				t.Fatalf("post-break sweep failed:\n%s", rep.Table())
 			}
 		})
+	}
+}
+
+// TestSweepStreamRangeFoldEquality proves the sharding contract: any
+// partition of [0, total) into disjoint index ranges, each executed by
+// its own SweepStreamRange (even on separate engines), folds through
+// one order-independent aggregator into the byte-identical report a
+// single Engine.Sweep produces.
+func TestSweepStreamRangeFoldEquality(t *testing.T) {
+	ctx := context.Background()
+	spec := streamSpec()
+	total, err := CountSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	swept, err := NewEngine(WithMaxN(6), WithSeed(1)).Sweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(swept)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 3, 5} {
+		agg := campaign.NewAggregator(spec, nil)
+		seen := make(map[int]bool, total)
+		for s := 0; s < shards; s++ {
+			lo, hi := s*total/shards, (s+1)*total/shards
+			// A fresh engine per shard models separate processes: the
+			// full-spec pre-pass must still land every shard on the same
+			// catalog state.
+			eng := NewEngine(WithMaxN(6), WithSeed(1))
+			for cr, serr := range eng.SweepStreamRange(ctx, spec, lo, hi) {
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				if cr.Cell.Index < lo || cr.Cell.Index >= hi {
+					t.Fatalf("shard [%d, %d) yielded out-of-range cell %d", lo, hi, cr.Cell.Index)
+				}
+				if seen[cr.Cell.Index] {
+					t.Fatalf("cell %d yielded by two shards", cr.Cell.Index)
+				}
+				seen[cr.Cell.Index] = true
+				agg.Add(cr)
+			}
+		}
+		if len(seen) != total {
+			t.Fatalf("%d shards yielded %d cells, expansion has %d", shards, len(seen), total)
+		}
+		got, err := json.Marshal(agg.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%d-shard fold diverges from Sweep:\nfold  %s\nsweep %s", shards, got, want)
+		}
+	}
+}
+
+// TestSweepStreamRangeInvalid: a nonsensical range is a stream error,
+// and an empty or out-of-bounds range yields nothing.
+func TestSweepStreamRangeInvalid(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine(WithMaxN(6), WithSeed(1))
+	gotErr := false
+	for _, err := range eng.SweepStreamRange(ctx, streamSpec(), 5, 4) {
+		if err == nil {
+			t.Fatal("inverted range yielded a result without error")
+		}
+		gotErr = true
+	}
+	if !gotErr {
+		t.Fatal("inverted range yielded nothing — want exactly one error")
+	}
+	total, _ := CountSweep(streamSpec())
+	for _, r := range [][2]int{{3, 3}, {total, total + 10}} {
+		for cr, err := range eng.SweepStreamRange(ctx, streamSpec(), r[0], r[1]) {
+			t.Fatalf("empty range [%d, %d) yielded (%+v, %v)", r[0], r[1], cr, err)
+		}
 	}
 }
 
