@@ -24,7 +24,22 @@
 // completed so far — and the process exits once they finish or the
 // drain timeout expires.
 //
-// Exit codes: 0 clean shutdown; 1 runtime error; 2 usage error.
+// Beyond the daemon, three more modes:
+//
+//	-coordinator URL  worker mode: pull leases from an rvcoord
+//	                  instance, execute them, stream results back,
+//	                  heartbeat while running; exits 0 when the
+//	                  campaign is done
+//	-chaos SPEC       thread a deterministic fault-injection schedule
+//	                  (see internal/faultinject) through the daemon or
+//	                  worker: checkpoint write/fsync faults, stream
+//	                  resets, delays, 503 bursts, kill-after-flush
+//	-compact DIR      offline: rewrite a checkpoint directory's logs
+//	                  to their minimal sealed form, print stats, exit
+//
+// Exit codes: 0 clean shutdown / campaign done; 1 runtime error; 2
+// usage error; 137 an injected -chaos kill fired (the process
+// stand-in for kill -9 — the coordinator's lease expiry takes over).
 package main
 
 import (
@@ -35,13 +50,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"meetpoly"
+	"meetpoly/internal/faultinject"
 	"meetpoly/internal/serve"
+	"meetpoly/internal/serve/coord"
 )
 
 func main() {
@@ -57,6 +75,10 @@ func main() {
 		maxTenant   = flag.Int("max-tenant-sweeps", serve.DefaultMaxTenantSweeps, "max in-flight sweeps per tenant (X-Tenant header)")
 		timeout     = flag.Duration("timeout", 0, "per-request sweep budget (0 = unbounded; requests may tighten with ?budget_ms=)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight sweeps on shutdown")
+		coordinator = flag.String("coordinator", "", "worker mode: pull leases from this rvcoord base URL instead of serving HTTP")
+		workerName  = flag.String("worker-name", "", "worker mode: name reported to the coordinator (default the hostname)")
+		chaos       = flag.String("chaos", "", "deterministic fault-injection spec (see internal/faultinject), e.g. 'seed=7,kill=2,reset=rand:30'")
+		compactDir  = flag.String("compact", "", "offline: compact this checkpoint directory's logs and exit")
 	)
 	flag.Parse()
 	shardIdx, shardOf, err := parseShard(*shard)
@@ -65,11 +87,38 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var inj *faultinject.Injector
+	if *chaos != "" {
+		inj, err = faultinject.New(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rvserved:", err)
+			os.Exit(2)
+		}
+		// The resolved plan is the reproduction recipe: log it.
+		fmt.Fprintf(os.Stderr, "rvserved: chaos schedule: %s\n", inj.Schedule())
+	}
+
+	if *compactDir != "" {
+		st, err := serve.Compact(*compactDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rvserved:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compacted %s: %d cells, %d ranges, results %d -> %d bytes, ranges %d -> %d bytes\n",
+			*compactDir, st.Cells, st.Ranges, st.BytesBefore, st.BytesAfter, st.RangesBefore, st.RangesAfter)
+		return
+	}
 
 	opts := []meetpoly.Option{meetpoly.WithMaxN(*maxN), meetpoly.WithSeed(*seed)}
 	if *parallelism > 0 {
 		opts = append(opts, meetpoly.WithParallelism(*parallelism))
 	}
+
+	if *coordinator != "" {
+		runWorker(*coordinator, *workerName, *checkpoints, *flushEvery, inj, opts)
+		return
+	}
+
 	svc := serve.New(serve.Config{
 		Engine:          meetpoly.NewEngine(opts...),
 		CheckpointRoot:  *checkpoints,
@@ -79,6 +128,7 @@ func main() {
 		MaxCells:        *maxCells,
 		MaxTenantSweeps: *maxTenant,
 		RequestTimeout:  *timeout,
+		Faults:          inj,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
@@ -112,6 +162,40 @@ func main() {
 		code = 1
 	}
 	os.Exit(code)
+}
+
+// runWorker is the -coordinator mode: a lease-pulling fleet worker.
+// An injected kill (chaos kill=<k>) exits 137 like a real kill -9; the
+// coordinator's lease expiry handles the rest.
+func runWorker(coordURL, name, checkpoints string, flushEvery int, inj *faultinject.Injector, opts []meetpoly.Option) {
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	dir := ""
+	if checkpoints != "" {
+		dir = filepath.Join(checkpoints, "worker-"+name)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "rvserved: worker %s pulling leases from %s\n", name, coordURL)
+	err := coord.RunWorker(ctx, coord.WorkerConfig{
+		Coordinator: coordURL,
+		Engine:      meetpoly.NewEngine(opts...),
+		Name:        name,
+		Dir:         dir,
+		FlushEvery:  flushEvery,
+		Faults:      inj,
+	})
+	switch {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "rvserved: worker %s: campaign done\n", name)
+	case errors.Is(err, faultinject.ErrKilled):
+		fmt.Fprintf(os.Stderr, "rvserved: worker %s: injected kill\n", name)
+		os.Exit(137)
+	default:
+		fmt.Fprintf(os.Stderr, "rvserved: worker %s: %v\n", name, err)
+		os.Exit(1)
+	}
 }
 
 // parseShard parses the -shard flag's "i/of" form: of >= 1 and

@@ -47,8 +47,10 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"meetpoly"
+	"meetpoly/internal/serve/client"
 )
 
 func main() {
@@ -63,12 +65,20 @@ func main() {
 		seed        = flag.Int64("seed", 1, "seed of the engine's verified catalog")
 		parallelism = flag.Int("parallelism", 0, "worker pool size (0 = GOMAXPROCS)")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON instead of a table")
+		server      = flag.String("server", "", "run the sweep remotely on this rvserved base URL via the self-healing streaming client")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
 	)
 	flag.Parse()
 	if err := exclusiveModes(*count, *expand, *replay, *stream); err != nil {
 		fmt.Fprintln(os.Stderr, "rvsweep:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *server != "" && (*count || *expand || *replay != "") {
+		// -server runs the sweep remotely; only the sweeping modes
+		// (report, -json, -stream) make sense there.
+		fmt.Fprintln(os.Stderr, "rvsweep: -server is incompatible with -count/-expand/-replay")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -198,6 +208,51 @@ func main() {
 		exit(2)
 	}
 
+	if *server != "" {
+		// Remote mode: the self-healing client streams the campaign
+		// from an rvserved instance, resuming from the exact gap set
+		// across connection resets and load-shedding refusals. The
+		// report is byte-identical to the local path below.
+		cl := client.New(client.Config{
+			BaseURL: *server,
+			OnRetry: func(err error, stalls int, wait time.Duration) {
+				fmt.Fprintf(os.Stderr, "rvsweep: retrying after %s (stalls %d): %v\n", wait, stalls, err)
+			},
+		})
+		var emit func(meetpoly.SweepCellResult) bool
+		var streamErr error
+		if *stream {
+			enc := json.NewEncoder(os.Stdout)
+			emit = func(cr meetpoly.SweepCellResult) bool {
+				if err := enc.Encode(cr); err != nil {
+					streamErr = err
+					return false
+				}
+				return true
+			}
+		}
+		rep, err := cl.Sweep(ctx, spec, emit)
+		if streamErr != nil {
+			fatal(streamErr)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *stream {
+			exit(boolExit(rep.OK()))
+		}
+		if *jsonOut {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(rep.Table())
+		}
+		exit(boolExit(rep.OK()))
+	}
+
 	if *stream {
 		code, err := streamSweep(eng.SweepStream(ctx, spec), os.Stdout, os.Stderr)
 		if err != nil {
@@ -228,6 +283,15 @@ func main() {
 		exit(1)
 	}
 	exit(0)
+}
+
+// boolExit maps an all-oracles-passed verdict to the process exit
+// code contract (0 pass, 1 fail).
+func boolExit(ok bool) int {
+	if ok {
+		return 0
+	}
+	return 1
 }
 
 // exclusiveModes rejects contradictory mode flags. rvsweep's four run

@@ -1,0 +1,207 @@
+package campaign
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestIndexSetCoalescing pins AddRange's merge behavior at every
+// adjacency class: touching, overlapping, contained, containing,
+// bridging, and strictly disjoint — the invariant the lease pool and
+// the checkpoint's ranges.log both lean on (a finished campaign must
+// collapse to ONE interval, whatever order its pieces sealed in).
+func TestIndexSetCoalescing(t *testing.T) {
+	cases := []struct {
+		name string
+		adds [][2]int
+		want []Interval
+	}{
+		{"adjacent ascending", [][2]int{{0, 5}, {5, 10}}, []Interval{{0, 10}}},
+		{"adjacent descending", [][2]int{{5, 10}, {0, 5}}, []Interval{{0, 10}}},
+		{"overlapping", [][2]int{{0, 6}, {4, 10}}, []Interval{{0, 10}}},
+		{"contained", [][2]int{{0, 10}, {3, 7}}, []Interval{{0, 10}}},
+		{"containing", [][2]int{{3, 7}, {0, 10}}, []Interval{{0, 10}}},
+		{"bridging three", [][2]int{{0, 2}, {4, 6}, {8, 10}, {2, 8}}, []Interval{{0, 10}}},
+		{"disjoint stay split", [][2]int{{0, 2}, {4, 6}}, []Interval{{0, 2}, {4, 6}}},
+		{"off by one stays split", [][2]int{{0, 2}, {3, 5}}, []Interval{{0, 2}, {3, 5}}},
+		{"empty is a no-op", [][2]int{{3, 3}, {5, 4}}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s IndexSet
+			for _, a := range tc.adds {
+				s.AddRange(a[0], a[1])
+			}
+			got := s.iv // the internal representation IS the claim
+			if len(got) == 0 {
+				got = nil
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("intervals %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestIndexSetGapsEdges pins Gaps at the degenerate windows resume
+// logic hits: empty set, fully covered window, singleton holes and
+// singleton islands, and empty/inverted windows.
+func TestIndexSetGapsEdges(t *testing.T) {
+	var empty IndexSet
+	if got := empty.Gaps(0, 10); !reflect.DeepEqual(got, []Interval{{0, 10}}) {
+		t.Fatalf("empty set gaps: %v, want the whole window", got)
+	}
+	if got := empty.Gaps(5, 5); got != nil {
+		t.Fatalf("empty window must have no gaps, got %v", got)
+	}
+	if got := empty.Gaps(7, 3); got != nil {
+		t.Fatalf("inverted window must have no gaps, got %v", got)
+	}
+
+	var full IndexSet
+	full.AddRange(0, 10)
+	if got := full.Gaps(0, 10); got != nil {
+		t.Fatalf("full set gaps: %v, want none", got)
+	}
+	if got := full.Gaps(3, 7); got != nil {
+		t.Fatalf("full set inner-window gaps: %v, want none", got)
+	}
+
+	var single IndexSet
+	single.Add(5)
+	if got := single.Gaps(0, 10); !reflect.DeepEqual(got, []Interval{{0, 5}, {6, 10}}) {
+		t.Fatalf("singleton gaps: %v", got)
+	}
+	if got := single.Gaps(5, 6); got != nil {
+		t.Fatalf("window == singleton: gaps %v, want none", got)
+	}
+	if got := single.Gaps(0, 5); !reflect.DeepEqual(got, []Interval{{0, 5}}) {
+		t.Fatalf("window left of singleton: %v", got)
+	}
+
+	// A singleton hole: everything but index 5.
+	var holed IndexSet
+	holed.AddRange(0, 5)
+	holed.AddRange(6, 10)
+	if got := holed.Gaps(0, 10); !reflect.DeepEqual(got, []Interval{{5, 6}}) {
+		t.Fatalf("singleton hole: %v, want [{5 6}]", got)
+	}
+}
+
+// TestLeaseModelRandomized drives the coordinator's lease algebra —
+// grant from the gaps of (done ∪ leased), expire back to the pool,
+// complete into done — purely over IndexSet under a deterministic
+// random schedule, asserting after every step that no cell is ever
+// lost (done ∪ leased ∪ free covers the whole campaign) and none is
+// double-leased or re-granted after completion (double-sealed).
+func TestLeaseModelRandomized(t *testing.T) {
+	const total, grantCells = 257, 16
+	rng := rand.New(rand.NewSource(99))
+
+	var done IndexSet
+	leases := map[int]*IndexSet{}
+	nextLease := 0
+
+	taken := func() *IndexSet {
+		var u IndexSet
+		u.AddSet(&done)
+		for _, l := range leases {
+			u.AddSet(l)
+		}
+		return &u
+	}
+	check := func(step int) {
+		t.Helper()
+		// No overlap between done and any lease, or between leases —
+		// i.e. |done| + Σ|lease| == |done ∪ leases|.
+		sum := done.Len()
+		for _, l := range leases {
+			sum += l.Len()
+		}
+		u := taken()
+		if sum != u.Len() {
+			t.Fatalf("step %d: overlap detected: piecewise %d vs union %d (double-lease or re-grant of a sealed cell)", step, sum, u.Len())
+		}
+		// No cell lost: union of done, leases and the free gaps is
+		// exactly [0, total).
+		var all IndexSet
+		all.AddSet(u)
+		for _, g := range u.Gaps(0, total) {
+			all.AddRange(g.Lo, g.Hi)
+		}
+		if all.Len() != total || len(all.Gaps(0, total)) != 0 {
+			t.Fatalf("step %d: cells lost: coverage %d of %d", step, all.Len(), total)
+		}
+	}
+
+	grant := func() {
+		var g IndexSet
+		budget := grantCells
+		for _, gap := range taken().Gaps(0, total) {
+			if budget <= 0 {
+				break
+			}
+			hi := gap.Hi
+			if gap.Lo+budget < hi {
+				hi = gap.Lo + budget
+			}
+			g.AddRange(gap.Lo, hi)
+			budget -= hi - gap.Lo
+		}
+		if g.Len() > 0 {
+			leases[nextLease] = &g
+			nextLease++
+		}
+	}
+	pick := func() (int, *IndexSet) {
+		for id, l := range leases { // map order: any victim will do
+			return id, l
+		}
+		return -1, nil
+	}
+
+	for step := 0; step < 4000 && done.Len() < total; step++ {
+		switch rng.Intn(5) {
+		case 0, 1: // a worker asks for work
+			grant()
+		case 2: // a worker dies; its lease expires back to the pool
+			if id, _ := pick(); id >= 0 {
+				delete(leases, id)
+			}
+		case 3: // a worker completes its whole lease
+			if id, l := pick(); id >= 0 {
+				done.AddSet(l)
+				delete(leases, id)
+			}
+		case 4: // a partial completion: half the lease lands, the rest re-pools
+			if id, l := pick(); id >= 0 {
+				kept := 0
+				for _, iv := range l.Ranges() {
+					for i := iv.Lo; i < iv.Hi && kept < l.Len()/2; i++ {
+						done.Add(i)
+						kept++
+					}
+				}
+				delete(leases, id)
+			}
+		}
+		check(step)
+	}
+
+	// Drain: every remaining cell must still be grantable and
+	// completable — nothing was lost along the way.
+	for done.Len() < total {
+		grant()
+		id, l := pick()
+		if id < 0 {
+			t.Fatalf("pool dry with %d/%d done", done.Len(), total)
+		}
+		done.AddSet(l)
+		delete(leases, id)
+		check(-1)
+	}
+	if got := done.Ranges(); !reflect.DeepEqual(got, []Interval{{0, total}}) {
+		t.Fatalf("finished campaign coalesced to %v, want one interval", got)
+	}
+}

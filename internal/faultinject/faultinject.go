@@ -1,0 +1,389 @@
+// Package faultinject is the deterministic fault-injection harness
+// behind the fleet layer's robustness story (DESIGN.md §6): a
+// seed-driven Injector threaded behind two small seams — the
+// checkpoint-file seam (write errors, fsync errors, short writes that
+// leave torn tails) and the HTTP seam (connection resets mid-NDJSON,
+// delayed responses, 5xx bursts) — plus a kill-after-flush trigger
+// that stands in for a worker dying without cleanup.
+//
+// The whole point is reproducibility: a fault schedule is a pure
+// function of its spec string. Counted triggers ("fail the 3rd fsync")
+// are trivially reproducible; randomized triggers ("rand:20") are
+// resolved to concrete occurrence counts at plan time from the spec's
+// seed, so the same spec replays the same schedule, and Schedule()
+// prints the resolved plan for the logs. Chaos runs are therefore
+// evidence, not anecdotes: `rvserved -chaos <spec>` and the chaos
+// differential tests cite the spec that reproduces them.
+//
+// Spec grammar — comma-separated directives, occurrences 1-based:
+//
+//	seed=<n>           RNG seed resolving rand: triggers (default 1)
+//	write-err=<k>      fail the kth checkpoint log write outright
+//	short-write=<k>    kth write persists only half its bytes, then
+//	                   fails — the torn-tail generator
+//	sync-err=<k>       fail the kth checkpoint fsync
+//	kill=<k>           die right after the kth durable flush: handles
+//	                   abandoned, nothing further written (kill -9)
+//	reset=<k>          cut the HTTP connection after the kth streamed
+//	                   NDJSON line
+//	delay=<k>:<dur>    delay the kth HTTP request by dur before serving
+//	unavail=<k>x<n>    answer requests k..k+n-1 with 503 + Retry-After
+//
+// Every <k> may be written rand:<m>, drawing uniformly from [1, m].
+// Directives may repeat; each occurrence adds an independent trigger.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors the injector surfaces through the seams it wraps.
+// They are distinguishable from real I/O errors by errors.Is, so tests
+// can assert the fault fired and recovery code can log the cause.
+var (
+	// ErrWrite is the injected checkpoint-write failure.
+	ErrWrite = errors.New("faultinject: injected write error")
+	// ErrSync is the injected fsync failure.
+	ErrSync = errors.New("faultinject: injected fsync error")
+	// ErrKilled is returned by a run whose kill-after-flush trigger
+	// fired: the process stand-in for kill -9. cmd/rvserved maps it to
+	// exit status 137 in worker mode.
+	ErrKilled = errors.New("faultinject: injected worker kill")
+)
+
+// Injector fires a deterministic fault schedule. All methods are safe
+// for concurrent use; each fault class counts its own operations, so
+// the schedule is deterministic whenever the operation order is (the
+// chaos tests and CI drive requests sequentially for exactly that
+// reason). The zero Injector is not valid; use New. A nil *Injector is
+// inert: every hook reports "no fault".
+type Injector struct {
+	spec string
+
+	mu     sync.Mutex
+	writes counter // checkpoint log writes (write-err, short-write)
+	syncs  counter // checkpoint fsyncs (sync-err)
+	flush  counter // durable flushes (kill)
+	lines  counter // streamed NDJSON lines (reset)
+	reqs   counter // HTTP requests (delay, unavail)
+
+	writeErr   []int
+	shortWrite []int
+	syncErr    []int
+	kill       []int
+	reset      []int
+	delays     map[int]time.Duration
+	unavail    []Interval // request-count intervals answered 503
+}
+
+// Interval is a half-open 1-based occurrence range [Lo, Hi).
+type Interval struct{ Lo, Hi int }
+
+// counter numbers occurrences of one operation class, 1-based.
+type counter int
+
+func (c *counter) next() int { *c++; return int(*c) }
+
+// New parses a fault spec and resolves its schedule. Randomized
+// triggers are drawn here, from the spec's seed — the Injector itself
+// is deterministic after New returns.
+func New(spec string) (*Injector, error) {
+	inj := &Injector{spec: spec, delays: map[int]time.Duration{}}
+	seed := int64(1)
+	var deferred []func(*rand.Rand) error
+	for _, dir := range strings.Split(spec, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(dir, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: directive %q is not key=value", dir)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: seed=%q: %v", val, err)
+			}
+			seed = n
+		case "write-err", "short-write", "sync-err", "kill", "reset":
+			key, val := key, val
+			deferred = append(deferred, func(rng *rand.Rand) error {
+				k, err := occurrence(key, val, rng)
+				if err != nil {
+					return err
+				}
+				switch key {
+				case "write-err":
+					inj.writeErr = append(inj.writeErr, k)
+				case "short-write":
+					inj.shortWrite = append(inj.shortWrite, k)
+				case "sync-err":
+					inj.syncErr = append(inj.syncErr, k)
+				case "kill":
+					inj.kill = append(inj.kill, k)
+				case "reset":
+					inj.reset = append(inj.reset, k)
+				}
+				return nil
+			})
+		case "delay":
+			// The occurrence may itself be rand:<m>, so the duration is
+			// everything after the LAST colon.
+			cut := strings.LastIndex(val, ":")
+			if cut < 0 {
+				return nil, fmt.Errorf("faultinject: delay=%q wants <k>:<duration>", val)
+			}
+			kstr, dstr := val[:cut], val[cut+1:]
+			d, err := time.ParseDuration(dstr)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faultinject: delay=%q: bad duration", val)
+			}
+			deferred = append(deferred, func(rng *rand.Rand) error {
+				k, err := occurrence("delay", kstr, rng)
+				if err != nil {
+					return err
+				}
+				inj.delays[k] = d
+				return nil
+			})
+		case "unavail":
+			kstr, nstr, ok := strings.Cut(val, "x")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: unavail=%q wants <k>x<n>", val)
+			}
+			n, err := strconv.Atoi(nstr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultinject: unavail=%q: burst length must be >= 1", val)
+			}
+			deferred = append(deferred, func(rng *rand.Rand) error {
+				k, err := occurrence("unavail", kstr, rng)
+				if err != nil {
+					return err
+				}
+				inj.unavail = append(inj.unavail, Interval{Lo: k, Hi: k + n})
+				return nil
+			})
+		default:
+			return nil, fmt.Errorf("faultinject: unknown directive %q", key)
+		}
+	}
+	// Randomized draws happen in directive order against the final seed,
+	// so a spec resolves identically no matter where seed= appears.
+	rng := rand.New(rand.NewSource(seed))
+	for _, fn := range deferred {
+		if err := fn(rng); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range [][]int{inj.writeErr, inj.shortWrite, inj.syncErr, inj.kill, inj.reset} {
+		sort.Ints(s)
+	}
+	return inj, nil
+}
+
+// MustNew is New for specs known valid at compile time (tests).
+func MustNew(spec string) *Injector {
+	inj, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return inj
+}
+
+// occurrence parses a trigger count: a positive integer, or rand:<m>
+// drawing uniformly from [1, m].
+func occurrence(key, val string, rng *rand.Rand) (int, error) {
+	if m, ok := strings.CutPrefix(val, "rand:"); ok {
+		n, err := strconv.Atoi(m)
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("faultinject: %s=%s: rand bound must be a positive integer", key, val)
+		}
+		return 1 + rng.Intn(n), nil
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("faultinject: %s=%q: occurrence must be a positive integer", key, val)
+	}
+	return n, nil
+}
+
+// Schedule renders the resolved fault plan — randomized triggers shown
+// as the concrete occurrences they drew — so a chaos run logs the
+// exact schedule that reproduces it.
+func (inj *Injector) Schedule() string {
+	if inj == nil {
+		return "none"
+	}
+	var parts []string
+	add := func(name string, ks []int) {
+		for _, k := range ks {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, k))
+		}
+	}
+	add("write-err", inj.writeErr)
+	add("short-write", inj.shortWrite)
+	add("sync-err", inj.syncErr)
+	add("kill", inj.kill)
+	add("reset", inj.reset)
+	delayKeys := make([]int, 0, len(inj.delays))
+	for k := range inj.delays {
+		delayKeys = append(delayKeys, k)
+	}
+	sort.Ints(delayKeys)
+	for _, k := range delayKeys {
+		parts = append(parts, fmt.Sprintf("delay=%d:%s", k, inj.delays[k]))
+	}
+	for _, iv := range inj.unavail {
+		parts = append(parts, fmt.Sprintf("unavail=%dx%d", iv.Lo, iv.Hi-iv.Lo))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+func member(ks []int, k int) bool {
+	i := sort.SearchInts(ks, k)
+	return i < len(ks) && ks[i] == k
+}
+
+// WriteAction is the injector's verdict on one checkpoint log write.
+type WriteAction int
+
+const (
+	// WriteOK passes the write through untouched.
+	WriteOK WriteAction = iota
+	// WriteFail fails the write before any byte persists.
+	WriteFail
+	// WriteShort persists roughly half the buffer, then fails — the
+	// torn-tail generator recovery must truncate away.
+	WriteShort
+)
+
+// OnWrite counts one checkpoint log write and returns the injected
+// action for it.
+func (inj *Injector) OnWrite() WriteAction {
+	if inj == nil {
+		return WriteOK
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	k := inj.writes.next()
+	switch {
+	case member(inj.shortWrite, k):
+		return WriteShort
+	case member(inj.writeErr, k):
+		return WriteFail
+	}
+	return WriteOK
+}
+
+// OnSync counts one checkpoint fsync and reports whether it must fail.
+func (inj *Injector) OnSync() bool {
+	if inj == nil {
+		return false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return member(inj.syncErr, inj.syncs.next())
+}
+
+// OnFlush counts one durable checkpoint flush and reports whether the
+// kill trigger fires: the caller must abandon its handles and
+// propagate ErrKilled without any further cleanup.
+func (inj *Injector) OnFlush() bool {
+	if inj == nil {
+		return false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return member(inj.kill, inj.flush.next())
+}
+
+// OnStreamLine counts one streamed NDJSON line and reports whether the
+// connection must be cut right after it.
+func (inj *Injector) OnStreamLine() bool {
+	if inj == nil {
+		return false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return member(inj.reset, inj.lines.next())
+}
+
+// OnRequest counts one HTTP request and returns its injected faults:
+// a pre-serve delay and/or a 503 refusal.
+func (inj *Injector) OnRequest() (delay time.Duration, unavailable bool) {
+	if inj == nil {
+		return 0, false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	k := inj.reqs.next()
+	delay = inj.delays[k]
+	for _, iv := range inj.unavail {
+		if k >= iv.Lo && k < iv.Hi {
+			return delay, true
+		}
+	}
+	return delay, false
+}
+
+// WriteSyncer is the slice of *os.File the checkpoint log writes
+// through — the seam File wraps.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// File wraps a checkpoint log handle, injecting the write/fsync
+// schedule. A short write persists a prefix of the buffer to the real
+// file — the torn tail a crashed writer leaves — before failing.
+type File struct {
+	f   WriteSyncer
+	inj *Injector
+}
+
+// WrapFile wraps f with inj's write/fsync schedule. A nil injector
+// returns f unwrapped.
+func WrapFile(f WriteSyncer, inj *Injector) WriteSyncer {
+	if inj == nil {
+		return f
+	}
+	return &File{f: f, inj: inj}
+}
+
+func (w *File) Write(p []byte) (int, error) {
+	switch w.inj.OnWrite() {
+	case WriteFail:
+		return 0, ErrWrite
+	case WriteShort:
+		n, err := w.f.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w (short write: %d of %d bytes)", ErrWrite, n, len(p))
+	}
+	return w.f.Write(p)
+}
+
+func (w *File) Sync() error {
+	if w.inj.OnSync() {
+		return ErrSync
+	}
+	return w.f.Sync()
+}
+
+func (w *File) Close() error { return w.f.Close() }

@@ -24,6 +24,7 @@ import (
 
 	"meetpoly"
 	"meetpoly/internal/campaign"
+	"meetpoly/internal/faultinject"
 )
 
 // Checkpoint file names inside a shard's checkpoint directory.
@@ -50,8 +51,8 @@ const (
 // is byte-identical to what re-execution would produce.
 type Checkpoint struct {
 	dir     string
-	results *os.File
-	ranges  *os.File
+	results faultinject.WriteSyncer
+	ranges  faultinject.WriteSyncer
 
 	resBuf bytes.Buffer // results staged since the last Flush
 
@@ -59,6 +60,19 @@ type Checkpoint struct {
 	pending campaign.IndexSet // recorded to resBuf, not yet sealed
 
 	recovered []meetpoly.SweepCellResult
+
+	// err poisons the checkpoint after any failed log write or fsync.
+	// The append handles' positions are unknowable after a partial
+	// write, and re-appending the staging buffer would leave a torn
+	// line in the MIDDLE of results.ndjson: recovery truncates from the
+	// first bad line, so every later record would be dropped while
+	// ranges.log still sealed them — silently losing cells. A poisoned
+	// checkpoint therefore refuses every further Record/Flush, and in
+	// particular never appends to ranges.log, preserving the invariant
+	// that a sealed range implies its results are durable. The caller
+	// abandons the run; recovery on reopen truncates the torn tail and
+	// re-executes everything unsealed.
+	err error
 }
 
 // OpenCheckpoint opens (creating if needed) the checkpoint in dir and
@@ -66,6 +80,13 @@ type Checkpoint struct {
 // interval log is re-merged, and the results covered by sealed ranges
 // are loaded for replay.
 func OpenCheckpoint(dir string) (*Checkpoint, error) {
+	return OpenCheckpointFaults(dir, nil)
+}
+
+// OpenCheckpointFaults is OpenCheckpoint with a fault injector wrapped
+// around the write/fsync seam of both logs (nil injects nothing) — the
+// chaos harness's entry point into the durable layer.
+func OpenCheckpointFaults(dir string, inj *faultinject.Injector) (*Checkpoint, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
 	}
@@ -76,16 +97,17 @@ func OpenCheckpoint(dir string) (*Checkpoint, error) {
 	if err := cp.recoverResults(); err != nil {
 		return nil, err
 	}
-	var err error
-	cp.ranges, err = os.OpenFile(filepath.Join(dir, rangesFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	rf, err := os.OpenFile(filepath.Join(dir, rangesFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("serve: checkpoint ranges log: %w", err)
 	}
-	cp.results, err = os.OpenFile(filepath.Join(dir, resultsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	resf, err := os.OpenFile(filepath.Join(dir, resultsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		cp.ranges.Close()
+		rf.Close()
 		return nil, fmt.Errorf("serve: checkpoint results log: %w", err)
 	}
+	cp.ranges = faultinject.WrapFile(rf, inj)
+	cp.results = faultinject.WrapFile(resf, inj)
 	return cp, nil
 }
 
@@ -179,6 +201,9 @@ func (cp *Checkpoint) Completed() *campaign.IndexSet {
 // Record stages one completed cell result. It is durable only after the
 // next Flush; a crash before that re-executes the cell.
 func (cp *Checkpoint) Record(cr meetpoly.SweepCellResult) error {
+	if cp.err != nil {
+		return cp.err
+	}
 	line, err := json.Marshal(cr)
 	if err != nil {
 		return fmt.Errorf("serve: encoding checkpoint record: %w", err)
@@ -195,16 +220,25 @@ func (cp *Checkpoint) Pending() int { return cp.pending.Len() }
 // Flush makes every staged record durable: results first (write +
 // fsync), then their index intervals (append + fsync). The ordering is
 // the crash-safety argument — a sealed range implies its results are on
-// disk.
+// disk. Any write or fsync failure poisons the checkpoint (see the err
+// field): retrying a partially-written append would bury a torn line
+// mid-log where recovery's tail truncation silently drops every record
+// after it, so the only safe continuation is to abandon this run and
+// let recovery re-execute the unsealed remainder.
 func (cp *Checkpoint) Flush() error {
+	if cp.err != nil {
+		return cp.err
+	}
 	if cp.pending.Len() == 0 {
 		return nil
 	}
 	if _, err := cp.results.Write(cp.resBuf.Bytes()); err != nil {
-		return fmt.Errorf("serve: appending checkpoint results: %w", err)
+		cp.err = fmt.Errorf("serve: appending checkpoint results: %w", err)
+		return cp.err
 	}
 	if err := cp.results.Sync(); err != nil {
-		return fmt.Errorf("serve: fsync checkpoint results: %w", err)
+		cp.err = fmt.Errorf("serve: fsync checkpoint results: %w", err)
+		return cp.err
 	}
 	cp.resBuf.Reset()
 	var rec bytes.Buffer
@@ -212,10 +246,12 @@ func (cp *Checkpoint) Flush() error {
 		fmt.Fprintf(&rec, "%d %d\n", iv.Lo, iv.Hi)
 	}
 	if _, err := cp.ranges.Write(rec.Bytes()); err != nil {
-		return fmt.Errorf("serve: appending checkpoint ranges: %w", err)
+		cp.err = fmt.Errorf("serve: appending checkpoint ranges: %w", err)
+		return cp.err
 	}
 	if err := cp.ranges.Sync(); err != nil {
-		return fmt.Errorf("serve: fsync checkpoint ranges: %w", err)
+		cp.err = fmt.Errorf("serve: fsync checkpoint ranges: %w", err)
+		return cp.err
 	}
 	cp.sealed.AddSet(&cp.pending)
 	cp.pending = campaign.IndexSet{}

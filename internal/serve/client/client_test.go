@@ -1,0 +1,169 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"meetpoly"
+	"meetpoly/internal/campaign"
+	"meetpoly/internal/faultinject"
+	"meetpoly/internal/serve"
+)
+
+// clientSpec mirrors the serve package's 48-cell test campaign.
+func clientSpec() meetpoly.SweepSpec {
+	return meetpoly.SweepSpec{
+		Name:  "serve",
+		Seed:  "serve-v1",
+		Kinds: []string{"rendezvous", "esst"},
+		Graphs: []meetpoly.SweepGraphAxis{
+			{Kind: "path", Sizes: []int{3, 4}},
+			{Kind: "ring", Sizes: []int{4}},
+		},
+		StartPairs:  2,
+		LabelPairs:  2,
+		Adversaries: []string{"", "avoider"},
+		Budget:      3000,
+		Moves:       60,
+	}
+}
+
+func newClientEngine() *meetpoly.Engine {
+	return meetpoly.NewEngine(meetpoly.WithMaxN(6), meetpoly.WithSeed(1))
+}
+
+func referenceReport(t *testing.T) []byte {
+	t.Helper()
+	rep, err := newClientEngine().Sweep(context.Background(), clientSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestClientHealsFromChaos is the client half of the acceptance
+// differential: a server scheduled to delay, cut the stream mid-NDJSON
+// twice, and answer a 503 burst still yields — through gap-set resume
+// and backoff — the byte-identical report of an uninterrupted local
+// run, with every cell emitted exactly once.
+func TestClientHealsFromChaos(t *testing.T) {
+	spec := clientSpec()
+	want := referenceReport(t)
+	srv := serve.New(serve.Config{
+		Engine:         newClientEngine(),
+		CheckpointRoot: t.TempDir(),
+		FlushEvery:     4,
+		Faults:         faultinject.MustNew("delay=1:5ms,reset=6,reset=20,unavail=3x2"),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	retries := 0
+	cl := New(Config{
+		BaseURL:     ts.URL,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		JitterSeed:  7,
+		OnRetry:     func(error, int, time.Duration) { retries++ },
+	})
+	var emitted campaign.IndexSet
+	rep, err := cl.Sweep(context.Background(), spec, func(cr meetpoly.SweepCellResult) bool {
+		if !emitted.Add(cr.Cell.Index) {
+			t.Errorf("cell %d emitted twice", cr.Cell.Index)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("self-healing sweep failed: %v", err)
+	}
+	total, _ := meetpoly.CountSweep(spec)
+	if emitted.Len() != total {
+		t.Fatalf("emitted %d cells, want %d", emitted.Len(), total)
+	}
+	if retries < 3 {
+		t.Fatalf("observed %d retries; the chaos schedule (2 resets + a 503 burst) implies at least 3", retries)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := append(out, '\n'); !bytes.Equal(got, want) {
+		t.Fatal("healed report diverges from the uninterrupted local run")
+	}
+}
+
+// TestClientTerminal: a refusal retrying cannot fix (413, campaign too
+// large for this server) fails fast — no retries, terminal error.
+func TestClientTerminal(t *testing.T) {
+	srv := serve.New(serve.Config{Engine: newClientEngine(), MaxCells: 10})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	retries := 0
+	cl := New(Config{BaseURL: ts.URL, OnRetry: func(error, int, time.Duration) { retries++ }})
+	_, err := cl.Sweep(context.Background(), clientSpec(), nil)
+	var term *terminalError
+	if !errors.As(err, &term) || term.status != 413 {
+		t.Fatalf("oversized campaign returned %v, want terminal 413", err)
+	}
+	if retries != 0 {
+		t.Fatalf("terminal refusal retried %d times", retries)
+	}
+}
+
+// TestClientStalls: a server that never makes progress (draining
+// forever) trips MaxStalls instead of spinning.
+func TestClientStalls(t *testing.T) {
+	srv := serve.New(serve.Config{Engine: newClientEngine()})
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl := New(Config{
+		BaseURL:     ts.URL,
+		MaxStalls:   3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	start := time.Now()
+	_, err := cl.Sweep(context.Background(), clientSpec(), nil)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("draining server returned %v, want ErrStalled", err)
+	}
+	// The 503s carry Retry-After: 1; the stall cap must fire after 2
+	// waits, not retry forever.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stall detection took %s", elapsed)
+	}
+}
+
+// TestBackoffHonorsRetryAfter: the computed wait is floored by the
+// server's hint and reproducible from the jitter seed.
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	a := New(Config{BaseURL: "x", BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, JitterSeed: 3})
+	b := New(Config{BaseURL: "x", BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, JitterSeed: 3})
+	for stalls := 1; stalls <= 5; stalls++ {
+		wa := a.backoff(stalls, nil)
+		if wb := b.backoff(stalls, nil); wa != wb {
+			t.Fatalf("stall %d: same seed gave different waits %s vs %s", stalls, wa, wb)
+		}
+		if wa <= 0 || wa > 8*time.Millisecond+4*time.Millisecond {
+			t.Fatalf("stall %d: wait %s outside [base, max+jitter]", stalls, wa)
+		}
+	}
+	hinted := a.backoff(1, &retryAfterError{status: 503, hint: 2 * time.Second})
+	if hinted < 2*time.Second {
+		t.Fatalf("Retry-After 2s floored to %s", hinted)
+	}
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CompactStats reports what Compact rewrote.
+type CompactStats struct {
+	Cells        int   // sealed results kept
+	Ranges       int   // merged intervals after compaction
+	BytesBefore  int64 // results.ndjson size before
+	BytesAfter   int64 // results.ndjson size after
+	RangesBefore int64 // ranges.log size before
+	RangesAfter  int64 // ranges.log size after
+}
+
+// Compact rewrites a checkpoint directory's two append-only logs into
+// their minimal sealed form: results.ndjson holds exactly the sealed
+// results, one copy each, sorted by cell index; ranges.log holds the
+// merged interval set (a completed campaign compacts to a single
+// line). Duplicate records (a crash between result-append and range-
+// seal re-executes the boundary cell), unsealed tails and torn lines
+// are all dropped — recovery would have ignored them anyway.
+//
+// Crash safety is write-new / fsync / rename: each log is rewritten to
+// a temporary file in the same directory, fsynced, then renamed over
+// the original, and the directory is fsynced after each rename. Both
+// orders of a mid-compaction crash are safe: the old and new file
+// contents describe the same sealed set, so recovery reads an
+// equivalent checkpoint whichever mix of old/new files it finds.
+//
+// Compact must not run concurrently with a live writer on the same
+// directory — rvserved's one-live-run lock (409) is the service-level
+// guard; `rvserved -compact` is the offline entry point.
+func Compact(dir string) (CompactStats, error) {
+	var st CompactStats
+	st.BytesBefore = fileSize(filepath.Join(dir, resultsFile))
+	st.RangesBefore = fileSize(filepath.Join(dir, rangesFile))
+
+	// Recovery is the read path: it already merges intervals, truncates
+	// torn tails and drops unsealed or duplicate results.
+	cp, err := OpenCheckpoint(dir)
+	if err != nil {
+		return st, err
+	}
+	sealed := cp.Completed()
+	recovered := cp.Recovered()
+	if err := cp.Close(); err != nil {
+		return st, err
+	}
+	if got, want := len(recovered), sealed.Len(); got != want {
+		// A sealed range whose results are missing breaks the core
+		// invariant; compacting would launder the corruption into a
+		// clean-looking checkpoint. Refuse and name the damage.
+		return st, fmt.Errorf("serve: compact %s: checkpoint is corrupt: %d sealed indices but %d recoverable results", dir, want, got)
+	}
+
+	sort.Slice(recovered, func(i, j int) bool { return recovered[i].Cell.Index < recovered[j].Cell.Index })
+	var res bytes.Buffer
+	for _, cr := range recovered {
+		line, err := json.Marshal(cr)
+		if err != nil {
+			return st, fmt.Errorf("serve: compact: encoding result: %w", err)
+		}
+		res.Write(line)
+		res.WriteByte('\n')
+	}
+	var rng bytes.Buffer
+	ranges := sealed.Ranges()
+	for _, iv := range ranges {
+		fmt.Fprintf(&rng, "%d %d\n", iv.Lo, iv.Hi)
+	}
+
+	if err := replaceFile(dir, resultsFile, res.Bytes()); err != nil {
+		return st, err
+	}
+	if err := replaceFile(dir, rangesFile, rng.Bytes()); err != nil {
+		return st, err
+	}
+	st.Cells = len(recovered)
+	st.Ranges = len(ranges)
+	st.BytesAfter = int64(res.Len())
+	st.RangesAfter = int64(rng.Len())
+	return st, nil
+}
+
+// replaceFile atomically replaces dir/name with data: write a temp
+// file beside it, fsync, rename, fsync the directory.
+func replaceFile(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".compact-*")
+	if err != nil {
+		return fmt.Errorf("serve: compact: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: compact: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: compact: fsync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: compact: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("serve: compact: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // best-effort directory durability
+		d.Close()
+	}
+	return nil
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}

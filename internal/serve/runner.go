@@ -7,11 +7,8 @@ import (
 
 	"meetpoly"
 	"meetpoly/internal/campaign"
+	"meetpoly/internal/faultinject"
 )
-
-// errCrashInjected is returned when a test-configured crash point fires
-// (see ShardConfig.crashAfterFlushes).
-var errCrashInjected = errors.New("serve: injected crash")
 
 // ErrStopped reports that the result consumer stopped the run early
 // (emit returned false) — typically a streaming client disconnecting.
@@ -30,6 +27,13 @@ type ShardConfig struct {
 	// 0 <= Shard < Of; both zero means "shard 0 of 1".
 	Shard, Of int
 
+	// Ranges restricts the run to an explicit set of absolute cell
+	// index intervals, intersected with the shard's own range — the
+	// primitive behind lease execution (a coordinator worker runs
+	// exactly its lease) and client resume (a reconnecting client
+	// requests exactly its gap set). Empty means the whole shard range.
+	Ranges []campaign.Interval
+
 	// Dir is the shard's checkpoint directory. Empty disables
 	// checkpointing (the run is stateless and cannot resume).
 	Dir string
@@ -39,29 +43,33 @@ type ShardConfig struct {
 	// DefaultFlushEvery. A crash loses at most this many cells of work.
 	FlushEvery int
 
+	// Faults threads the chaos harness through the run: checkpoint
+	// write/fsync faults wrap the log files, and the kill-after-flush
+	// trigger abandons the checkpoint (no final flush, no close — the
+	// in-process kill -9) and returns faultinject.ErrKilled. Nil
+	// injects nothing.
+	Faults *faultinject.Injector
+
 	// Test hooks. onCellRun observes each freshly executed cell's index
 	// (recovered cells never fire it — that is how resume tests prove no
 	// completed cell re-executes). onFlush observes each periodic flush.
-	// crashAfterFlushes > 0 abandons the checkpoint (no final flush, no
-	// close — the in-process kill -9) right after that many periodic
-	// flushes and returns errCrashInjected.
-	onCellRun         func(index int)
-	onFlush           func(flushes int)
-	crashAfterFlushes int
+	onCellRun func(index int)
+	onFlush   func(flushes int)
 }
 
 // DefaultFlushEvery is the checkpoint flush interval (in completed
 // cells) when ShardConfig.FlushEvery is unset.
 const DefaultFlushEvery = 32
 
-// RunShard executes cfg's index range, streaming each cell result to
-// emit (return false to stop early) and folding everything into the
-// shard's aggregate report. With a checkpoint directory the run is
-// resumable: results recovered from a previous run are replayed into
-// the stream and fold without re-execution, only the sealed-range gaps
-// run, and completed cells are flushed durably every FlushEvery cells.
-// Canceled cells are folded and emitted but never checkpointed — a
-// resumed run must re-execute them for real.
+// RunShard executes cfg's index range (narrowed to cfg.Ranges when
+// set), streaming each cell result to emit (return false to stop
+// early) and folding everything into the shard's aggregate report.
+// With a checkpoint directory the run is resumable: results recovered
+// from a previous run are replayed into the stream and fold without
+// re-execution, only the sealed-range gaps run, and completed cells
+// are flushed durably every FlushEvery cells. Canceled cells are
+// folded and emitted but never checkpointed — a resumed run must
+// re-execute them for real.
 //
 // The fold is the engine's own order-independent aggregator, so a
 // shard-0-of-1 run's report — interrupted and resumed any number of
@@ -83,9 +91,23 @@ func RunShard(ctx context.Context, cfg ShardConfig, emit func(meetpoly.SweepCell
 	lo := cfg.Shard * total / cfg.Of
 	hi := (cfg.Shard + 1) * total / cfg.Of
 
+	// The run's target set: the shard range, optionally narrowed to the
+	// caller's explicit ranges (a lease, a resume gap set). Intersection
+	// with the shard range keeps a sharded instance inside its slice no
+	// matter what a client asks for.
+	var want campaign.IndexSet
+	if len(cfg.Ranges) == 0 {
+		want.AddRange(lo, hi)
+	} else {
+		for _, r := range cfg.Ranges {
+			rlo, rhi := max(r.Lo, lo), min(r.Hi, hi)
+			want.AddRange(rlo, rhi)
+		}
+	}
+
 	var cp *Checkpoint
 	if cfg.Dir != "" {
-		cp, err = OpenCheckpoint(cfg.Dir)
+		cp, err = OpenCheckpointFaults(cfg.Dir, cfg.Faults)
 		if err != nil {
 			return nil, err
 		}
@@ -102,51 +124,53 @@ func RunShard(ctx context.Context, cfg ShardConfig, emit func(meetpoly.SweepCell
 	// are exact (cells are pure functions of their seeds), and the
 	// aggregator's duplicate guard makes a boundary cell arriving on
 	// both the replay and re-execution paths harmless.
-	gaps := []campaign.Interval{{Lo: lo, Hi: hi}}
+	done := &campaign.IndexSet{}
 	if cp != nil {
 		for _, cr := range cp.Recovered() {
-			if cr.Cell.Index < lo || cr.Cell.Index >= hi {
-				continue // sealed under a different sharding; not ours now
+			if !want.Contains(cr.Cell.Index) {
+				continue // sealed under a different slicing; not ours now
 			}
 			agg.Add(cr)
 			if !emit(cr) {
 				return nil, ErrStopped
 			}
 		}
-		gaps = cp.Completed().Gaps(lo, hi)
+		done = cp.Completed()
 	}
 
 	flushes := 0
-	for _, gap := range gaps {
-		for cr, serr := range cfg.Engine.SweepStreamRange(ctx, cfg.Spec, gap.Lo, gap.Hi) {
-			if serr != nil {
-				return nil, serr
-			}
-			if cfg.onCellRun != nil {
-				cfg.onCellRun(cr.Cell.Index)
-			}
-			agg.Add(cr)
-			if cp != nil && !cr.Outcome.Canceled {
-				if err := cp.Record(cr); err != nil {
-					return nil, err
+	for _, iv := range want.Ranges() {
+		for _, gap := range done.Gaps(iv.Lo, iv.Hi) {
+			for cr, serr := range cfg.Engine.SweepStreamRange(ctx, cfg.Spec, gap.Lo, gap.Hi) {
+				if serr != nil {
+					return nil, serr
 				}
-				if cp.Pending() >= cfg.FlushEvery {
-					if err := cp.Flush(); err != nil {
+				if cfg.onCellRun != nil {
+					cfg.onCellRun(cr.Cell.Index)
+				}
+				agg.Add(cr)
+				if cp != nil && !cr.Outcome.Canceled {
+					if err := cp.Record(cr); err != nil {
 						return nil, err
 					}
-					flushes++
-					if cfg.onFlush != nil {
-						cfg.onFlush(flushes)
-					}
-					if cfg.crashAfterFlushes > 0 && flushes >= cfg.crashAfterFlushes {
-						cp.abandon()
-						cp = nil // defer must not Close (and flush) after the "crash"
-						return nil, errCrashInjected
+					if cp.Pending() >= cfg.FlushEvery {
+						if err := cp.Flush(); err != nil {
+							return nil, err
+						}
+						flushes++
+						if cfg.onFlush != nil {
+							cfg.onFlush(flushes)
+						}
+						if cfg.Faults.OnFlush() {
+							cp.abandon()
+							cp = nil // defer must not Close (and flush) after the "kill"
+							return nil, faultinject.ErrKilled
+						}
 					}
 				}
-			}
-			if !emit(cr) {
-				return nil, ErrStopped
+				if !emit(cr) {
+					return nil, ErrStopped
+				}
 			}
 		}
 	}

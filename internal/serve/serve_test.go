@@ -15,6 +15,7 @@ import (
 
 	"meetpoly"
 	"meetpoly/internal/campaign"
+	"meetpoly/internal/faultinject"
 )
 
 // serveSpec is the campaign the service tests run: 48 cells over 3
@@ -86,15 +87,16 @@ func TestRunShardCrashResume(t *testing.T) {
 
 	// Run 1: crash after the second flush (16 cells sealed of 48). The
 	// checkpoint is abandoned mid-flight — no final flush, no close —
-	// the in-process equivalent of kill -9.
+	// the in-process equivalent of kill -9, scheduled by the fault
+	// injector the chaos harness uses.
 	crashed := 0
 	_, err = RunShard(ctx, ShardConfig{
 		Engine: newServeEngine(), Spec: spec, Dir: dir,
-		FlushEvery: 8, crashAfterFlushes: 2,
+		FlushEvery: 8, Faults: faultinject.MustNew("kill=2"),
 		onCellRun: func(int) { crashed++ },
 	}, func(meetpoly.SweepCellResult) bool { return true })
-	if !errors.Is(err, errCrashInjected) {
-		t.Fatalf("crash run returned %v, want injected crash", err)
+	if !errors.Is(err, faultinject.ErrKilled) {
+		t.Fatalf("crash run returned %v, want injected kill", err)
 	}
 	if crashed >= total {
 		t.Fatalf("crash run executed all %d cells; crash point never interrupted it", crashed)

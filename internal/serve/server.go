@@ -10,10 +10,13 @@ import (
 	"net/http"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"meetpoly"
+	"meetpoly/internal/campaign"
+	"meetpoly/internal/faultinject"
 )
 
 // Config configures a sweep service instance.
@@ -54,7 +57,24 @@ type Config struct {
 	// canceled cells, and canceled cells are never checkpointed, so a
 	// re-request resumes and finishes the remainder.
 	RequestTimeout time.Duration
+
+	// RetryAfter is the hint sent in the Retry-After header of every
+	// 429 (tenant over quota) and 503 (draining, chaos-unavailable)
+	// response, so backoff-aware clients wait what the server asks
+	// instead of guessing. <= 0 means DefaultRetryAfter.
+	RetryAfter time.Duration
+
+	// Faults threads the chaos harness through the service (rvserved
+	// -chaos): checkpoint write/fsync faults and worker kills via
+	// RunShard, stream resets after the scheduled NDJSON line, delayed
+	// responses and 503 bursts at the request boundary. Nil injects
+	// nothing.
+	Faults *faultinject.Injector
 }
+
+// DefaultRetryAfter is the Retry-After hint when Config.RetryAfter is
+// unset.
+const DefaultRetryAfter = time.Second
 
 // DefaultMaxTenantSweeps is the per-tenant in-flight cap when
 // Config.MaxTenantSweeps is unset.
@@ -83,6 +103,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxTenantSweeps <= 0 {
 		cfg.MaxTenantSweeps = DefaultMaxTenantSweeps
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
 	drainCtx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:         cfg,
@@ -101,14 +124,45 @@ func New(cfg Config) *Server {
 //	GET  /v1/stats        — service counters and engine cache stats
 //
 // Both sweep endpoints take a SweepSpec JSON body and accept
-// ?budget_ms= to bound the run (see Config.RequestTimeout).
+// ?budget_ms= to bound the run (see Config.RequestTimeout) and
+// ?ranges=lo-hi[,lo-hi...] to execute only those absolute cell index
+// intervals (intersected with this instance's shard range) — the
+// resume primitive a reconnecting client requests its gap set with.
+//
+// With a fault injector configured, requests pass its schedule first:
+// delayed responses and 503 bursts land here, stream resets inside
+// handleSweep.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/sweep", func(w http.ResponseWriter, r *http.Request) { s.handleSweep(w, r, true) })
 	mux.HandleFunc("/v1/sweep/report", func(w http.ResponseWriter, r *http.Request) { s.handleSweep(w, r, false) })
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	return mux
+	if s.cfg.Faults == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		delay, unavailable := s.cfg.Faults.OnRequest()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if unavailable {
+			s.refuse(w, "chaos: injected unavailability", http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// refuse writes a load-shedding refusal (429/503) with the Retry-After
+// hint, so a backoff-aware client waits what the server asks.
+func (s *Server) refuse(w http.ResponseWriter, msg string, code int) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, msg, code)
 }
 
 // Drain makes the server refuse new sweeps, cancels the ones in flight
@@ -138,7 +192,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		s.refuse(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -172,10 +226,10 @@ func (s *Server) admit(w http.ResponseWriter, tenant, key string) func() {
 	defer s.mu.Unlock()
 	switch {
 	case s.draining:
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		s.refuse(w, "draining", http.StatusServiceUnavailable)
 		return nil
 	case s.tenants[tenant] >= s.cfg.MaxTenantSweeps:
-		http.Error(w, fmt.Sprintf("tenant %q at in-flight limit %d", tenant, s.cfg.MaxTenantSweeps), http.StatusTooManyRequests)
+		s.refuse(w, fmt.Sprintf("tenant %q at in-flight limit %d", tenant, s.cfg.MaxTenantSweeps), http.StatusTooManyRequests)
 		return nil
 	case key != "" && s.runningDirs[key]:
 		// Two concurrent runs over one checkpoint dir would interleave
@@ -228,6 +282,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, stream bool
 		return
 	}
 
+	ranges, err := parseRanges(r.URL.Query().Get("ranges"), total)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
 	tenant := r.Header.Get("X-Tenant")
 	if tenant == "" {
 		tenant = "default"
@@ -267,7 +327,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, stream bool
 	cfg := ShardConfig{
 		Engine: s.cfg.Engine, Spec: spec,
 		Shard: s.cfg.Shard, Of: s.cfg.Of,
-		Dir: dir, FlushEvery: s.cfg.FlushEvery,
+		Ranges: ranges,
+		Dir:    dir, FlushEvery: s.cfg.FlushEvery,
+		Faults: s.cfg.Faults,
 	}
 
 	if !stream {
@@ -300,6 +362,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, stream bool
 		if flusher != nil {
 			flusher.Flush()
 		}
+		if s.cfg.Faults.OnStreamLine() {
+			// The scheduled mid-NDJSON connection cut: ErrAbortHandler
+			// aborts the connection without a response trailer, exactly
+			// what a network partition looks like to the client. The
+			// panic unwinds through RunShard, so the checkpoint's
+			// deferred Close still flushes — a reset loses the
+			// connection, never durable server state.
+			panic(http.ErrAbortHandler)
+		}
 		return true
 	})
 	// The stream ends with exactly one trailer line so clients can tell
@@ -323,6 +394,29 @@ type streamTrailer struct {
 	Failures int    `json:"failures"`
 	Canceled int    `json:"canceled"`
 	Error    string `json:"error,omitempty"`
+}
+
+// parseRanges parses the ?ranges=lo-hi[,lo-hi...] query parameter into
+// cell index intervals: each half-open [lo, hi) needs 0 <= lo < hi <=
+// total. Empty input means "the whole shard range" (nil).
+func parseRanges(q string, total int) ([]campaign.Interval, error) {
+	if q == "" {
+		return nil, nil
+	}
+	var out []campaign.Interval
+	for _, part := range strings.Split(q, ",") {
+		lostr, histr, ok := strings.Cut(part, "-")
+		if !ok {
+			return nil, fmt.Errorf("ranges: %q is not lo-hi", part)
+		}
+		lo, err1 := strconv.Atoi(lostr)
+		hi, err2 := strconv.Atoi(histr)
+		if err1 != nil || err2 != nil || lo < 0 || hi <= lo || hi > total {
+			return nil, fmt.Errorf("ranges: %q must satisfy 0 <= lo < hi <= %d", part, total)
+		}
+		out = append(out, campaign.Interval{Lo: lo, Hi: hi})
+	}
+	return out, nil
 }
 
 // checkpointDir maps a campaign onto this shard's checkpoint directory:
