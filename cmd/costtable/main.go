@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 
+	"meetpoly/internal/buildinfo"
 	"meetpoly/internal/experiments"
 )
 
@@ -23,7 +24,12 @@ func main() {
 	pname := flag.String("p", "P=k (verified compact)", "exploration polynomial (see -list-p)")
 	listP := flag.Bool("list-p", false, "list available P models and exit")
 	n := flag.Int("n", 4, "graph size for E2/E3")
+	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("costtable"))
+		return
+	}
 
 	models := experiments.PModels()
 	if *listP {

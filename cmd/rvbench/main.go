@@ -14,14 +14,19 @@
 // produce identical reports (rvbench fails otherwise): the cache is an
 // amortization, never a shortcut.
 //
-// Modes:
-//
 // Since schema v3 the file also records the batch-dispatch benchmark
 // (internal/schedbench.BatchCells): b.N identical short cells executed
 // once per-cell — a fresh Runner per cell, the v2 dispatch path — and
 // once through shared-graph BatchRunners, the lockstep tier the sweep
 // pipeline now routes eligible cells through. Their ratio is the
 // dispatch-amortization win the batched tier exists for.
+//
+// Since schema v4 the file records the telemetry section: the cost of
+// the metric record path (counter increment + histogram observation,
+// which must stay allocation-free) and the warm campaign re-measured
+// with a metrics registry attached. The instrumented report must be
+// byte-identical to the plain one, and the throughput ratio is gated
+// at 0.5x.
 //
 // Modes:
 //
@@ -44,10 +49,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"meetpoly"
+	"meetpoly/internal/buildinfo"
 	"meetpoly/internal/schedbench"
+	"meetpoly/internal/telemetry"
 )
 
 // Schema is the BENCH_sched.json format identifier. v2 split the
@@ -55,8 +63,12 @@ import (
 // state) passes and added allocation accounting; v3 added the
 // batch_dispatch section (per-cell vs batched lockstep dispatch) and
 // its speedup floor, and the campaign section now measures the batched
-// execution tier, the engine's default since it landed.
-const Schema = "meetpoly/bench_sched/v3"
+// execution tier, the engine's default since it landed; v4 added the
+// telemetry section: the metric record path's cost (which must stay
+// allocation-free — hot loops call it), and the warm campaign re-run
+// with a registry attached, whose report must be byte-identical to the
+// plain run's and whose throughput must stay within the ratio floor.
+const Schema = "meetpoly/bench_sched/v4"
 
 // CoreBench is one execution core's half-step microbenchmark result.
 type CoreBench struct {
@@ -138,6 +150,23 @@ type BenchFile struct {
 		CacheHits   int64 `json:"cache_hits"`
 		CacheMisses int64 `json:"cache_misses"`
 	} `json:"campaign"`
+
+	// Telemetry is the observability-cost section: the price of the
+	// metric record path (one counter increment plus one histogram
+	// observation, the unit instrumented hot paths pay), and the warm
+	// campaign measured again with a metrics registry attached. The
+	// instrumented pass must reproduce the plain pass's report byte for
+	// byte — telemetry observes results, never shapes them.
+	Telemetry struct {
+		RecordNsPerOp     float64 `json:"record_ns_per_op"`
+		RecordAllocsPerOp int64   `json:"record_allocs_per_op"`
+		// Run is the warm pass over a telemetry-enabled engine.
+		Run CampaignPass `json:"run"`
+		// RunRatio is instrumented warm cells/sec over plain warm
+		// cells/sec, measured in the same run (so hardware cancels).
+		// The acceptance floor is 0.5; recorded runs sit near 1.
+		RunRatio float64 `json:"run_ratio"`
+	} `json:"telemetry"`
 }
 
 // benchSpec is the E4-style measured campaign: rendezvous instances
@@ -260,7 +289,50 @@ func measure(quick bool) (*BenchFile, error) {
 	}
 	st := eng.CacheStats()
 	c.CacheHits, c.CacheMisses = st.Hits, st.Misses
+
+	fmt.Fprintln(os.Stderr, "rvbench: measuring the telemetry record path...")
+	bf.Telemetry.RecordNsPerOp, bf.Telemetry.RecordAllocsPerOp = measureRecord()
+
+	// The instrumented leg: same campaign, fresh engine with a metrics
+	// registry attached, same cold-settle-warm discipline so the warm
+	// pass compares like for like with the plain warm pass above.
+	fmt.Fprintln(os.Stderr, "rvbench: warm pass with telemetry enabled...")
+	reg := meetpoly.NewMetrics()
+	tEng := meetpoly.NewEngine(append(WithDefaults(), meetpoly.WithTelemetry(reg))...)
+	if _, _, _, err := runCampaign(tEng, spec); err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	tWarm, tWall, _, err := runCampaign(tEng, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := sameReport(warm, tWarm); err != nil {
+		return nil, fmt.Errorf("telemetry changed the campaign report (must be invisible to results): %v", err)
+	}
+	bf.Telemetry.Run = pass(tWarm.Cells, tWall)
+	if plain := c.Run.CellsPerSec; plain > 0 {
+		bf.Telemetry.RunRatio = bf.Telemetry.Run.CellsPerSec / plain
+	}
 	return bf, nil
+}
+
+// measureRecord benchmarks the telemetry record path: one counter
+// increment plus one histogram observation per op — the unit every
+// instrumented hot path pays. It must be allocation-free (checked as a
+// hard gate): //rvlint:hotpath functions call it.
+func measureRecord() (nsPerOp float64, allocsPerOp int64) {
+	reg := telemetry.NewRegistry()
+	ctr := reg.Counter("rvbench_record_total", "record-path benchmark counter")
+	hist := reg.Histogram("rvbench_record_ns", "record-path benchmark histogram")
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctr.Inc()
+			hist.Observe(uint64(i))
+		}
+	})
+	return float64(res.T.Nanoseconds()) / float64(res.N), res.AllocsPerOp()
 }
 
 func pass(cells int, wall time.Duration) CampaignPass {
@@ -314,7 +386,14 @@ func WithDefaults() []meetpoly.Option {
 //     -quick's smaller event budgets, so 0.05 holds for both spec
 //     sizes with real headroom while still catching any per-event
 //     allocation creeping into the hot loop), and at most 4x the
-//     baseline's allocations per cell.
+//     baseline's allocations per cell;
+//   - the telemetry record path must allocate exactly zero times per
+//     op (hot loops call it) and stay under 100 ns/op — an absolute
+//     ceiling, but a generous one: atomic counter + histogram record
+//     measures single-digit ns, so only a lock or allocation sneaking
+//     into the path trips it — and the instrumented warm campaign
+//     must hold at least half the plain warm throughput (same-run
+//     ratio, so hardware cancels).
 //
 // Absolute ns and cells/sec drifts are reported as warnings only, since
 // the baseline may have been recorded on different hardware.
@@ -393,16 +472,37 @@ func checkRegression(cur, base *BenchFile) error {
 				cur.Campaign.Run.AllocsPerCell, basePC)
 		}
 	}
+
+	// Telemetry gates: the record path is called from hot loops, so it
+	// must be allocation-free and cheap in absolute terms, and turning
+	// metrics on must not halve campaign throughput.
+	tel := &cur.Telemetry
+	if tel.RecordAllocsPerOp != 0 {
+		return fmt.Errorf("telemetry record path allocates %d/op (must be 0: hot loops call it)",
+			tel.RecordAllocsPerOp)
+	}
+	if tel.RecordNsPerOp > 100 {
+		return fmt.Errorf("telemetry record path costs %.1f ns/op (ceiling 100)", tel.RecordNsPerOp)
+	}
+	if tel.RunRatio > 0 && tel.RunRatio < 0.5 {
+		return fmt.Errorf("telemetry-enabled warm campaign at %.2fx the plain throughput (floor 0.5x)",
+			tel.RunRatio)
+	}
 	return nil
 }
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_sched.json", "file to write the measurements to")
-		quick = flag.Bool("quick", false, "CI-sized campaign (smaller cross product, smaller budget)")
-		check = flag.String("check", "", "compare against this baseline file instead of writing; exit 1 on regression")
+		out     = flag.String("out", "BENCH_sched.json", "file to write the measurements to")
+		quick   = flag.Bool("quick", false, "CI-sized campaign (smaller cross product, smaller budget)")
+		check   = flag.String("check", "", "compare against this baseline file instead of writing; exit 1 on regression")
+		version = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rvbench"))
+		return
+	}
 
 	bf, err := measure(*quick)
 	if err != nil {
@@ -430,9 +530,10 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr,
-			"rvbench: no regression (stepper %.1f ns, %.1fx; batch dispatch %.2fx; campaign prep %.0f run %.0f cells/sec, %.0f allocs/cell)\n",
+			"rvbench: no regression (stepper %.1f ns, %.1fx; batch dispatch %.2fx; campaign prep %.0f run %.0f cells/sec, %.0f allocs/cell; record %.1f ns, telemetry %.2fx)\n",
 			bf.HalfStep.Stepper.NsPerHalfStep, bf.HalfStep.Speedup, bf.BatchDispatch.Speedup,
-			bf.Campaign.Prep.CellsPerSec, bf.Campaign.Run.CellsPerSec, bf.Campaign.Run.AllocsPerCell)
+			bf.Campaign.Prep.CellsPerSec, bf.Campaign.Run.CellsPerSec, bf.Campaign.Run.AllocsPerCell,
+			bf.Telemetry.RecordNsPerOp, bf.Telemetry.RunRatio)
 		return
 	}
 
@@ -440,9 +541,10 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr,
-		"rvbench: wrote %s (stepper %.1f ns, %.1fx; batch dispatch %.2fx; campaign prep %.0f run %.0f cells/sec, %.0f allocs/cell)\n",
+		"rvbench: wrote %s (stepper %.1f ns, %.1fx; batch dispatch %.2fx; campaign prep %.0f run %.0f cells/sec, %.0f allocs/cell; record %.1f ns, telemetry %.2fx)\n",
 		*out, bf.HalfStep.Stepper.NsPerHalfStep, bf.HalfStep.Speedup, bf.BatchDispatch.Speedup,
-		bf.Campaign.Prep.CellsPerSec, bf.Campaign.Run.CellsPerSec, bf.Campaign.Run.AllocsPerCell)
+		bf.Campaign.Prep.CellsPerSec, bf.Campaign.Run.CellsPerSec, bf.Campaign.Run.AllocsPerCell,
+		bf.Telemetry.RecordNsPerOp, bf.Telemetry.RunRatio)
 }
 
 func fatal(err error) {

@@ -17,6 +17,8 @@
 //	POST /v1/complete   upload a lease's results as NDJSON (?lease=ID)
 //	GET  /v1/status     progress counters
 //	GET  /v1/report     final report; 409 + Retry-After until complete
+//	GET  /healthz       200 ok (with the build version)
+//	GET  /metrics       Prometheus text exposition (lease lifecycle, pool state)
 //
 // Start workers with `rvserved -coordinator http://host:8748`; poll
 // /v1/report until it answers 200.
@@ -29,13 +31,16 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"meetpoly"
+	"meetpoly/internal/buildinfo"
 	"meetpoly/internal/serve/coord"
+	"meetpoly/internal/telemetry/logx"
 )
 
 func main() {
@@ -45,8 +50,22 @@ func main() {
 		leaseCells = flag.Int("lease-cells", coord.DefaultLeaseCells, "max cells per lease")
 		leaseTTL   = flag.Duration("lease-ttl", coord.DefaultLeaseTTL, "lease lifetime without a heartbeat")
 		retryAfter = flag.Duration("retry-after", coord.DefaultRetryAfter, "Retry-After hint for waiting workers and premature report fetches")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		version    = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rvcoord"))
+		return
+	}
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvcoord:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger := logx.New(os.Stderr, level)
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "rvcoord: -spec is required")
 		flag.Usage()
@@ -57,11 +76,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rvcoord:", err)
 		os.Exit(1)
 	}
+	reg := meetpoly.NewMetrics()
+	buildinfo.InfoGauge(reg, "rvcoord")
 	c, err := coord.New(coord.Config{
 		Spec:       spec,
 		LeaseCells: *leaseCells,
 		LeaseTTL:   *leaseTTL,
 		RetryAfter: *retryAfter,
+		Metrics:    reg,
+		Log:        logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rvcoord:", err)
@@ -69,10 +92,20 @@ func main() {
 	}
 
 	total, _ := meetpoly.CountSweep(spec)
-	httpSrv := &http.Server{Addr: *addr, Handler: c.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", c.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "rvcoord: campaign %q (%d cells) listening on %s\n", spec.Name, total, *addr)
+	logger.Info("listening",
+		logx.F("campaign", spec.Name), logx.F("cells", int64(total)), logx.F("addr", *addr))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -33,9 +33,19 @@ import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	rvlint "meetpoly/internal/analysis"
+	"meetpoly/internal/buildinfo"
 )
 
 func main() {
+	// -version must be answered here: invokedByVet treats flag-looking
+	// args as the vet protocol's, and drive would forward it to go vet,
+	// which has no such flag.
+	for _, a := range os.Args[1:] {
+		if a == "-version" || a == "--version" {
+			fmt.Println(buildinfo.String("rvlint"))
+			return
+		}
+	}
 	if invokedByVet(os.Args[1:]) {
 		unitchecker.Main(rvlint.All()...) // never returns
 	}

@@ -11,8 +11,10 @@
 //
 //	POST /v1/sweep        stream the shard's cell results as NDJSON
 //	POST /v1/sweep/report run the shard, respond with the report JSON
-//	GET  /healthz         200 ok; 503 once draining
+//	GET  /healthz         200 ok (with the build version); 503 once draining
 //	GET  /v1/stats        service counters and engine cache stats
+//	GET  /metrics         Prometheus text exposition of every series
+//	GET  /debug/pprof/*   runtime profiles (only with -pprof)
 //
 // Horizontal scale is the -shard flag: rvserved -shard 1/3 owns the
 // middle third of every campaign's index range, with its own
@@ -57,9 +59,11 @@ import (
 	"time"
 
 	"meetpoly"
+	"meetpoly/internal/buildinfo"
 	"meetpoly/internal/faultinject"
 	"meetpoly/internal/serve"
 	"meetpoly/internal/serve/coord"
+	"meetpoly/internal/telemetry/logx"
 )
 
 func main() {
@@ -79,8 +83,22 @@ func main() {
 		workerName  = flag.String("worker-name", "", "worker mode: name reported to the coordinator (default the hostname)")
 		chaos       = flag.String("chaos", "", "deterministic fault-injection spec (see internal/faultinject), e.g. 'seed=7,kill=2,reset=rand:30'")
 		compactDir  = flag.String("compact", "", "offline: compact this checkpoint directory's logs and exit")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service mux")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		version     = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rvserved"))
+		return
+	}
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvserved:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger := logx.New(os.Stderr, level)
 	shardIdx, shardOf, err := parseShard(*shard)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rvserved:", err)
@@ -95,7 +113,7 @@ func main() {
 			os.Exit(2)
 		}
 		// The resolved plan is the reproduction recipe: log it.
-		fmt.Fprintf(os.Stderr, "rvserved: chaos schedule: %s\n", inj.Schedule())
+		logger.Info("chaos schedule resolved", logx.F("schedule", inj.Schedule()))
 	}
 
 	if *compactDir != "" {
@@ -115,9 +133,16 @@ func main() {
 	}
 
 	if *coordinator != "" {
-		runWorker(*coordinator, *workerName, *checkpoints, *flushEvery, inj, opts)
+		runWorker(*coordinator, *workerName, *checkpoints, *flushEvery, inj, logger, opts)
 		return
 	}
+
+	// One registry spans the whole process: the engine's cache/batch
+	// series and the service's request/checkpoint series scrape from the
+	// same /metrics page.
+	reg := meetpoly.NewMetrics()
+	buildinfo.InfoGauge(reg, "rvserved")
+	opts = append(opts, meetpoly.WithTelemetry(reg))
 
 	svc := serve.New(serve.Config{
 		Engine:          meetpoly.NewEngine(opts...),
@@ -129,12 +154,16 @@ func main() {
 		MaxTenantSweeps: *maxTenant,
 		RequestTimeout:  *timeout,
 		Faults:          inj,
+		Metrics:         reg,
+		Log:             logger,
+		Pprof:           *pprofOn,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "rvserved: shard %d/%d listening on %s\n", shardIdx, shardOf, *addr)
+	logger.Info("listening",
+		logx.F("shard", fmt.Sprintf("%d/%d", shardIdx, shardOf)), logx.F("addr", *addr))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -149,7 +178,7 @@ func main() {
 	// Drain before Shutdown: refuse new sweeps, cancel the in-flight
 	// ones (their checkpoints flush, so a restart resumes, not
 	// recomputes), then close the listener and idle connections.
-	fmt.Fprintln(os.Stderr, "rvserved: draining")
+	logger.Info("draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	code := 0
@@ -167,17 +196,18 @@ func main() {
 // runWorker is the -coordinator mode: a lease-pulling fleet worker.
 // An injected kill (chaos kill=<k>) exits 137 like a real kill -9; the
 // coordinator's lease expiry handles the rest.
-func runWorker(coordURL, name, checkpoints string, flushEvery int, inj *faultinject.Injector, opts []meetpoly.Option) {
+func runWorker(coordURL, name, checkpoints string, flushEvery int, inj *faultinject.Injector, logger *logx.Logger, opts []meetpoly.Option) {
 	if name == "" {
 		name, _ = os.Hostname()
 	}
+	log := logger.With(logx.F("worker", name))
 	dir := ""
 	if checkpoints != "" {
 		dir = filepath.Join(checkpoints, "worker-"+name)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "rvserved: worker %s pulling leases from %s\n", name, coordURL)
+	log.Info("pulling leases", logx.F("coordinator", coordURL))
 	err := coord.RunWorker(ctx, coord.WorkerConfig{
 		Coordinator: coordURL,
 		Engine:      meetpoly.NewEngine(opts...),
@@ -188,12 +218,12 @@ func runWorker(coordURL, name, checkpoints string, flushEvery int, inj *faultinj
 	})
 	switch {
 	case err == nil:
-		fmt.Fprintf(os.Stderr, "rvserved: worker %s: campaign done\n", name)
+		log.Info("campaign done")
 	case errors.Is(err, faultinject.ErrKilled):
-		fmt.Fprintf(os.Stderr, "rvserved: worker %s: injected kill\n", name)
+		log.Warn("injected kill")
 		os.Exit(137)
 	default:
-		fmt.Fprintf(os.Stderr, "rvserved: worker %s: %v\n", name, err)
+		log.Error("worker failed", logx.F("err", err))
 		os.Exit(1)
 	}
 }

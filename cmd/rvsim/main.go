@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"meetpoly"
+	"meetpoly/internal/buildinfo"
 	"meetpoly/internal/core"
 	"meetpoly/internal/costmodel"
 	"meetpoly/internal/experiments"
@@ -62,7 +63,12 @@ func main() {
 	scenarioFile := flag.String("scenario", "", "run a serialized scenario JSON file instead of flags")
 	dump := flag.Bool("dump", false, "print the scenario JSON implied by the flags and exit")
 	trace := flag.Bool("trace", false, "stream traversal/meeting/phase events while running")
+	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rvsim"))
+		return
+	}
 
 	opts := []meetpoly.Option{meetpoly.WithMaxN(*famMax), meetpoly.WithSeed(*seed)}
 	if *trace {

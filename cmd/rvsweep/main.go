@@ -47,10 +47,11 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
-	"time"
 
 	"meetpoly"
+	"meetpoly/internal/buildinfo"
 	"meetpoly/internal/serve/client"
+	"meetpoly/internal/telemetry/logx"
 )
 
 func main() {
@@ -68,8 +69,23 @@ func main() {
 		server      = flag.String("server", "", "run the sweep remotely on this rvserved base URL via the self-healing streaming client")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
+		tracePath   = flag.String("trace", "", "write a per-cell NDJSON span trace (begin/end events) of the sweep to this file")
+		metricsOut  = flag.Bool("metrics", false, "print the final telemetry snapshot (Prometheus text format) to stderr after the run")
+		logLevel    = flag.String("log-level", "warn", "minimum log level: debug, info, warn, error")
+		version     = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rvsweep"))
+		return
+	}
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvsweep:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger := logx.New(os.Stderr, level)
 	if err := exclusiveModes(*count, *expand, *replay, *stream); err != nil {
 		fmt.Fprintln(os.Stderr, "rvsweep:", err)
 		flag.Usage()
@@ -79,6 +95,13 @@ func main() {
 		// -server runs the sweep remotely; only the sweeping modes
 		// (report, -json, -stream) make sense there.
 		fmt.Fprintln(os.Stderr, "rvsweep: -server is incompatible with -count/-expand/-replay")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tracePath != "" && (*count || *expand || *replay != "" || *server != "") {
+		// The span trace observes local cell execution; the listing modes
+		// run no cells and -server runs them in another process.
+		fmt.Fprintln(os.Stderr, "rvsweep: -trace is incompatible with -count/-expand/-replay/-server")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -155,6 +178,25 @@ func main() {
 	if *parallelism > 0 {
 		opts = append(opts, meetpoly.WithParallelism(*parallelism))
 	}
+	var reg *meetpoly.Metrics
+	if *metricsOut {
+		reg = meetpoly.NewMetrics()
+		buildinfo.InfoGauge(reg, "rvsweep")
+		opts = append(opts, meetpoly.WithTelemetry(reg))
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		traceEnc := json.NewEncoder(traceFile)
+		// The engine serializes trace callbacks, so the encoder needs no
+		// extra locking; lines interleave per event, never mid-line.
+		opts = append(opts, meetpoly.WithCellTrace(func(ev meetpoly.CellTraceEvent) {
+			traceEnc.Encode(ev) //nolint:errcheck // best-effort observability
+		}))
+	}
 	eng := meetpoly.NewEngine(opts...)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -173,6 +215,14 @@ func main() {
 		}
 		if *cpuProfile != "" {
 			pprof.StopCPUProfile()
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rvsweep: closing trace:", err)
+			}
+		}
+		if reg != nil {
+			reg.WritePrometheus(os.Stderr) //nolint:errcheck // best-effort observability
 		}
 		os.Exit(code)
 	}
@@ -215,9 +265,8 @@ func main() {
 		// report is byte-identical to the local path below.
 		cl := client.New(client.Config{
 			BaseURL: *server,
-			OnRetry: func(err error, stalls int, wait time.Duration) {
-				fmt.Fprintf(os.Stderr, "rvsweep: retrying after %s (stalls %d): %v\n", wait, stalls, err)
-			},
+			Metrics: reg,
+			Log:     logger,
 		})
 		var emit func(meetpoly.SweepCellResult) bool
 		var streamErr error
@@ -277,7 +326,8 @@ func main() {
 	if rep.Canc > 0 {
 		// Report.OK is false for interrupted sweeps (canceled cells
 		// verified nothing); name the cause before the gate fires.
-		fmt.Fprintf(os.Stderr, "rvsweep: sweep interrupted: %d of %d cells canceled\n", rep.Canc, rep.Cells)
+		logger.Warn("sweep interrupted",
+			logx.F("canceled", int64(rep.Canc)), logx.F("cells", int64(rep.Cells)))
 	}
 	if !rep.OK() {
 		exit(1)

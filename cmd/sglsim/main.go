@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"meetpoly"
+	"meetpoly/internal/buildinfo"
 	"meetpoly/internal/experiments"
 )
 
@@ -54,7 +55,12 @@ func main() {
 	scenarioFile := flag.String("scenario", "", "run a serialized scenario JSON file instead of flags")
 	dump := flag.Bool("dump", false, "print the scenario JSON implied by the flags and exit")
 	trace := flag.Bool("trace", false, "stream traversal/meeting/phase events while running")
+	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("sglsim"))
+		return
+	}
 
 	opts := []meetpoly.Option{meetpoly.WithMaxN(*famMax), meetpoly.WithSeed(*seed)}
 	if *trace {

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"meetpoly"
+	"meetpoly/internal/buildinfo"
 	"meetpoly/internal/experiments"
 	"meetpoly/internal/trajectory"
 )
@@ -38,7 +39,12 @@ func main() {
 	l2 := flag.Uint64("l2", 5, "with -walk: label of agent 2")
 	advName := flag.String("adv", "roundrobin", "with -walk: adversary spec")
 	budget := flag.Int("budget", 2_000_000, "with -walk: adversary event budget")
+	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("trajviz"))
+		return
+	}
 
 	if *walk {
 		runWalk(*gkind, *n, *seed, *famMax, *l1, *l2, *advName, *budget)

@@ -14,6 +14,7 @@ import (
 	"meetpoly/internal/core"
 	"meetpoly/internal/costmodel"
 	"meetpoly/internal/registry"
+	"meetpoly/internal/telemetry"
 	"meetpoly/internal/trajectory"
 	"meetpoly/internal/uxs"
 )
@@ -67,6 +68,15 @@ type Engine struct {
 	cacheStats   atomic.Uint64
 	catalogEpoch atomic.Int64 // bumped on catalog extension: route books expire
 	boundModel   atomic.Pointer[boundModelEpoch]
+
+	// tele holds the engine's pre-resolved metric handles (nil without
+	// WithTelemetry: the nil check is the whole disabled cost, and the
+	// telemetry differential test pins reports byte-identical either
+	// way). cellTrace, when set, receives serialized begin/end span
+	// events per sweep cell (WithCellTrace) and — like an observer —
+	// disables the batched tier.
+	tele      *engineMetrics
+	cellTrace func(CellTraceEvent)
 }
 
 // preparedGraph is one cache entry of the engine's prepared-scenario
@@ -200,6 +210,8 @@ type engineConfig struct {
 	directDispatch bool
 	preparedCache  bool
 	batched        bool
+	metrics        *Metrics
+	cellTrace      func(CellTraceEvent)
 }
 
 // Option configures NewEngine.
@@ -292,6 +304,20 @@ func NewEngine(opts ...Option) *Engine {
 	}
 	if cfg.obs != nil {
 		e.obs = &lockedObserver{inner: cfg.obs}
+	}
+	if cfg.metrics != nil {
+		e.tele = newEngineMetrics(e, cfg.metrics)
+	}
+	if cfg.cellTrace != nil {
+		// Serialized for the same reason observers are: one tracer value
+		// watches every sweep worker.
+		var mu sync.Mutex
+		fn := cfg.cellTrace
+		e.cellTrace = func(ev CellTraceEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			fn(ev)
+		}
 	}
 	return e
 }
@@ -445,7 +471,13 @@ func (e *Engine) runPrepared(ctx context.Context, sc Scenario, g *Graph, adv Adv
 // fresh composite stepper otherwise.
 func (e *Engine) masterStepper(routes *trajectory.RouteBook, g *Graph, start int, l Label) trajectory.Stepper {
 	if routes == nil {
+		if e.tele != nil {
+			e.tele.routeFresh.Inc()
+		}
 		return core.NewStepper(l, e.env)
+	}
+	if e.tele != nil {
+		e.tele.routeReplay.Inc()
 	}
 	return routes.Stepper(trajectory.RouteKey{Start: start, Kind: 'R', Param: uint64(l)},
 		func() trajectory.Stepper { return core.NewStepper(l, e.env) })
@@ -456,7 +488,13 @@ func (e *Engine) masterStepper(routes *trajectory.RouteBook, g *Graph, start int
 // route book, so the same key shape works).
 func (e *Engine) baselineStepper(routes *trajectory.RouteBook, g *Graph, start int, l Label) trajectory.Stepper {
 	if routes == nil {
+		if e.tele != nil {
+			e.tele.routeFresh.Inc()
+		}
 		return baseline.NewStepper(e.env, g.N(), l)
+	}
+	if e.tele != nil {
+		e.tele.routeReplay.Inc()
 	}
 	n := g.N()
 	return routes.Stepper(trajectory.RouteKey{Start: start, Kind: 'B', Param: uint64(l)},
@@ -858,6 +896,17 @@ func (e *Engine) sweepSeq(ctx context.Context, spec SweepSpec, lo, hi int, mkOra
 // worker body of the streaming pipeline, and exactly the sequence
 // ReplayCell performs for one seed string.
 func (e *Engine) runCell(ctx context.Context, cell SweepCell, oracles []SweepOracle) SweepCellResult {
+	// Telemetry brackets the cell (wall-time histogram, begin/end trace
+	// spans); the timestamps live on the telemetry clock and annotate
+	// the run without ever entering its result.
+	var start int64
+	if e.tele != nil || e.cellTrace != nil {
+		start = telemetry.Now()
+	}
+	if e.cellTrace != nil {
+		e.cellTrace(CellTraceEvent{Phase: "begin", Index: cell.Index, ID: cell.ID,
+			Seed: cell.Seed, Kind: cell.Kind, Graph: cellGraphSpec(cell).String(), AtNs: start})
+	}
 	sc := CellScenario(cell)
 	br := BatchResult{Index: cell.Index, Scenario: sc}
 	g, adv, routes, err := e.prepare(sc)
@@ -867,7 +916,17 @@ func (e *Engine) runCell(ctx context.Context, cell SweepCell, oracles []SweepOra
 		br.Graph = g
 		br.Result, br.Err = e.runPrepared(ctx, sc, g, adv, routes)
 	}
-	return e.judge(cell, br, oracles)
+	cr := e.judge(cell, br, oracles)
+	if e.tele != nil {
+		e.tele.cellWall.ObserveSince(start)
+	}
+	if e.cellTrace != nil {
+		e.cellTrace(CellTraceEvent{Phase: "end", Index: cell.Index, ID: cell.ID,
+			Seed: cell.Seed, Kind: cell.Kind, Graph: cellGraphSpec(cell).String(),
+			AtNs: telemetry.Now(), WallNs: telemetry.Since(start),
+			Met: cr.Outcome.Met, Failed: len(cr.Failures) > 0})
+	}
+	return cr
 }
 
 // judge classifies one batch result and runs the oracle suite over it.
@@ -878,6 +937,9 @@ func (e *Engine) judge(cell SweepCell, br BatchResult, oracles []SweepOracle) Sw
 		if err := o.Check(cell, out); err != nil {
 			cr.Failures = append(cr.Failures, campaign.OracleFailure{Oracle: o.Name(), Err: err.Error()})
 		}
+	}
+	if e.tele != nil {
+		e.tele.observeJudge(cell, cr)
 	}
 	return cr
 }

@@ -1,0 +1,73 @@
+// Package buildinfo is the single source of version/build stamping for
+// every cmd: a -version flag surface, the /healthz version field, and
+// the meetpoly_build_info gauge on /metrics all render from here, so
+// they cannot disagree.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"meetpoly/internal/telemetry"
+)
+
+// Version is the release stamp, overridable at link time:
+//
+//	go build -ldflags "-X meetpoly/internal/buildinfo.Version=v1.2.3"
+//
+// It stays "dev" for plain builds; Revision then distinguishes them.
+var Version = "dev"
+
+// Revision returns the VCS revision baked in by the Go toolchain (12
+// hex chars, "-dirty" suffixed for modified trees), or "unknown" when
+// built outside a checkout.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// String renders the one-line -version output for a command, e.g.
+//
+//	rvsweep dev (abc123def456) go1.24.0 linux/amd64
+func String(cmd string) string {
+	return fmt.Sprintf("%s %s (%s) %s %s/%s",
+		cmd, Version, Revision(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// InfoGauge declares the conventional build-info series on r:
+//
+//	meetpoly_build_info{cmd="rvserved",version="dev",revision="…",goversion="go1.24.0"} 1
+//
+// A constant-1 gauge whose labels carry the build identity, so any
+// scraper can join build metadata onto every other series.
+func InfoGauge(r *telemetry.Registry, cmd string) {
+	r.Gauge("meetpoly_build_info",
+		"Build identity of this process; value is always 1.",
+		telemetry.L("cmd", cmd),
+		telemetry.L("version", Version),
+		telemetry.L("revision", Revision()),
+		telemetry.L("goversion", runtime.Version()),
+	).Set(1)
+}

@@ -1,0 +1,52 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"meetpoly/internal/telemetry"
+)
+
+// TestString pins the -version line shape shared by all ten cmds.
+func TestString(t *testing.T) {
+	s := String("rvtest")
+	if !strings.HasPrefix(s, "rvtest "+Version+" (") {
+		t.Errorf("version line %q missing cmd/version prefix", s)
+	}
+	for _, part := range []string{runtime.Version(), runtime.GOOS + "/" + runtime.GOARCH} {
+		if !strings.Contains(s, part) {
+			t.Errorf("version line %q missing %q", s, part)
+		}
+	}
+}
+
+// TestInfoGauge pins the build-info series: constant 1, identity in
+// labels, renderable exposition.
+func TestInfoGauge(t *testing.T) {
+	r := telemetry.NewRegistry()
+	InfoGauge(r, "rvtest")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE meetpoly_build_info gauge") {
+		t.Errorf("missing TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `cmd="rvtest"`) || !strings.Contains(out, `version="`+Version+`"`) {
+		t.Errorf("missing identity labels:\n%s", out)
+	}
+	var found bool
+	for _, p := range r.Snapshot() {
+		if p.Name == "meetpoly_build_info" {
+			found = true
+			if p.Value != 1 {
+				t.Errorf("build info value = %v, want 1", p.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("meetpoly_build_info not in snapshot")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"meetpoly"
 	"meetpoly/internal/campaign"
 	"meetpoly/internal/faultinject"
+	"meetpoly/internal/telemetry"
 )
 
 // Checkpoint file names inside a shard's checkpoint directory.
@@ -61,6 +62,11 @@ type Checkpoint struct {
 
 	recovered []meetpoly.SweepCellResult
 
+	// m, when non-nil, receives the checkpoint's durability series
+	// (records staged, flush/fsync latency, poison events). Telemetry
+	// observes the write protocol; it never participates in it.
+	m *shardMetrics
+
 	// err poisons the checkpoint after any failed log write or fsync.
 	// The append handles' positions are unknowable after a partial
 	// write, and re-appending the staging buffer would leave a torn
@@ -87,10 +93,16 @@ func OpenCheckpoint(dir string) (*Checkpoint, error) {
 // around the write/fsync seam of both logs (nil injects nothing) — the
 // chaos harness's entry point into the durable layer.
 func OpenCheckpointFaults(dir string, inj *faultinject.Injector) (*Checkpoint, error) {
+	return openCheckpoint(dir, inj, nil)
+}
+
+// openCheckpoint is the full-seam constructor RunShard uses: fault
+// injection plus the durability metrics.
+func openCheckpoint(dir string, inj *faultinject.Injector, m *shardMetrics) (*Checkpoint, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
 	}
-	cp := &Checkpoint{dir: dir}
+	cp := &Checkpoint{dir: dir, m: m}
 	if err := cp.recoverRanges(); err != nil {
 		return nil, err
 	}
@@ -211,6 +223,9 @@ func (cp *Checkpoint) Record(cr meetpoly.SweepCellResult) error {
 	cp.resBuf.Write(line)
 	cp.resBuf.WriteByte('\n')
 	cp.pending.Add(cr.Cell.Index)
+	if cp.m != nil {
+		cp.m.recorded.Inc()
+	}
 	return nil
 }
 
@@ -232,13 +247,15 @@ func (cp *Checkpoint) Flush() error {
 	if cp.pending.Len() == 0 {
 		return nil
 	}
-	if _, err := cp.results.Write(cp.resBuf.Bytes()); err != nil {
-		cp.err = fmt.Errorf("serve: appending checkpoint results: %w", err)
-		return cp.err
+	var flushStart int64
+	if cp.m != nil {
+		flushStart = telemetry.Now()
 	}
-	if err := cp.results.Sync(); err != nil {
-		cp.err = fmt.Errorf("serve: fsync checkpoint results: %w", err)
-		return cp.err
+	if _, err := cp.results.Write(cp.resBuf.Bytes()); err != nil {
+		return cp.poison(fmt.Errorf("serve: appending checkpoint results: %w", err))
+	}
+	if err := cp.timedSync(cp.results); err != nil {
+		return cp.poison(fmt.Errorf("serve: fsync checkpoint results: %w", err))
 	}
 	cp.resBuf.Reset()
 	var rec bytes.Buffer
@@ -246,16 +263,39 @@ func (cp *Checkpoint) Flush() error {
 		fmt.Fprintf(&rec, "%d %d\n", iv.Lo, iv.Hi)
 	}
 	if _, err := cp.ranges.Write(rec.Bytes()); err != nil {
-		cp.err = fmt.Errorf("serve: appending checkpoint ranges: %w", err)
-		return cp.err
+		return cp.poison(fmt.Errorf("serve: appending checkpoint ranges: %w", err))
 	}
-	if err := cp.ranges.Sync(); err != nil {
-		cp.err = fmt.Errorf("serve: fsync checkpoint ranges: %w", err)
-		return cp.err
+	if err := cp.timedSync(cp.ranges); err != nil {
+		return cp.poison(fmt.Errorf("serve: fsync checkpoint ranges: %w", err))
 	}
 	cp.sealed.AddSet(&cp.pending)
 	cp.pending = campaign.IndexSet{}
+	if cp.m != nil {
+		cp.m.flushes.Inc()
+		cp.m.flushNs.ObserveSince(flushStart)
+	}
 	return nil
+}
+
+// poison records err as the checkpoint's sticky failure (see the err
+// field's crash-safety argument) and counts the event.
+func (cp *Checkpoint) poison(err error) error {
+	cp.err = err
+	if cp.m != nil {
+		cp.m.poisoned.Inc()
+	}
+	return err
+}
+
+// timedSync fsyncs one log, feeding the fsync-latency histogram.
+func (cp *Checkpoint) timedSync(f faultinject.WriteSyncer) error {
+	if cp.m == nil {
+		return f.Sync()
+	}
+	start := telemetry.Now()
+	err := f.Sync()
+	cp.m.fsyncNs.ObserveSince(start)
+	return err
 }
 
 // Close flushes staged records and releases the file handles.

@@ -33,6 +33,7 @@ import (
 
 	"meetpoly"
 	"meetpoly/internal/campaign"
+	"meetpoly/internal/telemetry/logx"
 )
 
 // Config configures a Client.
@@ -64,6 +65,14 @@ type Config struct {
 	// OnRetry, when set, observes every retryable failure before the
 	// client sleeps: the error, the attempt's stall count and the wait.
 	OnRetry func(err error, stalls int, wait time.Duration)
+
+	// Metrics receives the client's healing series: retries by
+	// classification, backoff sleep time, healed gap ranges, duplicate
+	// cells dropped. Nil records nothing.
+	Metrics *meetpoly.Metrics
+
+	// Log receives retry/heal events. Nil logs nothing.
+	Log *logx.Logger
 }
 
 // Client retry defaults.
@@ -91,6 +100,8 @@ func (e *terminalError) Error() string {
 type Client struct {
 	cfg Config
 	rng *rand.Rand
+	m   *clientMetrics
+	log *logx.Logger
 }
 
 // New builds a client. The zero-ish Config{BaseURL: url} is usable.
@@ -111,7 +122,12 @@ func New(cfg Config) *Client {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &Client{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)),
+		m:   newClientMetrics(cfg.Metrics),
+		log: cfg.Log,
+	}
 }
 
 // Sweep runs spec remotely, streaming every cell result to emit (nil
@@ -157,10 +173,17 @@ func (c *Client) Sweep(ctx context.Context, spec meetpoly.SweepSpec, emit func(m
 			break
 		}
 		wait := c.backoff(stalls, attemptErr)
-		if c.cfg.OnRetry != nil && attemptErr != nil {
-			c.cfg.OnRetry(attemptErr, stalls, wait)
+		if attemptErr != nil {
+			if c.cfg.OnRetry != nil {
+				c.cfg.OnRetry(attemptErr, stalls, wait)
+			}
+			c.log.Warn("retrying after failure",
+				logx.F("err", attemptErr), logx.F("stalls", int64(stalls)),
+				logx.F("wait", wait), logx.F("done", int64(done.Len())),
+				logx.F("total", int64(total)))
 		}
 		if wait > 0 {
+			c.m.backedOff(wait)
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -199,6 +222,9 @@ func (c *Client) attempt(ctx context.Context, spec []byte, done *campaign.IndexS
 			parts = append(parts, fmt.Sprintf("%d-%d", gap.Lo, gap.Hi))
 		}
 		url += "?ranges=" + strings.Join(parts, ",")
+		c.m.healed(len(parts))
+		c.log.Debug("healing stream",
+			logx.F("gaps", int64(len(parts))), logx.F("done", int64(done.Len())))
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(spec))
 	if err != nil {
@@ -210,6 +236,7 @@ func (c *Client) attempt(ctx context.Context, spec []byte, done *campaign.IndexS
 	}
 	resp, err := c.cfg.HTTP.Do(req)
 	if err != nil {
+		c.m.retriedTransport()
 		return 0, fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
@@ -221,9 +248,11 @@ func (c *Client) attempt(ctx context.Context, spec []byte, done *campaign.IndexS
 		resp.StatusCode == http.StatusServiceUnavailable:
 		hint := parseRetryAfter(resp.Header.Get("Retry-After"))
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		c.m.retriedRetryAfter()
 		return 0, &retryAfterError{status: resp.StatusCode, hint: hint}
 	case resp.StatusCode == http.StatusConflict || resp.StatusCode >= 500:
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		c.m.retriedHTTP()
 		return 0, fmt.Errorf("client: retryable response %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
 	default:
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
@@ -248,6 +277,7 @@ func (c *Client) attempt(ctx context.Context, spec []byte, done *campaign.IndexS
 			Error string           `json:"error"`
 		}
 		if err := json.Unmarshal(line, &probe); err != nil {
+			c.m.retriedStream()
 			return got, fmt.Errorf("client: undecodable stream line (connection garbled?): %w", err)
 		}
 		if probe.Cell == nil {
@@ -257,15 +287,18 @@ func (c *Client) attempt(ctx context.Context, spec []byte, done *campaign.IndexS
 		}
 		var cr meetpoly.SweepCellResult
 		if err := json.Unmarshal(line, &cr); err != nil {
+			c.m.retriedStream()
 			return got, fmt.Errorf("client: decoding cell result: %w", err)
 		}
 		if cr.Outcome.Canceled {
 			continue // not a result: the gap persists and is re-requested
 		}
 		if !done.Add(cr.Cell.Index) {
+			c.m.duplicate()
 			continue // duplicate across a resume boundary: already folded
 		}
 		agg.Add(cr)
+		c.m.cell()
 		got++
 		if emit != nil && !emit(cr) {
 			return got, errStopped
@@ -274,12 +307,15 @@ func (c *Client) attempt(ctx context.Context, spec []byte, done *campaign.IndexS
 	if err := sc.Err(); err != nil {
 		// Mid-stream cut: everything folded so far is kept; the caller
 		// retries with the shrunken gap set.
+		c.m.retriedStream()
 		return got, fmt.Errorf("client: stream interrupted: %w", err)
 	}
 	if !sawTrailer {
+		c.m.retriedStream()
 		return got, errors.New("client: stream ended without a trailer (connection reset)")
 	}
 	if trailerErr != "" {
+		c.m.retriedHTTP()
 		return got, fmt.Errorf("client: server reported: %s", trailerErr)
 	}
 	return got, nil

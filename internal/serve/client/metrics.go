@@ -1,0 +1,99 @@
+package client
+
+import (
+	"time"
+
+	"meetpoly"
+	"meetpoly/internal/telemetry"
+)
+
+// clientMetrics holds the self-healing client's pre-resolved handles.
+// Counting happens at the site that creates each retryable error, so
+// the classification can never drift from the retry policy itself. A
+// nil *clientMetrics (no registry configured) records nothing; every
+// method is nil-safe so call sites stay unconditional.
+type clientMetrics struct {
+	cells      *telemetry.Counter // new cell results folded
+	duplicates *telemetry.Counter // duplicate cells dropped across resume boundaries
+
+	retryRetryAfter *telemetry.Counter // 429/503 refusals honoring Retry-After
+	retryHTTP       *telemetry.Counter // retryable HTTP statuses and server-reported errors
+	retryTransport  *telemetry.Counter // transport failures before any status line
+	retryStream     *telemetry.Counter // mid-stream cuts, garbled lines, missing trailers
+
+	backoffNs    *telemetry.Counter // total nanoseconds slept in backoff
+	healedRanges *telemetry.Counter // gap ranges re-requested on resume attempts
+}
+
+func newClientMetrics(reg *meetpoly.Metrics) *clientMetrics {
+	if reg == nil {
+		return nil
+	}
+	retry := func(reason string) *telemetry.Counter {
+		return reg.Counter("meetpoly_client_retries_total",
+			"Retryable sweep-attempt failures, by classification.",
+			telemetry.L("reason", reason))
+	}
+	return &clientMetrics{
+		cells: reg.Counter("meetpoly_client_cells_total",
+			"New cell results received and folded."),
+		duplicates: reg.Counter("meetpoly_client_duplicate_cells_total",
+			"Duplicate cells received across resume boundaries and dropped."),
+		retryRetryAfter: retry("retry_after"),
+		retryHTTP:       retry("http"),
+		retryTransport:  retry("transport"),
+		retryStream:     retry("stream"),
+		backoffNs: reg.Counter("meetpoly_client_backoff_ns_total",
+			"Total nanoseconds slept waiting to retry."),
+		healedRanges: reg.Counter("meetpoly_client_healed_ranges_total",
+			"Gap ranges re-requested when resuming an interrupted stream."),
+	}
+}
+
+func (m *clientMetrics) cell() {
+	if m != nil {
+		m.cells.Inc()
+	}
+}
+
+func (m *clientMetrics) duplicate() {
+	if m != nil {
+		m.duplicates.Inc()
+	}
+}
+
+func (m *clientMetrics) retriedRetryAfter() {
+	if m != nil {
+		m.retryRetryAfter.Inc()
+	}
+}
+
+func (m *clientMetrics) retriedHTTP() {
+	if m != nil {
+		m.retryHTTP.Inc()
+	}
+}
+
+func (m *clientMetrics) retriedTransport() {
+	if m != nil {
+		m.retryTransport.Inc()
+	}
+}
+
+func (m *clientMetrics) retriedStream() {
+	if m != nil {
+		m.retryStream.Inc()
+	}
+}
+
+func (m *clientMetrics) backedOff(d time.Duration) {
+	if m != nil {
+		m.backoffNs.Add(uint64(d))
+	}
+}
+
+func (m *clientMetrics) healed(ranges int) {
+	if m != nil {
+		m.healedRanges.Add(uint64(ranges))
+	}
+}

@@ -1,0 +1,65 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"meetpoly"
+	"meetpoly/internal/faultinject"
+	"meetpoly/internal/serve"
+	"net/http/httptest"
+)
+
+// TestClientMetrics replays the chaos-heal scenario with a registry
+// attached and checks the healing series moved: stream-cut retries,
+// Retry-After retries from the 503 burst, backoff sleep time, healed
+// gap ranges on the resume requests, and every cell counted once.
+func TestClientMetrics(t *testing.T) {
+	spec := clientSpec()
+	srv := serve.New(serve.Config{
+		Engine:         newClientEngine(),
+		CheckpointRoot: t.TempDir(),
+		FlushEvery:     4,
+		Faults:         faultinject.MustNew("delay=1:5ms,reset=6,reset=20,unavail=3x2"),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reg := meetpoly.NewMetrics()
+	cl := New(Config{
+		BaseURL:     ts.URL,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		JitterSeed:  7,
+		Metrics:     reg,
+	})
+	if _, err := cl.Sweep(context.Background(), spec, nil); err != nil {
+		t.Fatalf("self-healing sweep failed: %v", err)
+	}
+
+	total, _ := meetpoly.CountSweep(spec)
+	vals := map[string]float64{}
+	for _, p := range reg.Snapshot() {
+		key := p.Name
+		for _, l := range p.Labels {
+			key += "/" + l.Key + "=" + l.Value
+		}
+		vals[key] = p.Value
+	}
+	if got := vals["meetpoly_client_cells_total"]; got != float64(total) {
+		t.Errorf("cells_total = %v, want %d", got, total)
+	}
+	if got := vals["meetpoly_client_retries_total/reason=stream"]; got < 2 {
+		t.Errorf(`retries{stream} = %v, want >= 2 (two scheduled resets)`, got)
+	}
+	if got := vals["meetpoly_client_retries_total/reason=retry_after"]; got < 1 {
+		t.Errorf(`retries{retry_after} = %v, want >= 1 (503 burst)`, got)
+	}
+	if got := vals["meetpoly_client_healed_ranges_total"]; got < 1 {
+		t.Errorf("healed_ranges = %v, want >= 1", got)
+	}
+	if got := vals["meetpoly_client_backoff_ns_total"]; got <= 0 {
+		t.Errorf("backoff_ns = %v, want > 0", got)
+	}
+}

@@ -25,6 +25,8 @@
 //	POST /v1/complete?lease=ID  NDJSON cell results; accepted even stale
 //	GET  /v1/status             progress counters
 //	GET  /v1/report             final report; 409 + Retry-After until done
+//	GET  /healthz               200 ok (with the build version)
+//	GET  /metrics               Prometheus text exposition
 package coord
 
 import (
@@ -39,7 +41,9 @@ import (
 	"time"
 
 	"meetpoly"
+	"meetpoly/internal/buildinfo"
 	"meetpoly/internal/campaign"
+	"meetpoly/internal/telemetry/logx"
 )
 
 // Config configures a Coordinator.
@@ -65,6 +69,15 @@ type Config struct {
 	// Clock is the time source, injectable so tests expire leases
 	// without sleeping. Nil means time.Now.
 	Clock func() time.Time
+
+	// Metrics receives the coordinator's lease-lifecycle series and
+	// pool-state gauges, and backs the /metrics endpoint. Nil means a
+	// private registry (so /metrics always works).
+	Metrics *meetpoly.Metrics
+
+	// Log receives lease-lifecycle events (grants, expiries, stale
+	// completes). Nil logs nothing.
+	Log *logx.Logger
 }
 
 // Coordinator tuning defaults.
@@ -88,15 +101,15 @@ type lease struct {
 type Coordinator struct {
 	cfg   Config
 	total int
+	m     *coordMetrics
+	log   *logx.Logger
 
-	mu      sync.Mutex
-	done    campaign.IndexSet // cells whose results have been folded
-	leases  map[string]*lease
-	agg     *campaign.Aggregator
-	nextID  int
-	granted int64 // leases handed out (status metric)
-	expired int64 // leases reclaimed from dead workers
-	report  []byte
+	mu     sync.Mutex
+	done   campaign.IndexSet // cells whose results have been folded
+	leases map[string]*lease
+	agg    *campaign.Aggregator
+	nextID int
+	report []byte
 }
 
 // New validates the spec and builds a coordinator over its expansion.
@@ -117,12 +130,18 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Coordinator{
+	if cfg.Metrics == nil {
+		cfg.Metrics = meetpoly.NewMetrics()
+	}
+	c := &Coordinator{
 		cfg:    cfg,
 		total:  total,
+		log:    cfg.Log,
 		leases: make(map[string]*lease),
 		agg:    campaign.NewAggregator(cfg.Spec, nil),
-	}, nil
+	}
+	c.m = newCoordMetrics(c, cfg.Metrics)
+	return c, nil
 }
 
 // Done reports whether every cell's result has been folded.
@@ -139,7 +158,10 @@ func (c *Coordinator) expireLocked(now time.Time) {
 	for id, l := range c.leases {
 		if now.After(l.expires) {
 			delete(c.leases, id)
-			c.expired++
+			c.m.expired.Inc()
+			c.log.Warn("lease expired",
+				logx.F("lease", id), logx.F("worker", l.worker),
+				logx.F("cells", int64(l.set.Len())))
 		}
 	}
 }
@@ -184,6 +206,7 @@ func (c *Coordinator) Lease(worker string) LeaseResponse {
 		budget -= hi - gap.Lo
 	}
 	if grant.Len() == 0 {
+		c.m.waits.Inc()
 		return LeaseResponse{Status: "wait", RetryMs: c.cfg.RetryAfter.Milliseconds()}
 	}
 
@@ -195,7 +218,10 @@ func (c *Coordinator) Lease(worker string) LeaseResponse {
 		expires: now.Add(c.cfg.LeaseTTL),
 	}
 	c.leases[l.id] = l
-	c.granted++
+	c.m.granted.Inc()
+	c.log.Debug("lease granted",
+		logx.F("lease", l.id), logx.F("worker", worker),
+		logx.F("cells", int64(grant.Len())))
 	return LeaseResponse{
 		Status: "lease",
 		Lease:  l.id,
@@ -214,9 +240,11 @@ func (c *Coordinator) Heartbeat(id string) bool {
 	c.expireLocked(now)
 	l, ok := c.leases[id]
 	if !ok {
+		c.m.heartbeatMisses.Inc()
 		return false
 	}
 	l.expires = now.Add(c.cfg.LeaseTTL)
+	c.m.heartbeats.Inc()
 	return true
 }
 
@@ -240,6 +268,19 @@ func (c *Coordinator) Complete(id string, results []campaign.CellResult) (accept
 		c.agg.Add(cr)
 		c.done.Add(cr.Cell.Index)
 		accepted++
+	}
+	c.m.completes.Inc()
+	c.m.cellsAccepted.Add(uint64(accepted))
+	if _, live := c.leases[id]; !live {
+		// The work is real whoever did it: a reassigned lease's original
+		// worker reporting late still folds (the duplicate guard makes a
+		// double fold a no-op), but the staleness is worth counting.
+		c.m.staleCompletes.Inc()
+		c.log.Info("stale complete accepted",
+			logx.F("lease", id), logx.F("cells", int64(accepted)))
+	} else {
+		c.log.Debug("lease completed",
+			logx.F("lease", id), logx.F("cells", int64(accepted)))
 	}
 	// Whatever the lease still owed returns to the pool; a partial
 	// completion (worker drained mid-lease) re-leases just the rest.
@@ -284,7 +325,12 @@ func (c *Coordinator) StatusNow() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked(now)
-	st := Status{Total: c.total, Done: c.done.Len(), Granted: c.granted, Expired: c.expired}
+	st := Status{
+		Total:   c.total,
+		Done:    c.done.Len(),
+		Granted: int64(c.m.granted.Value()),
+		Expired: int64(c.m.expired.Value()),
+	}
 	seen := map[string]bool{}
 	for _, l := range c.leases {
 		st.Leased += l.set.Len()
@@ -378,6 +424,13 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(out)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok %s %s\n", buildinfo.Version, buildinfo.Revision())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.cfg.Metrics.WritePrometheus(w) //nolint:errcheck // best-effort over HTTP
 	})
 	return mux
 }

@@ -1,0 +1,77 @@
+package coord
+
+import (
+	"meetpoly"
+	"meetpoly/internal/telemetry"
+)
+
+// coordMetrics holds the coordinator's pre-resolved metric handles.
+// The lease-state gauges are registered as callbacks that lock the
+// coordinator mutex, so they are exact at scrape time; that is safe
+// because the registry is only snapshotted from the /metrics handler,
+// never from under the coordinator mutex.
+type coordMetrics struct {
+	granted *telemetry.Counter // leases handed out (the /v1/status "leases_granted")
+	expired *telemetry.Counter // leases reclaimed from dead workers ("leases_expired")
+	waits   *telemetry.Counter // lease requests answered "wait" (pool fully leased)
+
+	heartbeats      *telemetry.Counter // accepted heartbeats
+	heartbeatMisses *telemetry.Counter // heartbeats for expired/unknown leases (410s)
+
+	completes      *telemetry.Counter // accepted /v1/complete uploads
+	staleCompletes *telemetry.Counter // completes whose lease had already expired
+	cellsAccepted  *telemetry.Counter // cell results folded from completes
+}
+
+// newCoordMetrics resolves the coordinator's series against reg and
+// registers the pool-state gauges over c. c must already be fully
+// constructed: the gauge callbacks lock c.mu at scrape time.
+func newCoordMetrics(c *Coordinator, reg *meetpoly.Metrics) *coordMetrics {
+	m := &coordMetrics{
+		granted: reg.Counter("meetpoly_coord_leases_granted_total",
+			"Leases handed out to workers."),
+		expired: reg.Counter("meetpoly_coord_leases_expired_total",
+			"Leases reclaimed after their TTL passed without a heartbeat."),
+		waits: reg.Counter("meetpoly_coord_lease_waits_total",
+			"Lease requests answered \"wait\" because every unfinished cell is leased out."),
+		heartbeats: reg.Counter("meetpoly_coord_heartbeats_total",
+			"Accepted lease heartbeats."),
+		heartbeatMisses: reg.Counter("meetpoly_coord_heartbeat_misses_total",
+			"Heartbeats rejected with 410 Gone (lease expired or unknown)."),
+		completes: reg.Counter("meetpoly_coord_completes_total",
+			"Accepted /v1/complete uploads."),
+		staleCompletes: reg.Counter("meetpoly_coord_stale_completes_total",
+			"Completes whose lease had already expired; their results still fold."),
+		cellsAccepted: reg.Counter("meetpoly_coord_cells_accepted_total",
+			"Cell results folded into the campaign aggregate."),
+	}
+	reg.GaugeFunc("meetpoly_coord_cells_total",
+		"Cells in the campaign expansion.",
+		func() int64 { return int64(c.total) })
+	reg.GaugeFunc("meetpoly_coord_cells_done",
+		"Cells whose results have been folded.",
+		func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return int64(c.done.Len())
+		})
+	reg.GaugeFunc("meetpoly_coord_cells_leased",
+		"Cells currently owned by live leases.",
+		func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			n := 0
+			for _, l := range c.leases {
+				n += l.set.Len()
+			}
+			return int64(n)
+		})
+	reg.GaugeFunc("meetpoly_coord_live_leases",
+		"Outstanding (unexpired, uncompleted) leases.",
+		func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return int64(len(c.leases))
+		})
+	return m
+}

@@ -1,0 +1,105 @@
+package coord
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"meetpoly"
+)
+
+// TestCoordinatorMetrics drives the lease lifecycle with a fake clock
+// and checks every transition lands on its /metrics series — and that
+// the leases_granted/leases_expired numbers /v1/status reports are the
+// very same counters (they read the same handles, so they cannot
+// disagree).
+func TestCoordinatorMetrics(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	reg := meetpoly.NewMetrics()
+	c, err := New(Config{Spec: coordSpec(), LeaseCells: 16, LeaseTTL: 10 * time.Second, Clock: clock, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l1 := c.Lease("w1")
+	l2 := c.Lease("w2")
+	if l1.Status != "lease" || l2.Status != "lease" {
+		t.Fatalf("leases not granted: %+v %+v", l1, l2)
+	}
+	if !c.Heartbeat(l1.Lease) {
+		t.Fatal("live heartbeat refused")
+	}
+	now = now.Add(11 * time.Second) // both leases expire (l1's beat was at t0)
+	if c.Heartbeat(l2.Lease) {
+		t.Fatal("expired heartbeat accepted")
+	}
+
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type %q", got)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := string(body)
+
+	st := c.StatusNow()
+	for series, want := range map[string]int64{
+		"meetpoly_coord_leases_granted_total":   st.Granted,
+		"meetpoly_coord_leases_expired_total":   st.Expired,
+		"meetpoly_coord_heartbeats_total":       1,
+		"meetpoly_coord_heartbeat_misses_total": 1,
+		"meetpoly_coord_cells_total":            int64(c.total),
+		"meetpoly_coord_cells_done":             0,
+		"meetpoly_coord_cells_leased":           0,
+		"meetpoly_coord_live_leases":            0,
+	} {
+		found := false
+		for _, line := range strings.Split(exp, "\n") {
+			if name, val, ok := strings.Cut(line, " "); ok && name == series {
+				found = true
+				if wantS := strconv.FormatInt(want, 10); val != wantS {
+					t.Errorf("%s = %s, want %s", series, val, wantS)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("series %s missing from exposition", series)
+		}
+	}
+	if st.Granted != 2 || st.Expired != 2 {
+		t.Fatalf("status granted=%d expired=%d, want 2/2", st.Granted, st.Expired)
+	}
+}
+
+// TestCoordinatorHealthz pins the health probe surface rvcoord's fleet
+// scripts curl: 200 with the build identity on the line.
+func TestCoordinatorHealthz(t *testing.T) {
+	c, err := New(Config{Spec: coordSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok ") {
+		t.Fatalf("healthz = %d %q, want 200 \"ok <version> <revision>\"", resp.StatusCode, body)
+	}
+}

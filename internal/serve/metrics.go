@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"meetpoly"
+	"meetpoly/internal/telemetry"
+)
+
+// serveMetrics holds the service layer's pre-resolved metric handles.
+// Handle lookup pays the registry mutex once at construction; request
+// and checkpoint paths record through lock-free handles only.
+type serveMetrics struct {
+	served   *telemetry.Counter // completed sweep requests (the /v1/stats "served")
+	inflight *telemetry.Gauge   // in-flight sweeps (the /v1/stats "inflight")
+
+	sweepReqs   *telemetry.Counter   // /v1/sweep requests
+	reportReqs  *telemetry.Counter   // /v1/sweep/report requests
+	sweepNs     *telemetry.Histogram // /v1/sweep latency
+	reportNs    *telemetry.Histogram // /v1/sweep/report latency
+	streamLines *telemetry.Counter   // NDJSON lines flushed to clients
+
+	refused429 *telemetry.Counter // tenant quota refusals
+	refused503 *telemetry.Counter // draining / chaos unavailability
+	refused409 *telemetry.Counter // checkpoint-dir conflicts
+	refused413 *telemetry.Counter // MaxCells admission rejections
+}
+
+func newServeMetrics(reg *meetpoly.Metrics) *serveMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serveMetrics{}
+	m.served = reg.Counter("meetpoly_serve_sweeps_served_total",
+		"Completed sweep requests (the /v1/stats served counter).")
+	m.inflight = reg.Gauge("meetpoly_serve_inflight_sweeps",
+		"Admitted sweep requests currently executing (the /v1/stats inflight gauge).")
+	m.sweepReqs = reg.Counter("meetpoly_serve_requests_total",
+		"Sweep requests received, by endpoint.", telemetry.L("endpoint", "sweep"))
+	m.reportReqs = reg.Counter("meetpoly_serve_requests_total",
+		"Sweep requests received, by endpoint.", telemetry.L("endpoint", "report"))
+	m.sweepNs = reg.Histogram("meetpoly_serve_request_ns",
+		"Sweep request wall time in nanoseconds, by endpoint.", telemetry.L("endpoint", "sweep"))
+	m.reportNs = reg.Histogram("meetpoly_serve_request_ns",
+		"Sweep request wall time in nanoseconds, by endpoint.", telemetry.L("endpoint", "report"))
+	m.streamLines = reg.Counter("meetpoly_serve_stream_lines_total",
+		"NDJSON result lines flushed to streaming clients.")
+	m.refused429 = reg.Counter("meetpoly_serve_refusals_total",
+		"Refused sweep requests, by HTTP status.", telemetry.L("code", "429"))
+	m.refused503 = reg.Counter("meetpoly_serve_refusals_total",
+		"Refused sweep requests, by HTTP status.", telemetry.L("code", "503"))
+	m.refused409 = reg.Counter("meetpoly_serve_refusals_total",
+		"Refused sweep requests, by HTTP status.", telemetry.L("code", "409"))
+	m.refused413 = reg.Counter("meetpoly_serve_refusals_total",
+		"Refused sweep requests, by HTTP status.", telemetry.L("code", "413"))
+	return m
+}
+
+// refused tallies one admission refusal by status code (nil-safe).
+func (m *serveMetrics) refused(code int) {
+	if m == nil {
+		return
+	}
+	switch code {
+	case 429:
+		m.refused429.Inc()
+	case 503:
+		m.refused503.Inc()
+	case 409:
+		m.refused409.Inc()
+	case 413:
+		m.refused413.Inc()
+	}
+}
+
+// shardMetrics holds the checkpoint/runner layer's handles — the
+// durable-write observability RunShard threads into each Checkpoint it
+// opens. A nil *shardMetrics (no registry configured) records nothing.
+type shardMetrics struct {
+	cellsRun  *telemetry.Counter   // freshly executed cells
+	recovered *telemetry.Counter   // cells replayed from a checkpoint
+	recorded  *telemetry.Counter   // cells staged into a checkpoint
+	flushes   *telemetry.Counter   // durable checkpoint flushes
+	flushNs   *telemetry.Histogram // whole-Flush wall time
+	fsyncNs   *telemetry.Histogram // individual fsync wall time
+	poisoned  *telemetry.Counter   // checkpoints poisoned by a failed write/fsync
+}
+
+func newShardMetrics(reg *meetpoly.Metrics) *shardMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &shardMetrics{
+		cellsRun: reg.Counter("meetpoly_serve_cells_executed_total",
+			"Sweep cells freshly executed by shard runs (recovered cells excluded)."),
+		recovered: reg.Counter("meetpoly_serve_cells_recovered_total",
+			"Sweep cells replayed from checkpoint recovery instead of re-executing."),
+		recorded: reg.Counter("meetpoly_serve_checkpoint_recorded_cells_total",
+			"Cell results staged into a checkpoint (durable after the next flush)."),
+		flushes: reg.Counter("meetpoly_serve_checkpoint_flushes_total",
+			"Durable checkpoint flushes (results fsync, then ranges fsync)."),
+		flushNs: reg.Histogram("meetpoly_serve_checkpoint_flush_ns",
+			"Wall time of one durable checkpoint flush, in nanoseconds."),
+		fsyncNs: reg.Histogram("meetpoly_serve_checkpoint_fsync_ns",
+			"Wall time of one checkpoint log fsync, in nanoseconds."),
+		poisoned: reg.Counter("meetpoly_serve_checkpoint_poison_total",
+			"Checkpoints poisoned by a failed log write or fsync (run abandoned, resume re-executes)."),
+	}
+}

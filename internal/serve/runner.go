@@ -50,6 +50,11 @@ type ShardConfig struct {
 	// injects nothing.
 	Faults *faultinject.Injector
 
+	// Metrics, when set, receives the run's execution and checkpoint
+	// series: cells executed vs recovered, records staged, flush and
+	// fsync latencies, poison events. Nil records nothing.
+	Metrics *meetpoly.Metrics
+
 	// Test hooks. onCellRun observes each freshly executed cell's index
 	// (recovered cells never fire it — that is how resume tests prove no
 	// completed cell re-executes). onFlush observes each periodic flush.
@@ -105,9 +110,10 @@ func RunShard(ctx context.Context, cfg ShardConfig, emit func(meetpoly.SweepCell
 		}
 	}
 
+	m := newShardMetrics(cfg.Metrics)
 	var cp *Checkpoint
 	if cfg.Dir != "" {
-		cp, err = OpenCheckpointFaults(cfg.Dir, cfg.Faults)
+		cp, err = openCheckpoint(cfg.Dir, cfg.Faults, m)
 		if err != nil {
 			return nil, err
 		}
@@ -130,6 +136,9 @@ func RunShard(ctx context.Context, cfg ShardConfig, emit func(meetpoly.SweepCell
 			if !want.Contains(cr.Cell.Index) {
 				continue // sealed under a different slicing; not ours now
 			}
+			if m != nil {
+				m.recovered.Inc()
+			}
 			agg.Add(cr)
 			if !emit(cr) {
 				return nil, ErrStopped
@@ -147,6 +156,9 @@ func RunShard(ctx context.Context, cfg ShardConfig, emit func(meetpoly.SweepCell
 				}
 				if cfg.onCellRun != nil {
 					cfg.onCellRun(cr.Cell.Index)
+				}
+				if m != nil {
+					m.cellsRun.Inc()
 				}
 				agg.Add(cr)
 				if cp != nil && !cr.Outcome.Canceled {

@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -15,8 +16,11 @@ import (
 	"time"
 
 	"meetpoly"
+	"meetpoly/internal/buildinfo"
 	"meetpoly/internal/campaign"
 	"meetpoly/internal/faultinject"
+	"meetpoly/internal/telemetry"
+	"meetpoly/internal/telemetry/logx"
 )
 
 // Config configures a sweep service instance.
@@ -70,6 +74,25 @@ type Config struct {
 	// responses and 503 bursts at the request boundary. Nil injects
 	// nothing.
 	Faults *faultinject.Injector
+
+	// Metrics is the registry the service records into and GET /metrics
+	// renders: request counts and latencies, stream lines, refusals by
+	// status, checkpoint flush/fsync cost, and — because /v1/stats reads
+	// the same handles — the served/inflight counters. Share it with
+	// the engine (meetpoly.WithTelemetry) so one exposition covers both
+	// layers. Nil gets a private registry: /metrics and /v1/stats work
+	// either way.
+	Metrics *meetpoly.Metrics
+
+	// Log receives the service's structured log lines (admissions
+	// refused, sweeps completed, drain progress). Nil logs nothing.
+	Log *logx.Logger
+
+	// Pprof mounts net/http/pprof's profiling endpoints under
+	// /debug/pprof/ (rvserved -pprof). Off by default: profiling
+	// endpoints expose stacks and heap contents, so enabling them is an
+	// explicit operator decision.
+	Pprof bool
 }
 
 // DefaultRetryAfter is the Retry-After hint when Config.RetryAfter is
@@ -92,7 +115,13 @@ type Server struct {
 	draining    bool
 	tenants     map[string]int  // tenant -> in-flight sweeps
 	runningDirs map[string]bool // checkpoint keys with a live run
-	served      int64           // completed sweep requests
+
+	// The served/inflight tallies live in telemetry handles, not fields:
+	// /v1/stats and /metrics read the same counters, so the two views
+	// cannot drift (DESIGN.md §7).
+	reg *meetpoly.Metrics
+	m   *serveMetrics
+	log *logx.Logger
 }
 
 // New builds a Server over cfg, applying defaults.
@@ -106,6 +135,9 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = meetpoly.NewMetrics()
+	}
 	drainCtx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:         cfg,
@@ -113,6 +145,9 @@ func New(cfg Config) *Server {
 		startDrain:  cancel,
 		tenants:     make(map[string]int),
 		runningDirs: make(map[string]bool),
+		reg:         cfg.Metrics,
+		m:           newServeMetrics(cfg.Metrics),
+		log:         cfg.Log,
 	}
 }
 
@@ -120,8 +155,10 @@ func New(cfg Config) *Server {
 //
 //	POST /v1/sweep        — stream the shard's cell results as NDJSON
 //	POST /v1/sweep/report — run the shard, respond with the report JSON
-//	GET  /healthz         — 200 ok, 503 once draining
+//	GET  /healthz         — 200 ok (with the build version), 503 once draining
 //	GET  /v1/stats        — service counters and engine cache stats
+//	GET  /metrics         — the registry in Prometheus text exposition
+//	GET  /debug/pprof/*   — net/http/pprof, only with Config.Pprof
 //
 // Both sweep endpoints take a SweepSpec JSON body and accept
 // ?budget_ms= to bound the run (see Config.RequestTimeout) and
@@ -138,6 +175,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sweep/report", func(w http.ResponseWriter, r *http.Request) { s.handleSweep(w, r, false) })
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.Pprof {
+		// Mounted explicitly rather than by importing net/http/pprof for
+		// side effect: the side-effect registration lands on
+		// http.DefaultServeMux, which this server does not use.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	if s.cfg.Faults == nil {
 		return mux
 	}
@@ -157,6 +205,8 @@ func (s *Server) Handler() http.Handler {
 // refuse writes a load-shedding refusal (429/503) with the Retry-After
 // hint, so a backoff-aware client waits what the server asks.
 func (s *Server) refuse(w http.ResponseWriter, msg string, code int) {
+	s.m.refused(code)
+	s.log.Warn("request refused", logx.F("code", code), logx.F("reason", msg))
 	secs := int(s.cfg.RetryAfter / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -173,6 +223,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.log.Info("draining", logx.F("inflight", s.m.inflight.Value()))
 	s.startDrain()
 	done := make(chan struct{})
 	go func() {
@@ -196,15 +247,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	// The build identity rides on the health line (and on /metrics as
+	// the build-info gauge), so a fleet's versions are one probe away.
+	fmt.Fprintf(w, "ok %s %s\n", buildinfo.Version, buildinfo.Revision())
+}
+
+// handleMetrics renders the registry in Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // a failed scrape write has no recovery
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	inflight := 0
-	for _, n := range s.tenants {
-		inflight += n
-	}
+	draining := s.draining
+	s.mu.Unlock()
+	// served/inflight read the same telemetry handles /metrics renders,
+	// and the cache numbers decode the engine's packed counter word both
+	// views report — the stats blob is a projection of the telemetry
+	// snapshot, never a parallel tally that could drift from it.
 	st := struct {
 		Draining bool                `json:"draining"`
 		Shard    int                 `json:"shard"`
@@ -212,8 +273,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Served   int64               `json:"served"`
 		Inflight int                 `json:"inflight"`
 		Cache    meetpoly.CacheStats `json:"cache"`
-	}{s.draining, s.cfg.Shard, s.cfg.Of, s.served, inflight, s.cfg.Engine.CacheStats()}
-	s.mu.Unlock()
+	}{draining, s.cfg.Shard, s.cfg.Of,
+		int64(s.m.served.Value()), int(s.m.inflight.Value()), s.cfg.Engine.CacheStats()}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
 }
@@ -234,6 +295,8 @@ func (s *Server) admit(w http.ResponseWriter, tenant, key string) func() {
 	case key != "" && s.runningDirs[key]:
 		// Two concurrent runs over one checkpoint dir would interleave
 		// appends; the second caller retries after the first finishes.
+		s.m.refused(http.StatusConflict)
+		s.log.Warn("campaign already running", logx.F("tenant", tenant), logx.F("campaign", key))
 		http.Error(w, fmt.Sprintf("campaign %s already running on this shard", key), http.StatusConflict)
 		return nil
 	}
@@ -242,6 +305,7 @@ func (s *Server) admit(w http.ResponseWriter, tenant, key string) func() {
 		s.runningDirs[key] = true
 	}
 	s.inflight.Add(1)
+	s.m.inflight.Add(1)
 	return func() {
 		s.mu.Lock()
 		s.tenants[tenant]--
@@ -251,8 +315,9 @@ func (s *Server) admit(w http.ResponseWriter, tenant, key string) func() {
 		if key != "" {
 			delete(s.runningDirs, key)
 		}
-		s.served++
 		s.mu.Unlock()
+		s.m.inflight.Add(-1)
+		s.m.served.Inc()
 		s.inflight.Done()
 	}
 }
@@ -261,6 +326,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, stream bool
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a SweepSpec JSON body", http.StatusMethodNotAllowed)
 		return
+	}
+	reqStart := telemetry.Now()
+	if stream {
+		s.m.sweepReqs.Inc()
+		defer s.m.sweepNs.ObserveSince(reqStart)
+	} else {
+		s.m.reportReqs.Inc()
+		defer s.m.reportNs.ObserveSince(reqStart)
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
@@ -278,6 +351,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, stream bool
 		return
 	}
 	if s.cfg.MaxCells > 0 && total > s.cfg.MaxCells {
+		s.m.refused(http.StatusRequestEntityTooLarge)
+		s.log.Warn("campaign over cell limit", logx.F("cells", total), logx.F("limit", s.cfg.MaxCells))
 		http.Error(w, fmt.Sprintf("campaign expands to %d cells, limit %d", total, s.cfg.MaxCells), http.StatusRequestEntityTooLarge)
 		return
 	}
@@ -329,12 +404,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, stream bool
 		Shard: s.cfg.Shard, Of: s.cfg.Of,
 		Ranges: ranges,
 		Dir:    dir, FlushEvery: s.cfg.FlushEvery,
-		Faults: s.cfg.Faults,
+		Faults:  s.cfg.Faults,
+		Metrics: s.reg,
 	}
+	log := s.log.With(logx.F("tenant", tenant), logx.F("campaign", spec.Name),
+		logx.F("shard", fmt.Sprintf("%d/%d", s.cfg.Shard, s.cfg.Of)))
+	log.Debug("sweep admitted", logx.F("cells", total), logx.F("stream", stream))
 
 	if !stream {
 		rep, err := RunShard(ctx, cfg, func(meetpoly.SweepCellResult) bool { return true })
 		if err != nil {
+			log.Error("sweep failed", logx.F("err", err))
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -347,6 +427,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, stream bool
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(append(out, '\n'))
+		log.Info("sweep served", logx.F("cells", rep.Cells), logx.F("failures", rep.Fail))
 		return
 	}
 
@@ -359,6 +440,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, stream bool
 			return false // client went away; RunShard returns ErrStopped
 		}
 		wrote = true
+		s.m.streamLines.Inc()
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -378,11 +460,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, stream bool
 	switch {
 	case err == nil:
 		enc.Encode(streamTrailer{Done: true, Cells: rep.Cells, Failures: rep.Fail, Canceled: rep.Canc})
+		log.Info("sweep streamed", logx.F("cells", rep.Cells), logx.F("failures", rep.Fail))
 	case errors.Is(err, ErrStopped):
 		// Nobody is listening.
+		log.Info("stream consumer went away")
 	case !wrote:
+		log.Error("sweep failed", logx.F("err", err))
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	default:
+		log.Error("sweep failed mid-stream", logx.F("err", err))
 		enc.Encode(streamTrailer{Error: err.Error()})
 	}
 }

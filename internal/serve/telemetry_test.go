@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"meetpoly"
+)
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the sample value of an exact series line
+// ("name{labels} value" or "name value"); ok is false when absent.
+func metricValue(exposition, series string) (string, bool) {
+	for _, line := range strings.Split(exposition, "\n") {
+		if name, val, found := strings.Cut(line, " "); found && name == series {
+			return val, true
+		}
+	}
+	return "", false
+}
+
+// TestMetricsEndpoint runs one checkpointed sweep through the service
+// and checks GET /metrics: valid exposition shape (every series has
+// HELP and TYPE, no duplicate series), and the request, engine-cache
+// and checkpoint-durability series all moved.
+func TestMetricsEndpoint(t *testing.T) {
+	// One registry spans engine and service, exactly as rvserved wires
+	// it — that is what puts the engine cache series on /metrics.
+	reg := meetpoly.NewMetrics()
+	eng := meetpoly.NewEngine(meetpoly.WithMaxN(6), meetpoly.WithSeed(1), meetpoly.WithTelemetry(reg))
+	srv := New(Config{Engine: eng, Metrics: reg, CheckpointRoot: t.TempDir(), FlushEvery: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(serveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report status %d", resp.StatusCode)
+	}
+
+	exp := scrape(t, ts.URL)
+
+	// Exposition grammar: every sample line's family is announced by
+	// HELP and TYPE, and no series repeats.
+	help, typ := map[string]bool{}, map[string]bool{}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(exp, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			help[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			typ[strings.Fields(rest)[0]] = true
+			continue
+		}
+		series, _, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("sample line without a value: %q", line)
+		}
+		if seen[series] {
+			t.Fatalf("duplicate series %q", series)
+		}
+		seen[series] = true
+		family := series
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		family = strings.TrimSuffix(family, "_bucket")
+		family = strings.TrimSuffix(family, "_sum")
+		family = strings.TrimSuffix(family, "_count")
+		if !help[family] || !typ[family] {
+			t.Errorf("series %q has no HELP/TYPE for family %q", series, family)
+		}
+	}
+
+	for series, want := range map[string]string{
+		"meetpoly_serve_sweeps_served_total":               "1",
+		"meetpoly_serve_inflight_sweeps":                   "0",
+		`meetpoly_serve_requests_total{endpoint="report"}`: "1",
+	} {
+		if got, ok := metricValue(exp, series); !ok || got != want {
+			t.Errorf("%s = %q (present %v), want %s", series, got, ok, want)
+		}
+	}
+	for _, series := range []string{
+		"meetpoly_engine_cache_hits_total",
+		"meetpoly_engine_cache_misses_total",
+		"meetpoly_serve_cells_executed_total",
+		"meetpoly_serve_checkpoint_flushes_total",
+		"meetpoly_serve_checkpoint_recorded_cells_total",
+	} {
+		val, ok := metricValue(exp, series)
+		if !ok {
+			t.Errorf("series %s missing from exposition", series)
+			continue
+		}
+		if val == "0" {
+			t.Errorf("%s = 0, want movement after a checkpointed sweep", series)
+		}
+	}
+}
+
+// TestStatsProjectsTelemetry pins the satellite-3 contract: /v1/stats
+// is a projection of the same telemetry handles /metrics renders, so
+// the two views agree exactly — same served count, same inflight, and
+// cache stats matching the engine counter series.
+func TestStatsProjectsTelemetry(t *testing.T) {
+	reg := meetpoly.NewMetrics()
+	eng := meetpoly.NewEngine(meetpoly.WithMaxN(6), meetpoly.WithSeed(1), meetpoly.WithTelemetry(reg))
+	srv := New(Config{Engine: eng, Metrics: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(serveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/sweep/report", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Served   int64 `json:"served"`
+		Inflight int   `json:"inflight"`
+		Cache    struct {
+			Hits   int `json:"Hits"`
+			Misses int `json:"Misses"`
+		}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 2 {
+		t.Fatalf("stats served = %d, want 2", st.Served)
+	}
+
+	exp := scrape(t, ts.URL)
+	checks := map[string]int64{
+		"meetpoly_serve_sweeps_served_total": st.Served,
+		"meetpoly_serve_inflight_sweeps":     int64(st.Inflight),
+		"meetpoly_engine_cache_hits_total":   int64(st.Cache.Hits),
+		"meetpoly_engine_cache_misses_total": int64(st.Cache.Misses),
+	}
+	for series, want := range checks {
+		got, ok := metricValue(exp, series)
+		if !ok {
+			t.Errorf("series %s missing", series)
+			continue
+		}
+		gotF, err := strconv.ParseFloat(got, 64)
+		if err != nil {
+			t.Errorf("series %s value %q: %v", series, got, err)
+			continue
+		}
+		if int64(gotF) != want {
+			t.Errorf("%s = %d, /v1/stats says %d", series, int64(gotF), want)
+		}
+	}
+}
+
+// TestRefusalCounters drives a 413 (cell cap) and a 503 (draining) and
+// checks each lands on its labeled refusal counter.
+func TestRefusalCounters(t *testing.T) {
+	reg := meetpoly.NewMetrics()
+	srv := New(Config{Engine: newServeEngine(), MaxCells: 1, Metrics: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(serveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap sweep status %d, want 413", resp.StatusCode)
+	}
+
+	exp := scrape(t, ts.URL)
+	if got, ok := metricValue(exp, `meetpoly_serve_refusals_total{code="413"}`); !ok || got != "1" {
+		t.Errorf(`refusals{code=413} = %q (present %v), want 1`, got, ok)
+	}
+}

@@ -1,0 +1,108 @@
+package logx
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+}
+
+// TestGoldenLine pins the logfmt rendering: timestamp, level, quoted
+// message, bound fields, then per-call fields in order.
+func TestGoldenLine(t *testing.T) {
+	var b strings.Builder
+	log := New(&b, LevelDebug).WithClock(fixedClock)
+	log = log.With(F("shard", "2/4"), F("tenant", "acme"))
+	log.Info("lease granted", F("cells", 16), F("err", errors.New("boom boom")))
+
+	want := `ts=2026-01-02T03:04:05Z level=info msg="lease granted" shard=2/4 tenant=acme cells=16 err="boom boom"` + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("line mismatch:\ngot:  %q\nwant: %q", got, want)
+	}
+}
+
+// TestLevelThreshold pins that lines below the threshold are dropped
+// and lines at or above it pass.
+func TestLevelThreshold(t *testing.T) {
+	var b strings.Builder
+	log := New(&b, LevelWarn).WithClock(fixedClock)
+	log.Debug("d")
+	log.Info("i")
+	log.Warn("w")
+	log.Error("e")
+	lines := strings.Count(b.String(), "\n")
+	if lines != 2 {
+		t.Errorf("wrote %d lines, want 2 (warn+error):\n%s", lines, b.String())
+	}
+	if strings.Contains(b.String(), "level=info") {
+		t.Error("info line leaked through a warn threshold")
+	}
+}
+
+// TestNilLoggerIsSilent pins the nil-receiver contract that lets
+// library code log unconditionally.
+func TestNilLoggerIsSilent(t *testing.T) {
+	var log *Logger
+	log.Info("nothing", F("k", "v"))
+	log = log.With(F("a", 1)).WithClock(fixedClock)
+	log.Error("still nothing")
+	if log.Enabled(LevelError) {
+		t.Error("nil logger reports Enabled")
+	}
+}
+
+// TestParseLevel covers the -log-level flag surface.
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, " info ": LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+// TestConcurrentLinesDoNotInterleave pins the one-mutex-per-writer
+// contract: under -race this is also the data-race check.
+func TestConcurrentLinesDoNotInterleave(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	log := New(w, LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				log.Info("tick", F("worker", "w"), F("j", j))
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("interleaved or malformed line: %q", line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"math/bits"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRecord hammers one counter, one gauge and one
+// histogram from many goroutines; under -race this pins the record
+// path as data-race free, and the totals pin it as lossless.
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_ops_total", "ops")
+	g := r.Gauge("t_inflight", "inflight")
+	h := r.Histogram("t_latency_ns", "latency")
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(uint64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var want uint64
+	for i := 0; i < workers*perWorker; i++ {
+		want += uint64(i)
+	}
+	if got := h.Sum(); got != want {
+		t.Errorf("histogram sum = %d, want %d", got, want)
+	}
+}
+
+// TestSameSeriesSameHandle pins the GetOrCreate contract: the same
+// (name, labels) — regardless of label order — yields the same handle,
+// and different labels yield distinct series.
+func TestSameSeriesSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("t_cells_total", "cells", L("kind", "ring"), L("adv", "avoider"))
+	b := r.Counter("t_cells_total", "cells", L("adv", "avoider"), L("kind", "ring"))
+	if a != b {
+		t.Error("same series with reordered labels returned distinct handles")
+	}
+	other := r.Counter("t_cells_total", "cells", L("kind", "grid"), L("adv", "avoider"))
+	if a == other {
+		t.Error("distinct label sets share a handle")
+	}
+}
+
+// TestKindConflictPanics pins that redeclaring a name with a different
+// kind is a panic (a programming error), not a silent aliasing.
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_conflict", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("redeclaring a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("t_conflict", "x")
+}
+
+// TestSnapshotMonotonic takes snapshots around concurrent counter
+// traffic and checks counters never decrease between snapshots and
+// histogram count/sum stay coherent (count*max >= sum).
+func TestSnapshotMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_mono_total", "mono")
+	h := r.Histogram("t_mono_ns", "mono")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(3)
+				}
+			}
+		}()
+	}
+
+	read := func() (cv float64, hc, hs uint64) {
+		for _, p := range r.Snapshot() {
+			switch p.Name {
+			case "t_mono_total":
+				cv = p.Value
+			case "t_mono_ns":
+				hc, hs = p.Count, p.Sum
+			}
+		}
+		return
+	}
+	prevC, prevHC, _ := read()
+	for i := 0; i < 50; i++ {
+		cv, hc, hs := read()
+		if cv < prevC {
+			t.Fatalf("counter went backwards: %v -> %v", prevC, cv)
+		}
+		if hc < prevHC {
+			t.Fatalf("histogram count went backwards: %d -> %d", prevHC, hc)
+		}
+		if hs > hc*3 {
+			t.Fatalf("histogram sum %d exceeds count %d * max observation", hs, hc)
+		}
+		prevC, prevHC = cv, hc
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestBuckets pins the power-of-two bucket layout: bits.Len64 indexing
+// and the BucketBound bounds it implies.
+func TestBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 40, ^uint64(0)} {
+		h.Observe(v)
+		i := bits.Len64(v)
+		if got := h.buckets[i].Load(); got == 0 {
+			t.Errorf("Observe(%d) did not land in bucket %d", v, i)
+		}
+		if v > BucketBound(i) {
+			t.Errorf("value %d exceeds BucketBound(%d) = %d", v, i, BucketBound(i))
+		}
+		if i > 0 && v <= BucketBound(i-1) {
+			t.Errorf("value %d within previous bucket bound %d", v, BucketBound(i-1))
+		}
+	}
+	if h.Count() != 11 {
+		t.Errorf("count = %d, want 11", h.Count())
+	}
+}
+
+// TestExpositionGolden is the format golden test: a registry with one
+// of each kind (labeled and unlabeled, including a callback-backed
+// counter and a label value needing escaping) must render exactly this
+// exposition text.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("g_requests_total", "Requests served.").Add(3)
+	r.Counter("g_cells_total", "Cells judged.", L("kind", "ring")).Add(2)
+	r.Counter("g_cells_total", "Cells judged.", L("kind", `we"ird\`)).Inc()
+	r.Gauge("g_inflight", "In-flight sweeps.").Set(-2)
+	r.CounterFunc("g_hits_total", "Cache hits.", func() uint64 { return 7 })
+	h := r.Histogram("g_wall_ns", "Cell wall time.", L("tier", "batch"))
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5) // bucket 3, le 7
+	h.Observe(5)
+
+	const want = `# HELP g_cells_total Cells judged.
+# TYPE g_cells_total counter
+g_cells_total{kind="ring"} 2
+g_cells_total{kind="we\"ird\\"} 1
+# HELP g_hits_total Cache hits.
+# TYPE g_hits_total counter
+g_hits_total 7
+# HELP g_inflight In-flight sweeps.
+# TYPE g_inflight gauge
+g_inflight -2
+# HELP g_requests_total Requests served.
+# TYPE g_requests_total counter
+g_requests_total 3
+# HELP g_wall_ns Cell wall time.
+# TYPE g_wall_ns histogram
+g_wall_ns_bucket{tier="batch",le="0"} 1
+g_wall_ns_bucket{tier="batch",le="1"} 2
+g_wall_ns_bucket{tier="batch",le="3"} 2
+g_wall_ns_bucket{tier="batch",le="7"} 4
+g_wall_ns_bucket{tier="batch",le="+Inf"} 4
+g_wall_ns_sum{tier="batch"} 11
+g_wall_ns_count{tier="batch"} 4
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExpositionNoDuplicateSeries mirrors the CI grammar check: no
+// series line (name+labels) may appear twice, and every sample line
+// must belong to a family introduced by HELP+TYPE.
+func TestExpositionNoDuplicateSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("d_a_total", "a").Inc()
+	r.Counter("d_a_total", "a", L("x", "1")).Inc()
+	r.Gauge("d_b", "b").Set(1)
+	r.Histogram("d_c_ns", "c").Observe(9)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		key := line[:strings.LastIndexByte(line, ' ')]
+		if seen[key] {
+			t.Errorf("duplicate series %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestRecordPathAllocs pins the tentpole's core claim mechanically:
+// zero allocations on every record-path method. The methods are
+// //rvlint:hotpath-annotated, so the static analyzer enforces the same
+// invariant at lint time; this pins it at run time.
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_ops_total", "ops")
+	g := r.Gauge("a_inflight", "inflight")
+	h := r.Histogram("a_ns", "ns")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(4)
+		g.Add(-1)
+		h.Observe(17)
+		h.ObserveSince(Now() - 100)
+	}); n != 0 {
+		t.Errorf("record path allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}

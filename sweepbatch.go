@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"meetpoly/internal/sched"
+	"meetpoly/internal/telemetry"
 	"meetpoly/internal/trajectory"
 )
 
@@ -61,10 +62,13 @@ type batchKey struct {
 
 // batchEligible reports whether this engine's sweeps may use the
 // batched tier at all: it requires the prepared cache (lanes share one
-// cached *Graph and replay its route book), direct dispatch, and no
-// observer (the lockstep loop delivers no per-event callbacks).
+// cached *Graph and replay its route book), direct dispatch, no
+// observer (the lockstep loop delivers no per-event callbacks), and no
+// cell tracer (spans bracket per-cell execution, which lockstep lanes
+// don't have; the tier's equivalence guarantee keeps traced results
+// identical anyway).
 func (e *Engine) batchEligible() bool {
-	return e.batchTier && e.usePrepCache && !e.forceBlocking && e.obs == nil
+	return e.batchTier && e.usePrepCache && !e.forceBlocking && e.obs == nil && e.cellTrace == nil
 }
 
 // batchableKind reports whether the kind declares the batch lowering.
@@ -81,10 +85,17 @@ func (e *Engine) runCellBatch(ctx context.Context, cells []SweepCell, oracles []
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var start int64
+	if e.tele != nil {
+		start = telemetry.Now()
+	}
 	out := make([]SweepCellResult, len(cells))
 	// perCell mirrors runCell's post-prepare sequence for a cell that
 	// leaves the batch path.
 	perCell := func(i int, cell SweepCell, sc Scenario, br BatchResult, g *Graph, adv Adversary, routes *trajectory.RouteBook) {
+		if e.tele != nil {
+			e.tele.batchFallback.Inc()
+		}
 		br.Result, br.Err = e.runPrepared(ctx, sc, g, adv, routes)
 		out[i] = e.judge(cell, br, oracles)
 	}
@@ -160,6 +171,11 @@ func (e *Engine) runCellBatch(ctx context.Context, cells []SweepCell, oracles []
 			out[lc.i] = e.judge(cells[lc.i], lc.br, oracles)
 		}
 		b.Close()
+	}
+	if e.tele != nil {
+		e.tele.batchWall.ObserveSince(start)
+		e.tele.batchLanes.Observe(uint64(len(lanes)))
+		e.tele.batchCells.Add(uint64(len(lanes)))
 	}
 	return out
 }

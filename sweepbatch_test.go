@@ -50,6 +50,7 @@ func TestBatchTierPreconditions(t *testing.T) {
 		"cache off":     NewEngine(WithPreparedCache(false)),
 		"blocking":      NewEngine(WithDirectDispatch(false)),
 		"with observer": NewEngine(WithObserver(&FuncObserver{})),
+		"with tracer":   NewEngine(WithCellTrace(func(CellTraceEvent) {})),
 	}
 	for name, e := range offs {
 		if e.batchEligible() {
